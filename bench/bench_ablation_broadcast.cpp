@@ -1,0 +1,62 @@
+// Ablation A2: Catalyst-style broadcast joins, on vs off (§3.3: "if one
+// of the relations involved is small, a broadcast join will be
+// performed"). With broadcast disabled, every join shuffles both sides
+// and inserts a stage boundary.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/str_util.h"
+#include "core/prost_db.h"
+
+int main() {
+  using namespace prost;
+  bench::BenchWorkload workload = bench::BuildWorkload();
+  cluster::ClusterConfig cluster = bench::ScaledCluster(workload);
+
+  core::ProstDb::Options with_broadcast;
+  with_broadcast.cluster = cluster;
+  // VP-only isolates the join path — mixed PRoST collapses stars into
+  // single PT nodes, leaving too few joins to measure.
+  with_broadcast.use_property_table = false;
+  core::ProstDb::Options without_broadcast = with_broadcast;
+  without_broadcast.join.allow_broadcast = false;
+
+  auto db_on =
+      core::ProstDb::LoadFromSharedGraph(workload.graph, with_broadcast);
+  auto db_off =
+      core::ProstDb::LoadFromSharedGraph(workload.graph, without_broadcast);
+  if (!db_on.ok() || !db_off.ok()) {
+    std::fprintf(stderr, "FATAL: load failed\n");
+    return 1;
+  }
+
+  std::printf("\nAblation A2: broadcast joins (PRoST, ms simulated)\n");
+  bench::PrintRule(76);
+  std::printf("%-6s | %12s | %12s | %8s | %10s | %10s\n", "Query",
+              "broadcast", "shuffle-only", "speedup", "MB shuffled",
+              "MB shf off");
+  bench::PrintRule(76);
+  double sum_on = 0, sum_off = 0;
+  for (size_t i = 0; i < workload.queries.size(); ++i) {
+    auto on = (*db_on)->Execute(workload.parsed[i]);
+    auto off = (*db_off)->Execute(workload.parsed[i]);
+    if (!on.ok() || !off.ok()) {
+      std::fprintf(stderr, "FATAL: %s failed\n",
+                   workload.queries[i].id.c_str());
+      return 1;
+    }
+    sum_on += on->simulated_millis;
+    sum_off += off->simulated_millis;
+    std::printf("%-6s | %12.0f | %12.0f | %7.2fx | %10.2f | %10.2f\n",
+                workload.queries[i].id.c_str(), on->simulated_millis,
+                off->simulated_millis,
+                off->simulated_millis / on->simulated_millis,
+                on->counters.bytes_shuffled / (1024.0 * 1024.0),
+                off->counters.bytes_shuffled / (1024.0 * 1024.0));
+  }
+  bench::PrintRule(76);
+  std::printf("average: broadcast %0.0fms, shuffle-only %0.0fms (%.2fx)\n",
+              sum_on / 20.0, sum_off / 20.0, sum_off / sum_on);
+  return 0;
+}

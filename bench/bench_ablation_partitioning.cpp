@@ -1,0 +1,65 @@
+// Ablation A3: partitioning-aware join planning. All storage structures
+// are subject-hash partitioned (§3.1); when the engine is allowed to
+// *reuse* an existing hash partitioning (JoinOptions::reuse_partitioning,
+// an extension over Spark 2.1's exchange planning for scanned relations),
+// consecutive joins on the same key skip their shuffles. The bench shows
+// what that buys per query class — and why §3.1's co-location argument
+// matters for star-shaped workloads.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/str_util.h"
+#include "core/prost_db.h"
+
+int main() {
+  using namespace prost;
+  bench::BenchWorkload workload = bench::BuildWorkload();
+  cluster::ClusterConfig cluster = bench::ScaledCluster(workload);
+
+  core::ProstDb::Options baseline;  // Spark 2.1 behaviour (no reuse).
+  baseline.cluster = cluster;
+  baseline.use_property_table = false;  // VP-only isolates the join path.
+  core::ProstDb::Options aware = baseline;
+  aware.join.reuse_partitioning = true;
+
+  auto db_off = core::ProstDb::LoadFromSharedGraph(workload.graph, baseline);
+  auto db_on = core::ProstDb::LoadFromSharedGraph(workload.graph, aware);
+  if (!db_on.ok() || !db_off.ok()) {
+    std::fprintf(stderr, "FATAL: load failed\n");
+    return 1;
+  }
+
+  std::printf(
+      "\nAblation A3: partitioning-aware planning (PRoST VP-only, ms)\n");
+  bench::PrintRule(76);
+  std::printf("%-6s | %12s | %12s | %8s | %10s | %10s\n", "Query",
+              "unaware", "aware", "speedup", "MB shf off", "MB shf on");
+  bench::PrintRule(76);
+  std::map<char, double> off_sum, on_sum;
+  for (size_t i = 0; i < workload.queries.size(); ++i) {
+    auto off = (*db_off)->Execute(workload.parsed[i]);
+    auto on = (*db_on)->Execute(workload.parsed[i]);
+    if (!on.ok() || !off.ok()) {
+      std::fprintf(stderr, "FATAL: %s failed\n",
+                   workload.queries[i].id.c_str());
+      return 1;
+    }
+    char cls = workload.queries[i].query_class;
+    off_sum[cls] += off->simulated_millis;
+    on_sum[cls] += on->simulated_millis;
+    std::printf("%-6s | %12.0f | %12.0f | %7.2fx | %10.2f | %10.2f\n",
+                workload.queries[i].id.c_str(), off->simulated_millis,
+                on->simulated_millis,
+                off->simulated_millis / on->simulated_millis,
+                off->counters.bytes_shuffled / (1024.0 * 1024.0),
+                on->counters.bytes_shuffled / (1024.0 * 1024.0));
+  }
+  bench::PrintRule(76);
+  for (char cls : {'C', 'F', 'L', 'S'}) {
+    std::printf("%-10s: unaware %0.0fms, aware %0.0fms (%.2fx)\n",
+                bench::ClassName(cls), off_sum[cls], on_sum[cls],
+                off_sum[cls] / on_sum[cls]);
+  }
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Reproduces Figure 2 of the paper: per-query time for WatDiv with only
+// Vertical Partitioning versus the mixed VP + Property Table strategy.
+//
+// Expected shape: the mixed strategy wins clearly on Star (S), Complex
+// (C) and Snowflake (F) queries; Linear (L) queries are close to equal,
+// because their patterns mostly have distinct subjects and translate to
+// VP nodes either way.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/str_util.h"
+
+int main() {
+  using namespace prost;
+  bench::BenchWorkload workload = bench::BuildWorkload();
+  cluster::ClusterConfig cluster = bench::ScaledCluster(workload);
+
+  auto vp_only = baselines::MakeProstVpOnly(workload.graph, cluster);
+  auto mixed = baselines::MakeProst(workload.graph, cluster);
+  if (!vp_only.ok() || !mixed.ok()) {
+    std::fprintf(stderr, "FATAL: system build failed\n");
+    return 1;
+  }
+  std::map<std::string, double> vp_ms =
+      bench::RunQuerySet(**vp_only, workload);
+  std::map<std::string, double> mixed_ms =
+      bench::RunQuerySet(**mixed, workload);
+
+  std::printf("\nFigure 2: query time, VP only vs mixed strategy (ms, simulated)\n");
+  bench::PrintRule(56);
+  std::printf("%-6s | %12s | %12s | %8s\n", "Query", "VP only", "VP + PT",
+              "speedup");
+  bench::PrintRule(56);
+  for (const watdiv::WatDivQuery& q : workload.queries) {
+    double vp = vp_ms.at(q.id);
+    double mx = mixed_ms.at(q.id);
+    std::printf("%-6s | %12s | %12s | %7.2fx\n", q.id.c_str(),
+                WithThousands(static_cast<uint64_t>(vp)).c_str(),
+                WithThousands(static_cast<uint64_t>(mx)).c_str(), vp / mx);
+  }
+  bench::PrintRule(56);
+  std::map<char, double> vp_avg = bench::ClassAverages(vp_ms, workload.queries);
+  std::map<char, double> mx_avg =
+      bench::ClassAverages(mixed_ms, workload.queries);
+  for (char cls : {'C', 'F', 'L', 'S'}) {
+    std::printf("%-10s avg: VP %9.0fms   mixed %9.0fms   (%.2fx)\n",
+                bench::ClassName(cls), vp_avg.at(cls), mx_avg.at(cls),
+                vp_avg.at(cls) / mx_avg.at(cls));
+  }
+  std::printf(
+      "\nExpected shape (paper): mixed clearly faster on S/C/F, ~equal on L.\n");
+  return 0;
+}

@@ -1,0 +1,103 @@
+// Future-work feature #2 from §5 of the paper: "collect more precise
+// statistics of the input dataset in order to produce better trees and,
+// hence, a less expensive retrieval."
+//
+// PRoST with pairwise subject-overlap statistics vs the paper's two basic
+// statistics, on the 20 basic queries plus the adversarially-ordered AB
+// chain queries (where plan quality is stressed). The bench also reports
+// what the extra statistics pass costs at loading time — the trade-off
+// the paper's sentence implies.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/str_util.h"
+#include "core/prost_db.h"
+#include "watdiv/schema.h"
+
+namespace {
+
+std::vector<prost::watdiv::WatDivQuery> StressQueries() {
+  using prost::watdiv::kWsdbm;
+  std::string prologue = std::string("PREFIX wsdbm: <") + kWsdbm + ">\n";
+  return {
+      {"AB1", 'A', prologue + R"(
+SELECT * WHERE {
+  ?a wsdbm:friendOf ?b .
+  ?b wsdbm:follows ?c .
+  ?c wsdbm:subscribes wsdbm:Website0 .
+})"},
+      {"AB3", 'A', prologue + R"(
+SELECT * WHERE {
+  ?p wsdbm:makesPurchase ?x .
+  ?p wsdbm:friendOf ?f .
+  ?p wsdbm:likes ?l .
+  ?f wsdbm:subscribes wsdbm:Website0 .
+})"},
+  };
+}
+
+}  // namespace
+
+int main() {
+  using namespace prost;
+  bench::BenchWorkload workload = bench::BuildWorkload();
+  cluster::ClusterConfig cluster = bench::ScaledCluster(workload);
+
+  core::ProstDb::Options base;
+  base.cluster = cluster;
+  core::ProstDb::Options precise = base;
+  precise.collect_precise_statistics = true;
+
+  auto db_base = core::ProstDb::LoadFromSharedGraph(workload.graph, base);
+  auto db_precise =
+      core::ProstDb::LoadFromSharedGraph(workload.graph, precise);
+  if (!db_base.ok() || !db_precise.ok()) {
+    std::fprintf(stderr, "FATAL: load failed\n");
+    return 1;
+  }
+
+  std::printf(
+      "\nFuture work (paper §5): precise (pairwise) statistics\n"
+      "Loading: basic stats %s  ->  +pairwise %s (the cost of better "
+      "trees)\n",
+      HumanDuration((*db_base)->load_report().simulated_load_millis).c_str(),
+      HumanDuration((*db_precise)->load_report().simulated_load_millis)
+          .c_str());
+  bench::PrintRule(64);
+  std::printf("%-6s | %12s | %12s | %8s\n", "Query", "basic stats",
+              "+pairwise", "speedup");
+  bench::PrintRule(64);
+
+  std::vector<watdiv::WatDivQuery> queries = workload.queries;
+  for (auto& q : StressQueries()) queries.push_back(q);
+  double sum_base = 0, sum_precise = 0;
+  for (const watdiv::WatDivQuery& q : queries) {
+    auto parsed = sparql::ParseQuery(q.sparql);
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "FATAL parse %s\n", q.id.c_str());
+      return 1;
+    }
+    auto base_run = (*db_base)->Execute(*parsed);
+    auto precise_run = (*db_precise)->Execute(*parsed);
+    if (!base_run.ok() || !precise_run.ok()) {
+      std::fprintf(stderr, "FATAL exec %s\n", q.id.c_str());
+      return 1;
+    }
+    if (base_run->relation.CollectSortedRows() !=
+        precise_run->relation.CollectSortedRows()) {
+      std::fprintf(stderr, "FATAL: %s results diverge\n", q.id.c_str());
+      return 1;
+    }
+    sum_base += base_run->simulated_millis;
+    sum_precise += precise_run->simulated_millis;
+    std::printf("%-6s | %12.0f | %12.0f | %7.2fx\n", q.id.c_str(),
+                base_run->simulated_millis, precise_run->simulated_millis,
+                base_run->simulated_millis / precise_run->simulated_millis);
+  }
+  bench::PrintRule(64);
+  std::printf("average: basic %.0fms, +pairwise %.0fms (%.2fx)\n",
+              sum_base / queries.size(), sum_precise / queries.size(),
+              sum_base / sum_precise);
+  return 0;
+}

@@ -1,0 +1,110 @@
+// Future-work feature from §5 of the paper: "a promising step might be to
+// add another Property Table where, instead of the subjects, the rows
+// would be created around objects. This could be beneficial for triple
+// patterns that share the same object."
+//
+// This bench runs PRoST with and without the reverse (object-keyed)
+// Property Table on the 20 basic queries plus three object-star queries
+// (OS1–OS3) built around shared-object patterns, where the feature is
+// designed to pay off.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/str_util.h"
+#include "core/prost_db.h"
+#include "watdiv/schema.h"
+
+namespace {
+
+std::vector<prost::watdiv::WatDivQuery> ObjectStarQueries() {
+  using prost::watdiv::kSorg;
+  using prost::watdiv::kWsdbm;
+  std::string prologue = std::string("PREFIX wsdbm: <") + kWsdbm + ">\n" +
+                         "PREFIX sorg: <" + kSorg + ">\n";
+  std::vector<prost::watdiv::WatDivQuery> queries;
+  // Two users connected through a commonly liked product.
+  queries.push_back({"OS1", 'O', prologue + R"(
+SELECT * WHERE {
+  ?u1 wsdbm:likes ?p .
+  ?u2 wsdbm:likes ?p .
+  ?u1 wsdbm:friendOf ?u2 .
+})"});
+  // Product reached by a like and an authorship, plus its language.
+  queries.push_back({"OS2", 'O', prologue + R"(
+SELECT * WHERE {
+  ?u1 wsdbm:likes ?p .
+  ?u2 sorg:author ?p .
+  ?p sorg:language ?l .
+})"});
+  // Users co-located through follows/friendOf on a shared target.
+  queries.push_back({"OS3", 'O', prologue + R"(
+SELECT * WHERE {
+  ?a wsdbm:follows ?x .
+  ?b wsdbm:friendOf ?x .
+  ?x wsdbm:subscribes wsdbm:Website0 .
+})"});
+  return queries;
+}
+
+}  // namespace
+
+int main() {
+  using namespace prost;
+  bench::BenchWorkload workload = bench::BuildWorkload();
+  cluster::ClusterConfig cluster = bench::ScaledCluster(workload);
+
+  core::ProstDb::Options base;
+  base.cluster = cluster;
+  core::ProstDb::Options with_reverse = base;
+  with_reverse.use_reverse_property_table = true;
+
+  auto db_base = core::ProstDb::LoadFromSharedGraph(workload.graph, base);
+  auto db_rev =
+      core::ProstDb::LoadFromSharedGraph(workload.graph, with_reverse);
+  if (!db_base.ok() || !db_rev.ok()) {
+    std::fprintf(stderr, "FATAL: load failed\n");
+    return 1;
+  }
+
+  std::vector<watdiv::WatDivQuery> queries = workload.queries;
+  for (auto& q : ObjectStarQueries()) queries.push_back(q);
+
+  std::printf(
+      "\nFuture work (paper §5): object-keyed reverse Property Table\n");
+  bench::PrintRule(64);
+  std::printf("%-6s | %12s | %12s | %8s | %6s\n", "Query", "PRoST",
+              "+reverse PT", "speedup", "rows");
+  bench::PrintRule(64);
+  for (const watdiv::WatDivQuery& q : queries) {
+    auto parsed = sparql::ParseQuery(q.sparql);
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "FATAL parse %s: %s\n", q.id.c_str(),
+                   parsed.status().ToString().c_str());
+      return 1;
+    }
+    auto base_run = (*db_base)->Execute(parsed.value());
+    auto rev_run = (*db_rev)->Execute(parsed.value());
+    if (!base_run.ok() || !rev_run.ok()) {
+      std::fprintf(stderr, "FATAL exec %s\n", q.id.c_str());
+      return 1;
+    }
+    if (base_run->relation.CollectSortedRows() !=
+        rev_run->relation.CollectSortedRows()) {
+      std::fprintf(stderr, "FATAL: %s results diverge with reverse PT\n",
+                   q.id.c_str());
+      return 1;
+    }
+    std::printf("%-6s | %12.0f | %12.0f | %7.2fx | %6llu\n", q.id.c_str(),
+                base_run->simulated_millis, rev_run->simulated_millis,
+                base_run->simulated_millis / rev_run->simulated_millis,
+                static_cast<unsigned long long>(base_run->num_rows()));
+  }
+  bench::PrintRule(64);
+  std::printf(
+      "Storage cost of the reverse PT: base %s vs +reverse %s (load "
+      "reports)\n",
+      HumanBytes((*db_base)->load_report().storage_bytes).c_str(),
+      HumanBytes((*db_rev)->load_report().storage_bytes).c_str());
+  return 0;
+}

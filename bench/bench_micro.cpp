@@ -1,0 +1,217 @@
+// Component micro-benchmarks (google-benchmark): column encodings, hash
+// join strategies, Property Table scans, dictionary interning, and
+// sorted-KV operations. These measure the real C++ implementation (not
+// the simulated cluster clock).
+
+#include <benchmark/benchmark.h>
+
+#include "cluster/cost_model.h"
+#include "columnar/encoding.h"
+#include "common/rng.h"
+#include "core/property_table.h"
+#include "core/statistics.h"
+#include "core/vp_store.h"
+#include "engine/operators.h"
+#include "kvstore/kv_store.h"
+#include "rdf/dictionary.h"
+#include "watdiv/generator.h"
+#include "watdiv/schema.h"
+
+namespace {
+
+using namespace prost;
+
+columnar::IdVector MakeIds(size_t n, int shape, uint64_t seed) {
+  Rng rng(seed);
+  columnar::IdVector ids(n);
+  switch (shape) {
+    case 0:  // random
+      for (auto& id : ids) id = rng.NextInRange(1, 1u << 20);
+      break;
+    case 1:  // sorted (delta-friendly)
+      for (size_t i = 0; i < n; ++i) ids[i] = 10 + i * 3;
+      break;
+    case 2:  // runs (RLE-friendly, NULL-heavy PT column shape)
+      for (size_t i = 0; i < n; ++i) {
+        ids[i] = (i / 64 % 4 == 0) ? 7 : rdf::kNullTermId;
+      }
+      break;
+  }
+  return ids;
+}
+
+void BM_EncodeAdaptive(benchmark::State& state) {
+  columnar::IdVector ids =
+      MakeIds(static_cast<size_t>(state.range(0)), state.range(1), 11);
+  for (auto _ : state) {
+    ByteWriter writer;
+    columnar::EncodeIdsAdaptive(ids, writer);
+    benchmark::DoNotOptimize(writer.buffer().data());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_EncodeAdaptive)
+    ->Args({1 << 14, 0})
+    ->Args({1 << 14, 1})
+    ->Args({1 << 14, 2});
+
+void BM_DecodeAdaptive(benchmark::State& state) {
+  columnar::IdVector ids =
+      MakeIds(static_cast<size_t>(state.range(0)), state.range(1), 11);
+  ByteWriter writer;
+  columnar::EncodeIdsAdaptive(ids, writer);
+  for (auto _ : state) {
+    ByteReader reader(writer.buffer());
+    columnar::IdVector out;
+    if (!columnar::DecodeIds(reader, ids.size(), &out).ok()) state.SkipWithError("decode");
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_DecodeAdaptive)
+    ->Args({1 << 14, 0})
+    ->Args({1 << 14, 1})
+    ->Args({1 << 14, 2});
+
+engine::Relation MakeRelation(const std::vector<std::string>& names,
+                              size_t rows, uint64_t key_space,
+                              uint64_t seed) {
+  Rng rng(seed);
+  std::vector<engine::Row> data;
+  data.reserve(rows);
+  for (size_t i = 0; i < rows; ++i) {
+    engine::Row row;
+    for (size_t c = 0; c < names.size(); ++c) {
+      row.push_back(1 + rng.NextBounded(key_space));
+    }
+    data.push_back(std::move(row));
+  }
+  return engine::Relation::FromRows(names, data, 9);
+}
+
+void BM_HashJoin(benchmark::State& state) {
+  const bool broadcast = state.range(1) != 0;
+  size_t rows = static_cast<size_t>(state.range(0));
+  engine::Relation left = MakeRelation({"a", "b"}, rows, rows / 2, 1);
+  engine::Relation right = MakeRelation({"b", "c"}, rows / 8, rows / 2, 2);
+  cluster::ClusterConfig config;
+  engine::JoinOptions options;
+  options.allow_broadcast = broadcast;
+  if (broadcast) {
+    options.broadcast_threshold_bytes = ~0ull >> 1;  // Force broadcast.
+  }
+  for (auto _ : state) {
+    cluster::CostModel cost(config);
+    cost.BeginStage("bench");
+    auto joined = engine::HashJoin(left, right, options, cost);
+    cost.EndStage();
+    if (!joined.ok()) state.SkipWithError("join failed");
+    benchmark::DoNotOptimize(joined->relation.TotalRows());
+  }
+  state.SetItemsProcessed(state.iterations() * rows);
+}
+BENCHMARK(BM_HashJoin)
+    ->Args({1 << 14, 0})
+    ->Args({1 << 14, 1})
+    ->Args({1 << 17, 0})
+    ->Args({1 << 17, 1});
+
+void BM_KvStoreSeek(benchmark::State& state) {
+  kvstore::SortedKvStore store;
+  std::vector<std::pair<std::string, std::string>> entries;
+  Rng rng(3);
+  for (size_t i = 0; i < 1u << 16; ++i) {
+    entries.emplace_back(kvstore::BigEndianKey(rng.Next()), "");
+  }
+  store.BulkLoad(std::move(entries));
+  Rng probe(4);
+  for (auto _ : state) {
+    auto it = store.ScanPrefix(
+        kvstore::BigEndianKey(probe.Next()).substr(0, 2));
+    benchmark::DoNotOptimize(it.size());
+  }
+}
+BENCHMARK(BM_KvStoreSeek);
+
+void BM_DictionaryIntern(benchmark::State& state) {
+  std::vector<std::string> terms;
+  Rng rng(5);
+  for (size_t i = 0; i < 1u << 14; ++i) {
+    terms.push_back("<http://example.org/entity/" +
+                    std::to_string(rng.Next() % 100000) + ">");
+  }
+  for (auto _ : state) {
+    rdf::Dictionary dictionary;
+    for (const auto& term : terms) {
+      benchmark::DoNotOptimize(dictionary.Intern(term));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * terms.size());
+}
+BENCHMARK(BM_DictionaryIntern);
+
+/// A shared small WatDiv database for the storage-scan benchmarks.
+struct ScanFixture {
+  ScanFixture() {
+    watdiv::WatDivConfig config;
+    config.target_triples = 60000;
+    watdiv::WatDivDataset dataset = watdiv::Generate(config);
+    dataset.graph.SortAndDedupe();
+    stats = core::DatasetStatistics::Compute(dataset.graph);
+    vp = core::VpStore::Build(dataset.graph, 9);
+    pt = core::PropertyTable::Build(dataset.graph, stats, 9);
+    likes = dataset.graph.dictionary().Lookup(
+        "<" + watdiv::Predicates::likes() + ">");
+    age = dataset.graph.dictionary().Lookup(
+        "<" + watdiv::Predicates::age() + ">");
+    gender = dataset.graph.dictionary().Lookup(
+        "<" + watdiv::Predicates::gender() + ">");
+  }
+  core::DatasetStatistics stats;
+  core::VpStore vp;
+  core::PropertyTable pt;
+  rdf::TermId likes, age, gender;
+};
+
+ScanFixture& Fixture() {
+  static ScanFixture* fixture = new ScanFixture();
+  return *fixture;
+}
+
+void BM_VpScan(benchmark::State& state) {
+  ScanFixture& f = Fixture();
+  cluster::ClusterConfig config;
+  for (auto _ : state) {
+    cluster::CostModel cost(config);
+    cost.BeginStage("scan");
+    auto relation = f.vp.Scan(f.likes, core::PatternTerm::Var("s"),
+                              core::PatternTerm::Var("o"), cost);
+    cost.EndStage();
+    if (!relation.ok()) state.SkipWithError("scan failed");
+    benchmark::DoNotOptimize(relation->TotalRows());
+  }
+}
+BENCHMARK(BM_VpScan);
+
+void BM_PropertyTableStarScan(benchmark::State& state) {
+  ScanFixture& f = Fixture();
+  cluster::ClusterConfig config;
+  std::vector<core::PropertyTable::ColumnPattern> patterns = {
+      {f.likes, core::PatternTerm::Var("o1")},
+      {f.age, core::PatternTerm::Var("o2")},
+      {f.gender, core::PatternTerm::Var("o3")},
+  };
+  for (auto _ : state) {
+    cluster::CostModel cost(config);
+    cost.BeginStage("scan");
+    auto relation = f.pt.Scan(core::PatternTerm::Var("s"), patterns, cost);
+    cost.EndStage();
+    if (!relation.ok()) state.SkipWithError("scan failed");
+    benchmark::DoNotOptimize(relation->TotalRows());
+  }
+}
+BENCHMARK(BM_PropertyTableStarScan);
+
+}  // namespace
+
+BENCHMARK_MAIN();

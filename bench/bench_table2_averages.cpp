@@ -1,0 +1,59 @@
+// Reproduces Table 2 of the paper: average querying time grouped by type
+// of query (Complex / Snowflake / Linear / Star) for PRoST, S2RDF, Rya
+// and SPARQLGX.
+//
+// Paper (WatDiv100M, ms):
+//   Complex    PRoST 9,364   S2RDF 3,392   Rya 2,195,322   SPARQLGX 61,363
+//   Snowflake  PRoST 5,923   S2RDF 1,564   Rya   369,016   SPARQLGX 24,046
+//   Linear     PRoST 2,419   S2RDF   527   Rya    49,044   SPARQLGX 18,254
+//   Star       PRoST 1,195   S2RDF   884   Rya     6,960   SPARQLGX  2,104
+// Expected shape: Rya worst on average by orders of magnitude on C/F;
+// SPARQLGX consistently behind PRoST; S2RDF ahead of PRoST, least so on
+// Star queries.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/str_util.h"
+
+int main() {
+  using namespace prost;
+  bench::BenchWorkload workload = bench::BuildWorkload();
+  cluster::ClusterConfig cluster = bench::ScaledCluster(workload);
+
+  auto systems = baselines::MakeAllSystems(workload.graph, cluster);
+  if (!systems.ok()) {
+    std::fprintf(stderr, "FATAL: %s\n", systems.status().ToString().c_str());
+    return 1;
+  }
+  std::vector<std::pair<std::string, std::map<char, double>>> averages;
+  for (const auto& system : *systems) {
+    std::fprintf(stderr, "[bench] running query set on %s...\n",
+                 system->name().c_str());
+    averages.emplace_back(
+        system->name(),
+        bench::ClassAverages(bench::RunQuerySet(*system, workload),
+                             workload.queries));
+  }
+
+  std::printf("\nTable 2: average querying time by query type (ms, simulated)\n");
+  bench::PrintRule(72);
+  std::printf("%-10s", "Queries");
+  for (const auto& [name, avg] : averages) std::printf(" | %12s", name.c_str());
+  std::printf("\n");
+  bench::PrintRule(72);
+  for (char cls : {'C', 'F', 'L', 'S'}) {
+    std::printf("%-10s", bench::ClassName(cls));
+    for (const auto& [name, avg] : averages) {
+      std::printf(" | %12s",
+                  WithThousands(static_cast<uint64_t>(avg.at(cls))).c_str());
+    }
+    std::printf("\n");
+  }
+  bench::PrintRule(72);
+  std::printf(
+      "Paper (100M): C 9,364/3,392/2,195,322/61,363  F 5,923/1,564/369,016/24,046\n"
+      "              L 2,419/527/49,044/18,254       S 1,195/884/6,960/2,104\n"
+      "              (PRoST / S2RDF / Rya / SPARQLGX)\n");
+  return 0;
+}

@@ -1,0 +1,142 @@
+#ifndef PROST_BENCH_BENCH_UTIL_H_
+#define PROST_BENCH_BENCH_UTIL_H_
+
+// Shared plumbing for the paper-reproduction benches: dataset scale
+// control, system construction, query-set execution, and table printing.
+//
+// Scale defaults to 250k triples so the full bench suite runs in minutes
+// on a laptop; set PROST_BENCH_TRIPLES to reproduce at other scales (the
+// paper uses 100M on a 10-node cluster; relative shapes are stable across
+// scales because the cost model is driven by per-query work, not by
+// wall-clock of this process).
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/system.h"
+#include "common/str_util.h"
+#include "rdf/graph.h"
+#include "sparql/parser.h"
+#include "watdiv/generator.h"
+#include "watdiv/queries.h"
+
+namespace prost::bench {
+
+inline uint64_t BenchTriples() {
+  const char* env = std::getenv("PROST_BENCH_TRIPLES");
+  if (env != nullptr) {
+    uint64_t value = std::strtoull(env, nullptr, 10);
+    if (value > 0) return value;
+  }
+  return 250000;
+}
+
+inline uint64_t BenchSeed() {
+  const char* env = std::getenv("PROST_BENCH_SEED");
+  if (env != nullptr) {
+    return std::strtoull(env, nullptr, 10);
+  }
+  return 42;
+}
+
+struct BenchWorkload {
+  baselines::SharedGraph graph;
+  std::vector<watdiv::WatDivQuery> queries;          // 20 basic queries
+  std::vector<sparql::Query> parsed;                 // aligned with queries
+};
+
+inline BenchWorkload BuildWorkload() {
+  watdiv::WatDivConfig config;
+  config.target_triples = BenchTriples();
+  config.seed = BenchSeed();
+  std::fprintf(stderr, "[bench] generating WatDiv dataset (~%llu triples, seed %llu)...\n",
+               static_cast<unsigned long long>(config.target_triples),
+               static_cast<unsigned long long>(config.seed));
+  watdiv::WatDivDataset dataset = watdiv::Generate(config);
+  dataset.graph.SortAndDedupe();
+  BenchWorkload workload;
+  workload.queries = watdiv::BasicQuerySet(dataset);
+  workload.graph = std::make_shared<const rdf::EncodedGraph>(
+      std::move(dataset.graph));
+  for (const watdiv::WatDivQuery& q : workload.queries) {
+    auto parsed = sparql::ParseQuery(q.sparql);
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "[bench] FATAL: %s: %s\n", q.id.c_str(),
+                   parsed.status().ToString().c_str());
+      std::exit(1);
+    }
+    workload.parsed.push_back(std::move(parsed).value());
+  }
+  std::fprintf(stderr, "[bench] dataset ready: %zu triples, %zu terms\n",
+               workload.graph->size(), workload.graph->dictionary().size());
+  return workload;
+}
+
+/// The paper's cluster, rescaled so this dataset exercises the same
+/// work-to-capacity regime as WatDiv100M on 10 machines. Simulated times
+/// are then directly comparable to the paper's magnitudes.
+inline cluster::ClusterConfig ScaledCluster(const BenchWorkload& workload) {
+  cluster::ClusterConfig cluster;
+  cluster.ScaleToDataset(workload.graph->size());
+  return cluster;
+}
+
+/// Runs all 20 queries on `system`, returning simulated millis per query
+/// id. Exits on error (benches are regeneration scripts, not libraries).
+inline std::map<std::string, double> RunQuerySet(
+    const baselines::RdfSystem& system, const BenchWorkload& workload) {
+  std::map<std::string, double> millis;
+  for (size_t i = 0; i < workload.queries.size(); ++i) {
+    auto result = system.Execute(workload.parsed[i]);
+    if (!result.ok()) {
+      std::fprintf(stderr, "[bench] FATAL: %s on %s: %s\n",
+                   workload.queries[i].id.c_str(), system.name().c_str(),
+                   result.status().ToString().c_str());
+      std::exit(1);
+    }
+    millis[workload.queries[i].id] = result->simulated_millis;
+  }
+  return millis;
+}
+
+/// Average per query class ('C','F','L','S').
+inline std::map<char, double> ClassAverages(
+    const std::map<std::string, double>& by_query,
+    const std::vector<watdiv::WatDivQuery>& queries) {
+  std::map<char, double> sums;
+  std::map<char, int> counts;
+  for (const watdiv::WatDivQuery& q : queries) {
+    sums[q.query_class] += by_query.at(q.id);
+    ++counts[q.query_class];
+  }
+  std::map<char, double> averages;
+  for (const auto& [cls, sum] : sums) averages[cls] = sum / counts.at(cls);
+  return averages;
+}
+
+inline const char* ClassName(char cls) {
+  switch (cls) {
+    case 'C':
+      return "Complex";
+    case 'F':
+      return "Snowflake";
+    case 'L':
+      return "Linear";
+    case 'S':
+      return "Star";
+  }
+  return "?";
+}
+
+inline void PrintRule(int width) {
+  for (int i = 0; i < width; ++i) std::putchar('-');
+  std::putchar('\n');
+}
+
+}  // namespace prost::bench
+
+#endif  // PROST_BENCH_BENCH_UTIL_H_

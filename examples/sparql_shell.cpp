@@ -1,0 +1,136 @@
+// Interactive SPARQL shell over PRoST: load an N-Triples file (or a
+// generated WatDiv dataset), then type queries. Terminate each query with
+// an empty line. Commands: .explain toggles plan printing, .quit exits.
+//
+//   ./build/examples/sparql_shell data.nt
+//   ./build/examples/sparql_shell --watdiv 50000
+//   ./build/examples/sparql_shell --persist mydb data.nt   (load + save)
+//   ./build/examples/sparql_shell --open mydb              (reopen)
+
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "common/io.h"
+#include "common/str_util.h"
+#include "core/prost_db.h"
+#include "sparql/parser.h"
+#include "watdiv/generator.h"
+
+int main(int argc, char** argv) {
+  using namespace prost;
+
+  core::ProstDb::Options options;
+  Result<std::unique_ptr<core::ProstDb>> db = Status::InvalidArgument("");
+  std::string persist_dir;
+  if (argc >= 3 && std::strcmp(argv[1], "--persist") == 0) {
+    persist_dir = argv[2];
+    argv += 2;
+    argc -= 2;
+  }
+  if (argc >= 3 && std::strcmp(argv[1], "--open") == 0) {
+    db = core::ProstDb::OpenFrom(argv[2], options);
+  } else if (argc >= 2 && std::strcmp(argv[1], "--watdiv") == 0) {
+    watdiv::WatDivConfig config;
+    if (argc >= 3) config.target_triples = std::strtoull(argv[2], nullptr, 10);
+    std::printf("Generating WatDiv dataset (~%llu triples)...\n",
+                static_cast<unsigned long long>(config.target_triples));
+    watdiv::WatDivDataset dataset = watdiv::Generate(config);
+    db = core::ProstDb::LoadFromGraph(std::move(dataset.graph), options);
+  } else if (argc >= 2) {
+    std::string text;
+    Status read = ReadFileToString(argv[1], &text);
+    if (!read.ok()) {
+      std::fprintf(stderr, "%s\n", read.ToString().c_str());
+      return 1;
+    }
+    db = core::ProstDb::LoadFromNTriples(text, options);
+  } else {
+    std::fprintf(stderr,
+                 "usage: %s [--persist dir] (<file.nt> | --watdiv [n]) | --open dir\n",
+                 argv[0]);
+    return 1;
+  }
+  if (!db.ok()) {
+    std::fprintf(stderr, "load failed: %s\n",
+                 db.status().ToString().c_str());
+    return 1;
+  }
+  if (!persist_dir.empty()) {
+    auto bytes = (*db)->PersistTo(persist_dir);
+    if (!bytes.ok()) {
+      std::fprintf(stderr, "persist failed: %s\n",
+                   bytes.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("Persisted database to %s (%s); reopen with --open.\n",
+                persist_dir.c_str(), HumanBytes(*bytes).c_str());
+  }
+  std::printf(
+      "Loaded %llu triples (%zu predicates). Enter a SPARQL query followed\n"
+      "by an empty line; '.explain' toggles plans; '.quit' exits.\n",
+      static_cast<unsigned long long>((*db)->load_report().input_triples),
+      (*db)->statistics().num_predicates());
+
+  bool explain = false;
+  std::string buffer;
+  std::string line;
+  while (true) {
+    std::printf(buffer.empty() ? "sparql> " : "      > ");
+    std::fflush(stdout);
+    if (!std::getline(std::cin, line)) break;
+    std::string_view trimmed = StrTrim(line);
+    if (buffer.empty() && trimmed == ".quit") break;
+    if (buffer.empty() && trimmed == ".explain") {
+      explain = !explain;
+      std::printf("explain %s\n", explain ? "on" : "off");
+      continue;
+    }
+    if (!trimmed.empty()) {
+      buffer += line;
+      buffer.push_back('\n');
+      continue;
+    }
+    if (buffer.empty()) continue;
+
+    std::string query_text;
+    query_text.swap(buffer);
+    auto query = sparql::ParseQuery(query_text);
+    if (!query.ok()) {
+      std::printf("parse error: %s\n", query.status().ToString().c_str());
+      continue;
+    }
+    if (explain) {
+      auto tree = (*db)->Plan(*query);
+      if (tree.ok()) std::printf("%s", tree->ToString().c_str());
+    }
+    auto result = (*db)->Execute(*query);
+    if (!result.ok()) {
+      std::printf("execution error: %s\n",
+                  result.status().ToString().c_str());
+      continue;
+    }
+    auto rows = (*db)->DecodeRows(result->relation);
+    if (!rows.ok()) {
+      std::printf("decode error: %s\n", rows.status().ToString().c_str());
+      continue;
+    }
+    for (const auto& name : result->relation.column_names()) {
+      std::printf("%-30s", ("?" + name).c_str());
+    }
+    std::printf("\n");
+    size_t shown = 0;
+    for (const auto& row : *rows) {
+      for (const auto& value : row) std::printf("%-30s", value.c_str());
+      std::printf("\n");
+      if (++shown == 25 && rows->size() > 25) {
+        std::printf("... (%zu more rows)\n", rows->size() - shown);
+        break;
+      }
+    }
+    std::printf("%zu rows, %.0f ms simulated cluster time\n", rows->size(),
+                result->simulated_millis);
+  }
+  return 0;
+}

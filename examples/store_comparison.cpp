@@ -1,0 +1,90 @@
+// Side-by-side tour of the four systems the paper evaluates — PRoST,
+// S2RDF, Rya, SPARQLGX — on one generated dataset: loading profile,
+// storage footprint, and one query of each WatDiv class, annotated with
+// what each system did (broadcasts, shuffles, index seeks).
+//
+//   ./build/examples/store_comparison [num_triples]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "baselines/system.h"
+#include "common/str_util.h"
+#include "watdiv/generator.h"
+#include "watdiv/queries.h"
+#include "sparql/parser.h"
+
+int main(int argc, char** argv) {
+  using namespace prost;
+  uint64_t triples = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 80000;
+
+  watdiv::WatDivConfig config;
+  config.target_triples = triples;
+  std::printf("Generating WatDiv data (~%llu triples)...\n",
+              static_cast<unsigned long long>(triples));
+  watdiv::WatDivDataset dataset = watdiv::Generate(config);
+  dataset.graph.SortAndDedupe();
+  auto queries = watdiv::BasicQuerySet(dataset);
+  auto graph = std::make_shared<const rdf::EncodedGraph>(
+      std::move(dataset.graph));
+
+  cluster::ClusterConfig cluster;
+  cluster.ScaleToDataset(graph->size());
+  std::printf("Building the four systems (PRoST, S2RDF, Rya, SPARQLGX)...\n");
+  auto systems = baselines::MakeAllSystems(graph, cluster);
+  if (!systems.ok()) {
+    std::fprintf(stderr, "build failed: %s\n",
+                 systems.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("\n-- Loading profile (simulated 10-node cluster) --\n");
+  for (const auto& system : *systems) {
+    const core::LoadReport& report = system->load_report();
+    std::printf("%-10s  load %-12s  storage %-10s  (built for real in %.0f ms)\n",
+                system->name().c_str(),
+                HumanDuration(report.simulated_load_millis).c_str(),
+                HumanBytes(report.storage_bytes).c_str(),
+                report.real_load_millis);
+  }
+
+  // One representative per query class.
+  std::printf("\n-- One query per class --\n");
+  for (const char* id : {"C2", "F3", "L2", "S1"}) {
+    const watdiv::WatDivQuery* chosen = nullptr;
+    for (const auto& q : queries) {
+      if (q.id == id) chosen = &q;
+    }
+    if (chosen == nullptr) continue;
+    auto query = sparql::ParseQuery(chosen->sparql);
+    if (!query.ok()) continue;
+    std::printf("\n%s (%s-shaped):\n", chosen->id.c_str(),
+                chosen->query_class == 'C'   ? "complex"
+                : chosen->query_class == 'F' ? "snowflake"
+                : chosen->query_class == 'L' ? "linear"
+                                             : "star");
+    for (const auto& system : *systems) {
+      auto result = system->Execute(*query);
+      if (!result.ok()) {
+        std::printf("  %-10s FAILED: %s\n", system->name().c_str(),
+                    result.status().ToString().c_str());
+        continue;
+      }
+      std::printf(
+          "  %-10s %10s   rows %-7llu stages %-3llu shuffled %-10s seeks %llu\n",
+          system->name().c_str(),
+          HumanDuration(result->simulated_millis).c_str(),
+          static_cast<unsigned long long>(result->num_rows()),
+          static_cast<unsigned long long>(result->counters.stages),
+          HumanBytes(result->counters.bytes_shuffled).c_str(),
+          static_cast<unsigned long long>(result->counters.kv_seeks));
+    }
+  }
+  std::printf(
+      "\nReading the tea leaves: Rya wins when seeks are few and loses by\n"
+      "orders of magnitude when intermediates explode; SPARQLGX pays text\n"
+      "scans and RDD shuffles everywhere; S2RDF buys speed during its very\n"
+      "long load; PRoST stays close to S2RDF at a fraction of the loading\n"
+      "cost — the paper's Table 2 in miniature.\n");
+  return 0;
+}

@@ -1,0 +1,91 @@
+#include "baselines/system.h"
+
+#include "baselines/rya.h"
+#include "baselines/s2rdf.h"
+#include "baselines/sparqlgx.h"
+
+namespace prost::baselines {
+namespace {
+
+/// Adapts ProstDb (the paper's system) to the comparison interface.
+class ProstSystem : public RdfSystem {
+ public:
+  ProstSystem(std::string name, std::unique_ptr<core::ProstDb> db)
+      : name_(std::move(name)), db_(std::move(db)) {}
+
+  const std::string& name() const override { return name_; }
+  Result<core::QueryResult> Execute(
+      const sparql::Query& query) const override {
+    return db_->Execute(query);
+  }
+  const core::LoadReport& load_report() const override {
+    return db_->load_report();
+  }
+  Result<uint64_t> PersistTo(const std::string& dir) const override {
+    return db_->PersistTo(dir);
+  }
+
+ private:
+  std::string name_;
+  std::unique_ptr<core::ProstDb> db_;
+};
+
+}  // namespace
+
+Result<std::unique_ptr<RdfSystem>> MakeProst(
+    SharedGraph graph, const cluster::ClusterConfig& cluster) {
+  core::ProstDb::Options options;
+  options.cluster = cluster;
+  PROST_ASSIGN_OR_RETURN(
+      std::unique_ptr<core::ProstDb> db,
+      core::ProstDb::LoadFromSharedGraph(std::move(graph), options));
+  return std::unique_ptr<RdfSystem>(
+      new ProstSystem("PRoST", std::move(db)));
+}
+
+Result<std::unique_ptr<RdfSystem>> MakeProstVpOnly(
+    SharedGraph graph, const cluster::ClusterConfig& cluster) {
+  core::ProstDb::Options options;
+  options.cluster = cluster;
+  options.use_property_table = false;
+  PROST_ASSIGN_OR_RETURN(
+      std::unique_ptr<core::ProstDb> db,
+      core::ProstDb::LoadFromSharedGraph(std::move(graph), options));
+  return std::unique_ptr<RdfSystem>(
+      new ProstSystem("PRoST-VP-only", std::move(db)));
+}
+
+Result<std::unique_ptr<RdfSystem>> MakeSparqlGx(
+    SharedGraph graph, const cluster::ClusterConfig& cluster) {
+  return SparqlGxSystem::Load(std::move(graph), cluster);
+}
+
+Result<std::unique_ptr<RdfSystem>> MakeS2Rdf(
+    SharedGraph graph, const cluster::ClusterConfig& cluster) {
+  return S2RdfSystem::Load(std::move(graph), cluster);
+}
+
+Result<std::unique_ptr<RdfSystem>> MakeRya(
+    SharedGraph graph, const cluster::ClusterConfig& cluster) {
+  return RyaSystem::Load(std::move(graph), cluster);
+}
+
+Result<std::vector<std::unique_ptr<RdfSystem>>> MakeAllSystems(
+    SharedGraph graph, const cluster::ClusterConfig& cluster) {
+  std::vector<std::unique_ptr<RdfSystem>> systems;
+  PROST_ASSIGN_OR_RETURN(std::unique_ptr<RdfSystem> prost,
+                         MakeProst(graph, cluster));
+  systems.push_back(std::move(prost));
+  PROST_ASSIGN_OR_RETURN(std::unique_ptr<RdfSystem> s2rdf,
+                         MakeS2Rdf(graph, cluster));
+  systems.push_back(std::move(s2rdf));
+  PROST_ASSIGN_OR_RETURN(std::unique_ptr<RdfSystem> rya,
+                         MakeRya(graph, cluster));
+  systems.push_back(std::move(rya));
+  PROST_ASSIGN_OR_RETURN(std::unique_ptr<RdfSystem> sparqlgx,
+                         MakeSparqlGx(graph, cluster));
+  systems.push_back(std::move(sparqlgx));
+  return systems;
+}
+
+}  // namespace prost::baselines

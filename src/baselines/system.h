@@ -1,0 +1,70 @@
+#ifndef PROST_BASELINES_SYSTEM_H_
+#define PROST_BASELINES_SYSTEM_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/config.h"
+#include "common/status.h"
+#include "core/executor.h"
+#include "core/prost_db.h"
+#include "rdf/graph.h"
+#include "sparql/algebra.h"
+
+namespace prost::baselines {
+
+/// Uniform interface over the four evaluated systems (PRoST and the three
+/// baselines of §4), so the comparison benches can drive them alike. All
+/// systems are built over the same shared, deduplicated graph and the same
+/// cluster description, matching the paper's single-cluster methodology.
+class RdfSystem {
+ public:
+  virtual ~RdfSystem() = default;
+
+  virtual const std::string& name() const = 0;
+
+  /// Executes a parsed query on a fresh simulated clock.
+  virtual Result<core::QueryResult> Execute(
+      const sparql::Query& query) const = 0;
+
+  virtual const core::LoadReport& load_report() const = 0;
+
+  /// Persists the system's database under `dir` and returns the bytes
+  /// written (the "Size" column of Table 1).
+  virtual Result<uint64_t> PersistTo(const std::string& dir) const = 0;
+};
+
+using SharedGraph = std::shared_ptr<const rdf::EncodedGraph>;
+
+/// PRoST itself, adapted to the comparison interface.
+Result<std::unique_ptr<RdfSystem>> MakeProst(
+    SharedGraph graph, const cluster::ClusterConfig& cluster);
+
+/// PRoST restricted to Vertical Partitioning (Figure 2's baseline bars).
+Result<std::unique_ptr<RdfSystem>> MakeProstVpOnly(
+    SharedGraph graph, const cluster::ClusterConfig& cluster);
+
+/// SPARQLGX: text-file Vertical Partitioning compiled to plain RDD
+/// operations (no Spark SQL / Catalyst).
+Result<std::unique_ptr<RdfSystem>> MakeSparqlGx(
+    SharedGraph graph, const cluster::ClusterConfig& cluster);
+
+/// S2RDF: Vertical Partitioning extended with precomputed semi-join
+/// reductions (ExtVP).
+Result<std::unique_ptr<RdfSystem>> MakeS2Rdf(
+    SharedGraph graph, const cluster::ClusterConfig& cluster);
+
+/// Rya: triple-key indexes (SPO/POS/OSP) on a sorted key-value store with
+/// index-nested-loop joins.
+Result<std::unique_ptr<RdfSystem>> MakeRya(
+    SharedGraph graph, const cluster::ClusterConfig& cluster);
+
+/// Builds all four compared systems (PRoST, S2RDF, Rya, SPARQLGX) over
+/// one graph, in the order the paper's tables list them.
+Result<std::vector<std::unique_ptr<RdfSystem>>> MakeAllSystems(
+    SharedGraph graph, const cluster::ClusterConfig& cluster);
+
+}  // namespace prost::baselines
+
+#endif  // PROST_BASELINES_SYSTEM_H_

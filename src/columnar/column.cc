@@ -1,0 +1,58 @@
+#include "columnar/column.h"
+
+namespace prost::columnar {
+
+void IdListColumn::AppendRow(const IdVector& row_values) {
+  values.insert(values.end(), row_values.begin(), row_values.end());
+  offsets.push_back(static_cast<uint32_t>(values.size()));
+}
+
+size_t Column::num_rows() const {
+  if (kind() == ColumnKind::kId) return ids().size();
+  return lists().num_rows();
+}
+
+ColumnStats ComputeStats(const IdVector& ids) {
+  ColumnStats stats;
+  bool first = true;
+  for (TermId id : ids) {
+    if (id == kNullTermId) {
+      ++stats.null_count;
+      continue;
+    }
+    ++stats.value_count;
+    if (first) {
+      stats.min_id = stats.max_id = id;
+      first = false;
+    } else {
+      if (id < stats.min_id) stats.min_id = id;
+      if (id > stats.max_id) stats.max_id = id;
+    }
+  }
+  return stats;
+}
+
+ColumnStats ComputeStats(const IdListColumn& lists) {
+  ColumnStats stats;
+  bool first = true;
+  for (size_t row = 0; row < lists.num_rows(); ++row) {
+    if (lists.RowSize(row) == 0) {
+      ++stats.null_count;
+      continue;
+    }
+    for (uint32_t i = lists.offsets[row]; i < lists.offsets[row + 1]; ++i) {
+      TermId id = lists.values[i];
+      ++stats.value_count;
+      if (first) {
+        stats.min_id = stats.max_id = id;
+        first = false;
+      } else {
+        if (id < stats.min_id) stats.min_id = id;
+        if (id > stats.max_id) stats.max_id = id;
+      }
+    }
+  }
+  return stats;
+}
+
+}  // namespace prost::columnar

@@ -1,0 +1,83 @@
+#ifndef PROST_COLUMNAR_COLUMN_H_
+#define PROST_COLUMNAR_COLUMN_H_
+
+#include <cstdint>
+#include <variant>
+#include <vector>
+
+#include "columnar/types.h"
+#include "rdf/triple.h"
+
+namespace prost::columnar {
+
+using rdf::TermId;
+using rdf::kNullTermId;
+
+/// Flat column of term ids. Id 0 (kNullTermId) encodes NULL — the
+/// Property Table is NULL-heavy by construction, which the RLE codec
+/// compresses away exactly like Parquet's run-length encoding does in the
+/// paper (§3.1).
+using IdVector = std::vector<TermId>;
+
+/// List column: row i holds values[offsets[i] .. offsets[i+1]). An empty
+/// range encodes NULL. offsets.size() == num_rows + 1.
+struct IdListColumn {
+  std::vector<uint32_t> offsets{0};
+  IdVector values;
+
+  size_t num_rows() const { return offsets.size() - 1; }
+
+  /// Appends one row with the given values (empty == NULL row).
+  void AppendRow(const IdVector& row_values);
+
+  /// Value count of row i.
+  size_t RowSize(size_t i) const { return offsets[i + 1] - offsets[i]; }
+
+  bool operator==(const IdListColumn& other) const = default;
+};
+
+/// A column is either a flat id column or a list column.
+class Column {
+ public:
+  Column() : data_(IdVector{}) {}
+  explicit Column(IdVector ids) : data_(std::move(ids)) {}
+  explicit Column(IdListColumn lists) : data_(std::move(lists)) {}
+
+  ColumnKind kind() const {
+    return std::holds_alternative<IdVector>(data_) ? ColumnKind::kId
+                                                   : ColumnKind::kIdList;
+  }
+
+  size_t num_rows() const;
+
+  const IdVector& ids() const { return std::get<IdVector>(data_); }
+  IdVector& mutable_ids() { return std::get<IdVector>(data_); }
+  const IdListColumn& lists() const { return std::get<IdListColumn>(data_); }
+  IdListColumn& mutable_lists() { return std::get<IdListColumn>(data_); }
+
+  bool operator==(const Column& other) const = default;
+
+ private:
+  std::variant<IdVector, IdListColumn> data_;
+};
+
+/// Per-column-chunk statistics, written into the table file and used by
+/// scan pruning and the cost model.
+struct ColumnStats {
+  TermId min_id = 0;
+  TermId max_id = 0;
+  uint64_t null_count = 0;
+  uint64_t value_count = 0;  // Total non-null values (list entries count).
+
+  bool operator==(const ColumnStats& other) const = default;
+};
+
+/// Computes statistics over a flat column.
+ColumnStats ComputeStats(const IdVector& ids);
+
+/// Computes statistics over a list column (null = empty list).
+ColumnStats ComputeStats(const IdListColumn& lists);
+
+}  // namespace prost::columnar
+
+#endif  // PROST_COLUMNAR_COLUMN_H_

@@ -1,0 +1,50 @@
+#ifndef PROST_COLUMNAR_ENCODING_H_
+#define PROST_COLUMNAR_ENCODING_H_
+
+#include "columnar/column.h"
+#include "common/io.h"
+#include "common/status.h"
+
+namespace prost::columnar {
+
+/// Physical encodings available for an id column chunk. The writer picks
+/// the smallest for each chunk (Parquet-style adaptive encoding):
+///  - kPlainVarint: LEB128 per value; good for high-entropy columns.
+///  - kRle: (value, run-length) varint pairs; collapses NULL runs in the
+///    Property Table and constant/sorted columns.
+///  - kDeltaVarint: zig-zag delta + varint; good for sorted id columns
+///    (e.g. VP tables sorted by subject).
+///  - kBitPacked: fixed-width packing at ceil(log2(max+1)) bits per
+///    value; good for dense small-domain columns (local dictionary
+///    indices, predicate ids) where even one varint byte per value is
+///    too much.
+enum class Encoding : uint8_t {
+  kPlainVarint = 0,
+  kRle = 1,
+  kDeltaVarint = 2,
+  kBitPacked = 3,
+};
+
+const char* EncodingToString(Encoding encoding);
+
+/// Encodes `ids` with the specified encoding, appending to `writer`.
+void EncodeIdsWith(const IdVector& ids, Encoding encoding, ByteWriter& writer);
+
+/// Picks the smallest of the three encodings for `ids`, writes a one-byte
+/// encoding tag followed by the payload, and returns the chosen encoding.
+Encoding EncodeIdsAdaptive(const IdVector& ids, ByteWriter& writer);
+
+/// Decodes a chunk written by EncodeIdsAdaptive. `count` values are read.
+Status DecodeIds(ByteReader& reader, size_t count, IdVector* out);
+
+/// Encodes / decodes a list column (offsets as deltas + values adaptive).
+void EncodeIdList(const IdListColumn& lists, ByteWriter& writer);
+Status DecodeIdList(ByteReader& reader, size_t num_rows, IdListColumn* out);
+
+/// Returns the encoded size in bytes of `ids` under `encoding` without
+/// materializing the encoding (used by size estimators / benchmarks).
+uint64_t EncodedSize(const IdVector& ids, Encoding encoding);
+
+}  // namespace prost::columnar
+
+#endif  // PROST_COLUMNAR_ENCODING_H_

@@ -1,0 +1,87 @@
+#include "columnar/partition.h"
+
+#include "common/hash.h"
+#include "common/str_util.h"
+
+namespace prost::columnar {
+
+std::vector<uint32_t> AssignPartitionsByHash(const IdVector& keys,
+                                             uint32_t num_partitions) {
+  std::vector<uint32_t> assignment(keys.size());
+  for (size_t i = 0; i < keys.size(); ++i) {
+    assignment[i] = static_cast<uint32_t>(Mix64(keys[i]) % num_partitions);
+  }
+  return assignment;
+}
+
+std::vector<uint32_t> AssignPartitionsRoundRobin(size_t num_rows,
+                                                 uint32_t num_partitions) {
+  std::vector<uint32_t> assignment(num_rows);
+  for (size_t i = 0; i < num_rows; ++i) {
+    assignment[i] = static_cast<uint32_t>(i % num_partitions);
+  }
+  return assignment;
+}
+
+Result<std::vector<StoredTable>> SplitByAssignment(
+    const StoredTable& table, const std::vector<uint32_t>& assignment,
+    uint32_t num_partitions) {
+  if (num_partitions == 0) {
+    return Status::InvalidArgument("num_partitions must be > 0");
+  }
+  if (assignment.size() != table.num_rows()) {
+    return Status::InvalidArgument(StrFormat(
+        "assignment size %zu does not match row count %zu",
+        assignment.size(), table.num_rows()));
+  }
+  std::vector<std::vector<Column>> partition_columns(num_partitions);
+  for (uint32_t p = 0; p < num_partitions; ++p) {
+    for (const Field& field : table.schema().fields()) {
+      partition_columns[p].emplace_back(field.kind == ColumnKind::kId
+                                            ? Column(IdVector{})
+                                            : Column(IdListColumn{}));
+    }
+  }
+  for (size_t row = 0; row < table.num_rows(); ++row) {
+    uint32_t p = assignment[row];
+    if (p >= num_partitions) {
+      return Status::InvalidArgument("assignment index out of range");
+    }
+    for (size_t c = 0; c < table.num_columns(); ++c) {
+      const Column& source = table.column(c);
+      Column& target = partition_columns[p][c];
+      if (source.kind() == ColumnKind::kId) {
+        target.mutable_ids().push_back(source.ids()[row]);
+      } else {
+        const IdListColumn& lists = source.lists();
+        IdVector row_values(lists.values.begin() + lists.offsets[row],
+                            lists.values.begin() + lists.offsets[row + 1]);
+        target.mutable_lists().AppendRow(row_values);
+      }
+    }
+  }
+  std::vector<StoredTable> partitions;
+  partitions.reserve(num_partitions);
+  for (uint32_t p = 0; p < num_partitions; ++p) {
+    partitions.emplace_back(table.schema(), std::move(partition_columns[p]));
+    PROST_RETURN_IF_ERROR(partitions.back().Validate());
+  }
+  return partitions;
+}
+
+Result<std::vector<StoredTable>> HashPartitionTable(const StoredTable& table,
+                                                    size_t key_column,
+                                                    uint32_t num_partitions) {
+  if (key_column >= table.num_columns()) {
+    return Status::InvalidArgument("key column index out of range");
+  }
+  if (table.column(key_column).kind() != ColumnKind::kId) {
+    return Status::InvalidArgument("key column must be a flat id column");
+  }
+  return SplitByAssignment(
+      table,
+      AssignPartitionsByHash(table.column(key_column).ids(), num_partitions),
+      num_partitions);
+}
+
+}  // namespace prost::columnar

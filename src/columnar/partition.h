@@ -1,0 +1,37 @@
+#ifndef PROST_COLUMNAR_PARTITION_H_
+#define PROST_COLUMNAR_PARTITION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "columnar/table.h"
+#include "common/status.h"
+
+namespace prost::columnar {
+
+/// Assigns each row to a partition by hashing its key (Mix64(key) mod n).
+/// This is the subject-hash horizontal partitioning of §3.1: every
+/// Property Table row lives entirely on one worker.
+std::vector<uint32_t> AssignPartitionsByHash(const IdVector& keys,
+                                             uint32_t num_partitions);
+
+/// Round-robin assignment, ignoring keys. Used by the A3 ablation to show
+/// why subject-hash placement matters (it breaks subject co-location).
+std::vector<uint32_t> AssignPartitionsRoundRobin(size_t num_rows,
+                                                 uint32_t num_partitions);
+
+/// Splits `table` into `num_partitions` tables according to `assignment`
+/// (one entry per row). List columns are split row-wise, preserving each
+/// row's value list intact.
+Result<std::vector<StoredTable>> SplitByAssignment(
+    const StoredTable& table, const std::vector<uint32_t>& assignment,
+    uint32_t num_partitions);
+
+/// Convenience: hash-partition `table` on flat key column `key_column`.
+Result<std::vector<StoredTable>> HashPartitionTable(const StoredTable& table,
+                                                    size_t key_column,
+                                                    uint32_t num_partitions);
+
+}  // namespace prost::columnar
+
+#endif  // PROST_COLUMNAR_PARTITION_H_

@@ -1,0 +1,75 @@
+#ifndef PROST_COLUMNAR_TABLE_H_
+#define PROST_COLUMNAR_TABLE_H_
+
+#include <string>
+#include <vector>
+
+#include "columnar/column.h"
+#include "columnar/types.h"
+#include "common/status.h"
+
+namespace prost::columnar {
+
+/// Rows per row group in the serialized table format. Column chunks are
+/// encoded (and carry statistics) per row group, like Parquet pages.
+inline constexpr size_t kRowGroupSize = 65536;
+
+/// An in-memory columnar table: a schema plus one column per field, all
+/// with the same row count. This is the unit of storage for VP tables and
+/// the Property Table.
+class StoredTable {
+ public:
+  StoredTable() = default;
+  explicit StoredTable(Schema schema) : schema_(std::move(schema)) {
+    columns_.resize(schema_.num_fields());
+  }
+  StoredTable(Schema schema, std::vector<Column> columns);
+
+  const Schema& schema() const { return schema_; }
+  size_t num_columns() const { return columns_.size(); }
+  size_t num_rows() const {
+    return columns_.empty() ? 0 : columns_[0].num_rows();
+  }
+
+  const Column& column(size_t i) const { return columns_[i]; }
+  Column& mutable_column(size_t i) { return columns_[i]; }
+
+  /// Column by field name; error when the field does not exist.
+  Result<const Column*> ColumnByName(const std::string& name) const;
+
+  /// Validates that all columns have equal row counts and kinds matching
+  /// the schema.
+  Status Validate() const;
+
+  /// Serializes the table (row-grouped, adaptively encoded, with per-chunk
+  /// statistics and a trailing checksum).
+  void Serialize(std::string* out) const;
+  static Result<StoredTable> Deserialize(std::string_view data);
+
+  /// Serialized size without materializing the bytes.
+  uint64_t SerializedSizeEstimate() const;
+
+ private:
+  Schema schema_;
+  std::vector<Column> columns_;
+};
+
+/// Writes `table` to `path` / reads it back.
+Status WriteTableFile(const StoredTable& table, const std::string& path);
+Result<StoredTable> ReadTableFile(const std::string& path);
+
+/// Serialized-size estimate of one column under the best adaptive
+/// encoding (used for per-column scan-cost accounting).
+uint64_t ColumnSerializedSizeEstimate(const Column& column);
+
+/// Size estimate of one column in the *lexical* on-disk form
+/// (lexical_format.h): distinct values' string bytes (the local
+/// dictionary) plus the encoded index stream. This is what the simulated
+/// Spark planner and scanner see — Parquet string columns, not raw ids.
+/// `term_lengths` comes from rdf::Dictionary::TermLengths().
+uint64_t LexicalColumnSizeEstimate(const Column& column,
+                                   const std::vector<uint32_t>& term_lengths);
+
+}  // namespace prost::columnar
+
+#endif  // PROST_COLUMNAR_TABLE_H_

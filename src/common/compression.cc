@@ -1,0 +1,44 @@
+#include "common/compression.h"
+
+#include <zlib.h>
+
+namespace prost {
+
+Result<std::string> DeflateCompress(std::string_view input) {
+  uLongf bound = compressBound(static_cast<uLong>(input.size()));
+  std::string out;
+  out.resize(bound);
+  int rc = compress2(reinterpret_cast<Bytef*>(out.data()), &bound,
+                     reinterpret_cast<const Bytef*>(input.data()),
+                     static_cast<uLong>(input.size()), Z_DEFAULT_COMPRESSION);
+  if (rc != Z_OK) {
+    return Status::Internal("zlib compress failed: " + std::to_string(rc));
+  }
+  out.resize(bound);
+  return out;
+}
+
+Result<std::string> DeflateDecompress(std::string_view input,
+                                      size_t expected_size) {
+  size_t capacity = expected_size > 0 ? expected_size : input.size() * 4 + 64;
+  std::string out;
+  while (true) {
+    out.resize(capacity);
+    uLongf dest_len = static_cast<uLongf>(capacity);
+    int rc = uncompress(reinterpret_cast<Bytef*>(out.data()), &dest_len,
+                        reinterpret_cast<const Bytef*>(input.data()),
+                        static_cast<uLong>(input.size()));
+    if (rc == Z_OK) {
+      out.resize(dest_len);
+      return out;
+    }
+    if (rc == Z_BUF_ERROR && capacity < (1ull << 34)) {
+      capacity *= 2;
+      continue;
+    }
+    return Status::Corruption("zlib uncompress failed: " +
+                              std::to_string(rc));
+  }
+}
+
+}  // namespace prost

@@ -1,0 +1,23 @@
+#ifndef PROST_COMMON_COMPRESSION_H_
+#define PROST_COMMON_COMPRESSION_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace prost {
+
+/// Deflate-compresses `input` (zlib, default level). Stand-in for the
+/// codecs the real systems apply to their storage: SPARQLGX's compressed
+/// HDFS text files and Accumulo's compressed RFiles.
+Result<std::string> DeflateCompress(std::string_view input);
+
+/// Inverse of DeflateCompress. `expected_size` hint (0 = unknown) sizes
+/// the output buffer.
+Result<std::string> DeflateDecompress(std::string_view input,
+                                      size_t expected_size = 0);
+
+}  // namespace prost
+
+#endif  // PROST_COMMON_COMPRESSION_H_

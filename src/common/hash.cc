@@ -1,0 +1,15 @@
+#include "common/hash.h"
+
+namespace prost {
+
+uint64_t HashBytes(std::string_view bytes) {
+  uint64_t hash = 0xcbf29ce484222325ULL;
+  for (unsigned char c : bytes) {
+    hash ^= c;
+    hash *= 0x100000001b3ULL;
+  }
+  // Finalize so short keys still avalanche well.
+  return Mix64(hash);
+}
+
+}  // namespace prost

@@ -1,0 +1,96 @@
+#include "common/rng.h"
+
+#include <cmath>
+
+namespace prost {
+namespace {
+
+uint64_t SplitMix64(uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ULL;
+  uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t RotL(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& s : state_) s = SplitMix64(sm);
+}
+
+uint64_t Rng::Next() {
+  uint64_t result = RotL(state_[1] * 5, 7) * 9;
+  uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = RotL(state_[3], 45);
+  return result;
+}
+
+uint64_t Rng::NextBounded(uint64_t bound) {
+  // Debiased modulo via rejection on the tail.
+  uint64_t threshold = (0ULL - bound) % bound;
+  while (true) {
+    uint64_t r = Next();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+uint64_t Rng::NextInRange(uint64_t lo, uint64_t hi) {
+  return lo + NextBounded(hi - lo + 1);
+}
+
+double Rng::NextDouble() {
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::NextBernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return NextDouble() < p;
+}
+
+ZipfGenerator::ZipfGenerator(uint64_t n, double s) : n_(n < 1 ? 1 : n), s_(s) {
+  h_integral_x1_ = H(1.5) - 1.0;
+  h_integral_num_items_ = H(static_cast<double>(n_) + 0.5);
+  scale_ = h_integral_num_items_ - H(0.5);
+}
+
+double ZipfGenerator::H(double x) const {
+  // Integral of 1/x^s: log(x) for s == 1, else x^(1-s)/(1-s).
+  if (std::fabs(s_ - 1.0) < 1e-12) return std::log(x);
+  return std::pow(x, 1.0 - s_) / (1.0 - s_);
+}
+
+double ZipfGenerator::HInverse(double x) const {
+  if (std::fabs(s_ - 1.0) < 1e-12) return std::exp(x);
+  return std::pow(x * (1.0 - s_), 1.0 / (1.0 - s_));
+}
+
+uint64_t ZipfGenerator::Sample(Rng& rng) const {
+  if (n_ == 1) return 0;
+  while (true) {
+    double u = H(0.5) + rng.NextDouble() * scale_;
+    double x = HInverse(u);
+    uint64_t k = static_cast<uint64_t>(x + 0.5);
+    if (k < 1) k = 1;
+    if (k > n_) k = n_;
+    // Accept with the rejection-inversion criterion; acceptance rate is
+    // high for all skews of interest, so this loop terminates quickly.
+    double h_k = std::pow(static_cast<double>(k), -s_);
+    double h_int = H(static_cast<double>(k) + 0.5) -
+                   H(static_cast<double>(k) - 0.5);
+    if (rng.NextDouble() * h_int <= h_k) {
+      return k - 1;  // Ranks are 0-based for callers.
+    }
+  }
+}
+
+}  // namespace prost

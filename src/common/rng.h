@@ -1,0 +1,74 @@
+#ifndef PROST_COMMON_RNG_H_
+#define PROST_COMMON_RNG_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace prost {
+
+/// Deterministic pseudo-random number generator (xoshiro256**), seeded via
+/// SplitMix64. All randomness in the library flows through this type so
+/// that data generation, partitioning, and benchmarks are reproducible.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  /// Uniform 64-bit value.
+  uint64_t Next();
+
+  /// Uniform value in [0, bound). `bound` must be > 0.
+  uint64_t NextBounded(uint64_t bound);
+
+  /// Uniform value in [lo, hi] inclusive. Requires lo <= hi.
+  uint64_t NextInRange(uint64_t lo, uint64_t hi);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// True with probability `p` (clamped to [0,1]).
+  bool NextBernoulli(double p);
+
+  /// Fisher-Yates shuffles `values` in place.
+  template <typename T>
+  void Shuffle(std::vector<T>& values) {
+    for (size_t i = values.size(); i > 1; --i) {
+      size_t j = static_cast<size_t>(NextBounded(i));
+      using std::swap;
+      swap(values[i - 1], values[j]);
+    }
+  }
+
+ private:
+  uint64_t state_[4];
+};
+
+/// Samples from a Zipf distribution over {0, 1, ..., n-1} with skew `s`
+/// using the rejection-inversion method of Hörmann (as used by YCSB-style
+/// generators). Rank 0 is the most popular item. WatDiv-style RDF data has
+/// power-law in/out degree distributions; this is the sampler behind them.
+class ZipfGenerator {
+ public:
+  /// `n` must be >= 1; `s` (skew) must be > 0. s values near 0 approach
+  /// uniform; WatDiv-like workloads use s in [0.5, 1.5].
+  ZipfGenerator(uint64_t n, double s);
+
+  uint64_t Sample(Rng& rng) const;
+
+  uint64_t n() const { return n_; }
+  double skew() const { return s_; }
+
+ private:
+  double H(double x) const;
+  double HInverse(double x) const;
+
+  uint64_t n_;
+  double s_;
+  double h_integral_x1_;
+  double h_integral_num_items_;
+  double scale_;
+};
+
+}  // namespace prost
+
+#endif  // PROST_COMMON_RNG_H_

@@ -1,0 +1,58 @@
+#include "common/status.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace prost {
+
+const char* StatusCodeToString(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "ok";
+    case StatusCode::kInvalidArgument:
+      return "invalid_argument";
+    case StatusCode::kNotFound:
+      return "not_found";
+    case StatusCode::kAlreadyExists:
+      return "already_exists";
+    case StatusCode::kOutOfRange:
+      return "out_of_range";
+    case StatusCode::kUnimplemented:
+      return "unimplemented";
+    case StatusCode::kInternal:
+      return "internal";
+    case StatusCode::kIOError:
+      return "io_error";
+    case StatusCode::kCorruption:
+      return "corruption";
+    case StatusCode::kParseError:
+      return "parse_error";
+    case StatusCode::kResourceExhausted:
+      return "resource_exhausted";
+  }
+  return "unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "ok";
+  std::string out = StatusCodeToString(code_);
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+std::ostream& operator<<(std::ostream& os, const Status& status) {
+  return os << status.ToString();
+}
+
+namespace internal_status {
+
+void AbortWithMessage(const std::string& message) {
+  std::fprintf(stderr, "[prost fatal] %s\n", message.c_str());
+  std::abort();
+}
+
+}  // namespace internal_status
+}  // namespace prost

@@ -1,0 +1,190 @@
+#ifndef PROST_COMMON_STATUS_H_
+#define PROST_COMMON_STATUS_H_
+
+#include <ostream>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace prost {
+
+/// Canonical error codes used across the PRoST library.
+///
+/// The library does not throw exceptions across API boundaries; fallible
+/// operations return a `Status` or a `Result<T>` (RocksDB/Arrow idiom).
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kAlreadyExists = 3,
+  kOutOfRange = 4,
+  kUnimplemented = 5,
+  kInternal = 6,
+  kIOError = 7,
+  kCorruption = 8,
+  kParseError = 9,
+  kResourceExhausted = 10,
+};
+
+/// Returns the canonical lowercase name of a status code ("ok",
+/// "invalid_argument", ...). Never fails; unknown codes map to "unknown".
+const char* StatusCodeToString(StatusCode code);
+
+/// A success-or-error value. Cheap to copy in the success case (no message
+/// allocation). Construct errors through the named factory functions.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "ok" or "<code>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+/// Either a value of type `T` or an error `Status`. Accessing the value of
+/// an errored result aborts the process (programming error), so callers
+/// must check `ok()` first or use the PROST_ASSIGN_OR_RETURN macro.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value or an error Status keeps call
+  /// sites terse: `return value;` / `return Status::NotFound(...);`.
+  Result(T value) : storage_(std::move(value)) {}        // NOLINT
+  Result(Status status) : storage_(std::move(status)) {  // NOLINT
+    CheckNotOk();
+  }
+
+  bool ok() const { return std::holds_alternative<T>(storage_); }
+
+  const Status& status() const {
+    static const Status kOk;
+    if (ok()) return kOk;
+    return std::get<Status>(storage_);
+  }
+
+  const T& value() const& {
+    CheckHasValue();
+    return std::get<T>(storage_);
+  }
+  T& value() & {
+    CheckHasValue();
+    return std::get<T>(storage_);
+  }
+  T&& value() && {
+    CheckHasValue();
+    return std::get<T>(std::move(storage_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  void CheckHasValue() const {
+    if (!ok()) AbortBadAccess(std::get<Status>(storage_));
+  }
+  void CheckNotOk() const {
+    if (std::holds_alternative<Status>(storage_) &&
+        std::get<Status>(storage_).ok()) {
+      AbortOkResult();
+    }
+  }
+  [[noreturn]] static void AbortBadAccess(const Status& status);
+  [[noreturn]] static void AbortOkResult();
+
+  std::variant<T, Status> storage_;
+};
+
+namespace internal_status {
+[[noreturn]] void AbortWithMessage(const std::string& message);
+}  // namespace internal_status
+
+template <typename T>
+void Result<T>::AbortBadAccess(const Status& status) {
+  internal_status::AbortWithMessage(
+      "Result::value() called on error result: " + status.ToString());
+}
+
+template <typename T>
+void Result<T>::AbortOkResult() {
+  internal_status::AbortWithMessage(
+      "Result constructed from OK status without a value");
+}
+
+}  // namespace prost
+
+/// Propagates a non-OK Status from the current function.
+#define PROST_RETURN_IF_ERROR(expr)                 \
+  do {                                              \
+    ::prost::Status prost_status_tmp_ = (expr);     \
+    if (!prost_status_tmp_.ok()) {                  \
+      return prost_status_tmp_;                     \
+    }                                               \
+  } while (false)
+
+#define PROST_CONCAT_IMPL_(a, b) a##b
+#define PROST_CONCAT_(a, b) PROST_CONCAT_IMPL_(a, b)
+
+/// Evaluates `rexpr` (a Result<T>); on error propagates the Status, on
+/// success assigns the value to `lhs`.
+#define PROST_ASSIGN_OR_RETURN(lhs, rexpr)                              \
+  PROST_ASSIGN_OR_RETURN_IMPL_(PROST_CONCAT_(prost_result_, __LINE__), \
+                               lhs, rexpr)
+
+#define PROST_ASSIGN_OR_RETURN_IMPL_(result, lhs, rexpr) \
+  auto result = (rexpr);                                 \
+  if (!result.ok()) {                                    \
+    return result.status();                              \
+  }                                                      \
+  lhs = std::move(result).value()
+
+#endif  // PROST_COMMON_STATUS_H_

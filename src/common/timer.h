@@ -1,0 +1,31 @@
+#ifndef PROST_COMMON_TIMER_H_
+#define PROST_COMMON_TIMER_H_
+
+#include <chrono>
+
+namespace prost {
+
+/// Wall-clock stopwatch for measuring real elapsed time (loading phases,
+/// benchmark harness overhead). Simulated cluster time lives in
+/// cluster/cost_model.h, not here.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  double ElapsedMillis() const {
+    return std::chrono::duration<double, std::milli>(Clock::now() - start_)
+        .count();
+  }
+
+  double ElapsedSeconds() const { return ElapsedMillis() / 1000.0; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace prost
+
+#endif  // PROST_COMMON_TIMER_H_

@@ -1,0 +1,94 @@
+#include "core/executor.h"
+
+#include "core/modifiers.h"
+
+namespace prost::core {
+namespace {
+
+Result<engine::Relation> ScanNode(const JoinTreeNode& node, const VpStore& vp,
+                                  const PropertyTable* property_table,
+                                  const PropertyTable* reverse_property_table,
+                                  cluster::CostModel& cost) {
+  switch (node.kind) {
+    case NodeKind::kVerticalPartitioning:
+      return vp.Scan(node.patterns[0].predicate, node.patterns[0].subject,
+                     node.patterns[0].object, cost);
+    case NodeKind::kPropertyTable: {
+      if (property_table == nullptr) {
+        return Status::Internal("join tree has a PT node but no PT");
+      }
+      std::vector<PropertyTable::ColumnPattern> patterns;
+      patterns.reserve(node.patterns.size());
+      for (const NodePattern& p : node.patterns) {
+        patterns.push_back({p.predicate, p.object});
+      }
+      return property_table->Scan(node.patterns[0].subject, patterns, cost);
+    }
+    case NodeKind::kReversePropertyTable: {
+      if (reverse_property_table == nullptr) {
+        return Status::Internal("join tree has an RPT node but no RPT");
+      }
+      std::vector<PropertyTable::ColumnPattern> patterns;
+      patterns.reserve(node.patterns.size());
+      for (const NodePattern& p : node.patterns) {
+        patterns.push_back({p.predicate, p.subject});
+      }
+      return reverse_property_table->Scan(node.patterns[0].object, patterns,
+                                          cost);
+    }
+  }
+  return Status::Internal("unknown node kind");
+}
+
+}  // namespace
+
+Result<QueryResult> ExecuteJoinTree(
+    const JoinTree& tree, const sparql::Query& query, const VpStore& vp,
+    const PropertyTable* property_table,
+    const PropertyTable* reverse_property_table,
+    const engine::JoinOptions& join_options,
+    const rdf::Dictionary& dictionary, cluster::CostModel& cost) {
+  if (tree.nodes.empty()) {
+    return Status::InvalidArgument("empty join tree");
+  }
+  QueryResult result;
+  cost.ChargeQueryOverhead();
+
+  // One pipeline stage stays open across scans and broadcast joins;
+  // shuffle joins and DISTINCT insert their own stage boundaries (Spark's
+  // whole-stage pipelining).
+  cost.BeginStage("pipeline");
+  engine::Relation accumulated;
+  for (size_t i = 0; i < tree.nodes.size(); ++i) {
+    Result<engine::Relation> scanned =
+        ScanNode(tree.nodes[i], vp, property_table, reverse_property_table,
+                 cost);
+    if (!scanned.ok()) {
+      cost.EndStage();
+      return scanned.status();
+    }
+    if (i == 0) {
+      accumulated = std::move(scanned).value();
+      continue;
+    }
+    PROST_ASSIGN_OR_RETURN(
+        engine::JoinResult joined,
+        engine::HashJoin(accumulated, scanned.value(), join_options, cost));
+    result.join_strategies.push_back(joined.strategy);
+    accumulated = std::move(joined.relation);
+  }
+
+  // FILTERs and solution modifiers, pipelined into the open stage
+  // (DISTINCT inserts its own boundary inside the operator).
+  PROST_ASSIGN_OR_RETURN(accumulated,
+                         ApplyFiltersAndModifiers(std::move(accumulated),
+                                                  query, dictionary, cost));
+  cost.EndStage();
+
+  result.relation = std::move(accumulated);
+  result.simulated_millis = cost.ElapsedMillis();
+  result.counters = cost.counters();
+  return result;
+}
+
+}  // namespace prost::core

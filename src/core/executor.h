@@ -1,0 +1,57 @@
+#ifndef PROST_CORE_EXECUTOR_H_
+#define PROST_CORE_EXECUTOR_H_
+
+#include <string>
+#include <vector>
+
+#include "cluster/cost_model.h"
+#include "common/status.h"
+#include "core/join_tree.h"
+#include "core/property_table.h"
+#include "core/vp_store.h"
+#include "engine/operators.h"
+#include "engine/relation.h"
+#include "sparql/algebra.h"
+
+namespace prost::core {
+
+/// Loading-phase report (Table 1 of the paper): how long the simulated
+/// cluster spent ingesting, and the storage footprint that resulted.
+struct LoadReport {
+  double simulated_load_millis = 0;
+  double real_load_millis = 0;
+  uint64_t input_triples = 0;
+  uint64_t input_bytes = 0;
+  uint64_t storage_bytes = 0;
+};
+
+/// One executed query: the result relation, the simulated cluster time,
+/// and the counters explaining it.
+struct QueryResult {
+  engine::Relation relation;
+  double simulated_millis = 0;
+  cluster::ExecutionCounters counters;
+  std::vector<engine::JoinStrategy> join_strategies;
+
+  uint64_t num_rows() const { return relation.TotalRows(); }
+};
+
+/// Executes a Join Tree bottom-up (§3.2): each node's sub-query is
+/// materialized from its storage structure in its own stage, then the
+/// intermediate results are folded together with hash joins (broadcast or
+/// shuffle, per `join_options`). The final projection / DISTINCT / LIMIT
+/// modifiers of `query` are applied at the end.
+///
+/// `property_table` / `reverse_property_table` may be null when the tree
+/// contains no node of that kind. The cost model must be freshly reset;
+/// on return it carries the query's simulated time.
+Result<QueryResult> ExecuteJoinTree(
+    const JoinTree& tree, const sparql::Query& query, const VpStore& vp,
+    const PropertyTable* property_table,
+    const PropertyTable* reverse_property_table,
+    const engine::JoinOptions& join_options,
+    const rdf::Dictionary& dictionary, cluster::CostModel& cost);
+
+}  // namespace prost::core
+
+#endif  // PROST_CORE_EXECUTOR_H_

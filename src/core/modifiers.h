@@ -1,0 +1,32 @@
+#ifndef PROST_CORE_MODIFIERS_H_
+#define PROST_CORE_MODIFIERS_H_
+
+#include "cluster/cost_model.h"
+#include "common/status.h"
+#include "engine/relation.h"
+#include "rdf/dictionary.h"
+#include "sparql/algebra.h"
+
+namespace prost::core {
+
+/// Applies a query's FILTER constraints and solution modifiers to a
+/// relation of bound variables, in SPARQL evaluation order:
+///
+///   FILTER → projection → DISTINCT → ORDER BY → OFFSET → LIMIT
+///
+/// Shared by PRoST and all baselines so the four systems implement the
+/// modifier semantics once. Comparison semantics follow SPARQL's operator
+/// mapping pragmatically: numeric when both sides are numeric literals
+/// (xsd integer/decimal/double/float), term equality for `=`/`!=`
+/// otherwise, and lexical-form ordering for `<`/`<=`/`>`/`>=` on
+/// non-numeric terms.
+///
+/// ORDER BY materializes the result on the driver (like Spark's collect)
+/// into chunk 0, preserving row order for consumers.
+Result<engine::Relation> ApplyFiltersAndModifiers(
+    engine::Relation relation, const sparql::Query& query,
+    const rdf::Dictionary& dictionary, cluster::CostModel& cost);
+
+}  // namespace prost::core
+
+#endif  // PROST_CORE_MODIFIERS_H_

@@ -1,0 +1,42 @@
+#ifndef PROST_CORE_PATTERN_TERM_H_
+#define PROST_CORE_PATTERN_TERM_H_
+
+#include <string>
+#include <utility>
+
+#include "rdf/triple.h"
+
+namespace prost::core {
+
+/// A triple-pattern position resolved against the dictionary: either a
+/// variable (carrying its name) or a constant term id. A constant whose
+/// term does not occur in the dataset resolves to id 0, which matches
+/// nothing (the query still executes, with an empty answer, exactly like
+/// the real systems scanning a Parquet file for an absent value).
+struct PatternTerm {
+  bool is_variable = false;
+  std::string name;         // Variable name when is_variable.
+  rdf::TermId id = rdf::kNullTermId;  // Constant id otherwise.
+
+  static PatternTerm Var(std::string name) {
+    PatternTerm term;
+    term.is_variable = true;
+    term.name = std::move(name);
+    return term;
+  }
+  static PatternTerm Const(rdf::TermId id) {
+    PatternTerm term;
+    term.is_variable = false;
+    term.id = id;
+    return term;
+  }
+
+  /// True for a constant that cannot match any triple.
+  bool IsImpossibleConstant() const {
+    return !is_variable && id == rdf::kNullTermId;
+  }
+};
+
+}  // namespace prost::core
+
+#endif  // PROST_CORE_PATTERN_TERM_H_

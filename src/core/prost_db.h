@@ -1,0 +1,117 @@
+#ifndef PROST_CORE_PROST_DB_H_
+#define PROST_CORE_PROST_DB_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "cluster/config.h"
+#include "common/status.h"
+#include "core/executor.h"
+#include "core/property_table.h"
+#include "core/statistics.h"
+#include "core/translator.h"
+#include "core/vp_store.h"
+#include "engine/operators.h"
+#include "rdf/graph.h"
+#include "sparql/algebra.h"
+
+namespace prost::core {
+
+/// PRoST: the paper's system. Stores an RDF graph twice — Vertical
+/// Partitioning tables and a Property Table — translates SPARQL into Join
+/// Trees with statistics-based priorities, and executes them on the
+/// simulated Spark cluster.
+///
+///   prost::core::ProstDb::Options options;
+///   auto db = prost::core::ProstDb::LoadFromNTriples(ntriples, options);
+///   auto result = db->ExecuteSparql("SELECT * WHERE { ?s <p> ?o . }");
+class ProstDb {
+ public:
+  struct Options {
+    cluster::ClusterConfig cluster;
+    /// Disables the Property Table entirely (Figure 2's "VP only" bars):
+    /// no PT is built and every pattern becomes a VP node.
+    bool use_property_table = true;
+    /// §5 future work: also build the object-keyed Property Table.
+    bool use_reverse_property_table = false;
+    /// A1 ablation: disable §3.3 statistics-based node ordering.
+    bool enable_stats_ordering = true;
+    /// §5 future work: collect pairwise subject-overlap statistics at
+    /// load (extra loading cost) for sharper Join Tree estimates.
+    bool collect_precise_statistics = false;
+    engine::JoinOptions join;
+  };
+
+  /// Loads from an already-encoded graph. The graph is deduplicated, the
+  /// statistics pass runs, and both storage structures are built; the
+  /// simulated loading cost lands in load_report().
+  static Result<std::unique_ptr<ProstDb>> LoadFromGraph(
+      rdf::EncodedGraph graph, const Options& options);
+
+  /// Loads from a shared graph (used when several systems are built over
+  /// the same dataset, e.g. the comparison benches). The graph must
+  /// already be deduplicated (rdf::EncodedGraph::SortAndDedupe).
+  static Result<std::unique_ptr<ProstDb>> LoadFromSharedGraph(
+      std::shared_ptr<const rdf::EncodedGraph> graph, const Options& options);
+
+  /// Parses N-Triples text and loads it.
+  static Result<std::unique_ptr<ProstDb>> LoadFromNTriples(
+      std::string_view text, const Options& options);
+
+  /// Reopens a database persisted by PersistTo: reads the lexical
+  /// columnar files back into a fresh dictionary, reassembles the VP
+  /// tables and Property Table(s), and recomputes the §3.3 statistics
+  /// from the VP tables. Which structures exist is taken from the
+  /// persisted manifest, overriding `options` flags.
+  static Result<std::unique_ptr<ProstDb>> OpenFrom(const std::string& dir,
+                                                   Options options);
+
+  /// Plans a query into a Join Tree without executing (EXPLAIN).
+  Result<JoinTree> Plan(const sparql::Query& query) const;
+
+  /// Executes a parsed query. Each call runs on a fresh simulated clock.
+  Result<QueryResult> Execute(const sparql::Query& query) const;
+
+  /// Parses and executes a SPARQL string.
+  Result<QueryResult> ExecuteSparql(std::string_view sparql) const;
+
+  /// Decodes a result relation's rows back to lexical terms, in the
+  /// relation's column order.
+  Result<std::vector<std::vector<std::string>>> DecodeRows(
+      const engine::Relation& relation) const;
+
+  /// Persists the database (VP + PT as lexical columnar files) under
+  /// `dir` and returns the total bytes written.
+  Result<uint64_t> PersistTo(const std::string& dir) const;
+
+  const LoadReport& load_report() const { return load_report_; }
+  const DatasetStatistics& statistics() const { return stats_; }
+  const rdf::Dictionary& dictionary() const { return graph_->dictionary(); }
+  const Options& options() const { return options_; }
+  const VpStore& vp_store() const { return vp_; }
+  const PropertyTable* property_table() const {
+    return options_.use_property_table ? &pt_ : nullptr;
+  }
+
+ private:
+  ProstDb() = default;
+
+  Options options_;
+  std::shared_ptr<const rdf::EncodedGraph> graph_;
+  DatasetStatistics stats_;
+  VpStore vp_;
+  PropertyTable pt_;
+  PropertyTable reverse_pt_;
+  LoadReport load_report_;
+};
+
+/// Estimated N-Triples text size of a graph (sum of lexical lengths plus
+/// separators) — the "input bytes" every loader's simulated cost starts
+/// from.
+uint64_t EstimateNTriplesBytes(const rdf::EncodedGraph& graph);
+
+}  // namespace prost::core
+
+#endif  // PROST_CORE_PROST_DB_H_

@@ -1,0 +1,199 @@
+#include "core/vp_store.h"
+
+#include "columnar/lexical_format.h"
+#include "common/hash.h"
+#include "common/io.h"
+#include "common/str_util.h"
+
+namespace prost::core {
+
+using columnar::Column;
+using columnar::ColumnKind;
+using columnar::Field;
+using columnar::IdVector;
+using columnar::Schema;
+using columnar::StoredTable;
+using engine::Relation;
+using engine::RelationChunk;
+
+VpStore VpStore::Build(const rdf::EncodedGraph& graph, uint32_t num_workers) {
+  VpStore store;
+  store.num_workers_ = num_workers;
+
+  // Per predicate, per worker: the (s, o) column pair.
+  struct Builder {
+    std::vector<IdVector> subjects;
+    std::vector<IdVector> objects;
+  };
+  std::map<rdf::TermId, Builder> builders;
+  for (const rdf::EncodedTriple& t : graph.triples()) {
+    Builder& b = builders[t.predicate];
+    if (b.subjects.empty()) {
+      b.subjects.resize(num_workers);
+      b.objects.resize(num_workers);
+    }
+    uint32_t w = static_cast<uint32_t>(Mix64(t.subject) % num_workers);
+    b.subjects[w].push_back(t.subject);
+    b.objects[w].push_back(t.object);
+  }
+
+  Schema schema({Field{"s", ColumnKind::kId}, Field{"o", ColumnKind::kId}});
+  std::vector<uint32_t> term_lengths = graph.dictionary().TermLengths();
+  for (auto& [predicate, b] : builders) {
+    PredicateTable table;
+    table.partitions.reserve(num_workers);
+    table.partition_bytes.reserve(num_workers);
+    for (uint32_t w = 0; w < num_workers; ++w) {
+      table.total_rows += b.subjects[w].size();
+      std::vector<Column> columns;
+      columns.emplace_back(std::move(b.subjects[w]));
+      columns.emplace_back(std::move(b.objects[w]));
+      table.partitions.emplace_back(schema, std::move(columns));
+      // Sizes are in the lexical (Parquet string) form — what the
+      // simulated Spark scans and what its planner sees.
+      const StoredTable& part = table.partitions.back();
+      table.partition_bytes.push_back(
+          LexicalColumnSizeEstimate(part.column(0), term_lengths) +
+          LexicalColumnSizeEstimate(part.column(1), term_lengths));
+    }
+    store.tables_.emplace(predicate, std::move(table));
+  }
+  return store;
+}
+
+VpStore VpStore::Assemble(uint32_t num_workers,
+                          std::map<rdf::TermId, PredicateTable> tables) {
+  VpStore store;
+  store.num_workers_ = num_workers;
+  store.tables_ = std::move(tables);
+  return store;
+}
+
+const VpStore::PredicateTable* VpStore::Find(rdf::TermId predicate) const {
+  auto it = tables_.find(predicate);
+  return it == tables_.end() ? nullptr : &it->second;
+}
+
+Result<Relation> VpStore::Scan(rdf::TermId predicate,
+                               const PatternTerm& subject,
+                               const PatternTerm& object,
+                               cluster::CostModel& cost) const {
+  return ScanTable(Find(predicate), subject, object, num_workers_, cost);
+}
+
+Result<Relation> VpStore::ScanTable(const PredicateTable* table,
+                                    const PatternTerm& subject,
+                                    const PatternTerm& object,
+                                    uint32_t num_workers,
+                                    cluster::CostModel& cost) {
+  // Output columns: subject variable first, then object variable (when
+  // distinct). `?x p ?x` yields a single column with s==o enforced.
+  std::vector<std::string> names;
+  if (subject.is_variable) names.push_back(subject.name);
+  bool same_var = subject.is_variable && object.is_variable &&
+                  subject.name == object.name;
+  if (object.is_variable && !same_var) names.push_back(object.name);
+  if (names.empty()) {
+    return Status::Unimplemented(
+        "triple patterns without variables are not supported");
+  }
+
+  Relation output(names, num_workers);
+  if (table == nullptr) {
+    output.set_planner_bytes(0);
+    return output;  // Unknown predicate: empty relation, nothing scanned.
+  }
+
+  // Planner sees the base table's serialized size (filters do not
+  // discount it — Spark 2.1 static planning).
+  uint64_t planner_bytes = 0;
+  for (uint64_t bytes : table->partition_bytes) planner_bytes += bytes;
+  output.set_planner_bytes(planner_bytes);
+
+  for (uint32_t w = 0; w < num_workers; ++w) {
+    const StoredTable& part = table->partitions[w];
+    cost.ChargeScan(w, table->partition_bytes[w]);
+    const IdVector& subjects = part.column(0).ids();
+    const IdVector& objects = part.column(1).ids();
+    RelationChunk& out = output.mutable_chunks()[w];
+    uint64_t emitted = 0;
+    for (size_t r = 0; r < subjects.size(); ++r) {
+      if (!subject.is_variable && subjects[r] != subject.id) continue;
+      if (!object.is_variable && objects[r] != object.id) continue;
+      if (same_var && subjects[r] != objects[r]) continue;
+      size_t c = 0;
+      if (subject.is_variable) out.columns[c++].push_back(subjects[r]);
+      if (object.is_variable && !same_var) {
+        out.columns[c].push_back(objects[r]);
+      }
+      ++emitted;
+    }
+    cost.ChargeCpuRows(w, subjects.size() + emitted);
+  }
+  // VP partitions are subject-hash placed, so a variable subject keeps
+  // that co-location in the output.
+  if (subject.is_variable) output.set_hash_partitioned_by(0);
+  return output;
+}
+
+VpStore::PredicateTable VpStore::BuildTable(
+    const std::vector<std::pair<rdf::TermId, rdf::TermId>>& rows,
+    uint32_t num_workers, const std::vector<uint32_t>& term_lengths) {
+  std::vector<IdVector> subjects(num_workers);
+  std::vector<IdVector> objects(num_workers);
+  for (const auto& [s, o] : rows) {
+    uint32_t w = static_cast<uint32_t>(Mix64(s) % num_workers);
+    subjects[w].push_back(s);
+    objects[w].push_back(o);
+  }
+  Schema schema({Field{"s", ColumnKind::kId}, Field{"o", ColumnKind::kId}});
+  PredicateTable table;
+  table.partitions.reserve(num_workers);
+  for (uint32_t w = 0; w < num_workers; ++w) {
+    table.total_rows += subjects[w].size();
+    std::vector<Column> columns;
+    columns.emplace_back(std::move(subjects[w]));
+    columns.emplace_back(std::move(objects[w]));
+    table.partitions.emplace_back(schema, std::move(columns));
+    const StoredTable& part = table.partitions.back();
+    table.partition_bytes.push_back(
+        LexicalColumnSizeEstimate(part.column(0), term_lengths) +
+        LexicalColumnSizeEstimate(part.column(1), term_lengths));
+  }
+  return table;
+}
+
+uint64_t VpStore::TotalBytesEstimate() const {
+  uint64_t total = 0;
+  for (const auto& [predicate, table] : tables_) {
+    for (uint64_t bytes : table.partition_bytes) total += bytes;
+  }
+  return total;
+}
+
+Status VpStore::WriteTo(const std::string& dir,
+                        const rdf::Dictionary& dictionary) const {
+  PROST_RETURN_IF_ERROR(MakeDirectories(dir));
+  // Files are numbered sequentially; the manifest maps each number to
+  // its predicate's lexical form so the directory is self-describing.
+  std::string manifest;
+  uint64_t index = 0;
+  for (const auto& [predicate, table] : tables_) {
+    PROST_ASSIGN_OR_RETURN(std::string_view lexical,
+                           dictionary.LookupId(predicate));
+    manifest += StrFormat("%llu\t%s\n",
+                          static_cast<unsigned long long>(index),
+                          std::string(lexical).c_str());
+    for (uint32_t w = 0; w < num_workers_; ++w) {
+      std::string path = StrFormat(
+          "%s/vp_%llu_p%u.tbl", dir.c_str(),
+          static_cast<unsigned long long>(index), w);
+      PROST_RETURN_IF_ERROR(columnar::WriteLexicalTableFile(
+          table.partitions[w], dictionary, path));
+    }
+    ++index;
+  }
+  return WriteStringToFile(dir + "/vp_manifest.txt", manifest);
+}
+
+}  // namespace prost::core

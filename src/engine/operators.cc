@@ -1,0 +1,427 @@
+#include "engine/operators.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/hash.h"
+#include "common/str_util.h"
+
+namespace prost::engine {
+namespace {
+
+/// Column indices of the shared join variables in each relation, aligned
+/// pairwise.
+struct SharedColumns {
+  std::vector<int> left;
+  std::vector<int> right;
+};
+
+SharedColumns FindSharedColumns(const Relation& left, const Relation& right) {
+  SharedColumns shared;
+  for (size_t i = 0; i < left.column_names().size(); ++i) {
+    int j = right.ColumnIndex(left.column_names()[i]);
+    if (j >= 0) {
+      shared.left.push_back(static_cast<int>(i));
+      shared.right.push_back(j);
+    }
+  }
+  return shared;
+}
+
+uint64_t KeyHash(const RelationChunk& chunk, const std::vector<int>& key_cols,
+                 size_t row) {
+  uint64_t h = 0x9ae16a3b2f90404fULL;
+  for (int c : key_cols) {
+    h = HashCombine(h, chunk.columns[static_cast<size_t>(c)][row]);
+  }
+  return h;
+}
+
+bool KeysEqual(const RelationChunk& a, const std::vector<int>& a_cols,
+               size_t a_row, const RelationChunk& b,
+               const std::vector<int>& b_cols, size_t b_row) {
+  for (size_t k = 0; k < a_cols.size(); ++k) {
+    if (a.columns[static_cast<size_t>(a_cols[k])][a_row] !=
+        b.columns[static_cast<size_t>(b_cols[k])][b_row]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Output column layout: all of build side, then probe side minus shared.
+struct OutputLayout {
+  std::vector<std::string> names;
+  std::vector<int> probe_extra_cols;  // probe columns not shared
+};
+
+OutputLayout MakeOutputLayout(const Relation& build, const Relation& probe,
+                              const SharedColumns& shared_build_probe) {
+  OutputLayout layout;
+  layout.names = build.column_names();
+  std::unordered_set<int> shared_probe(shared_build_probe.right.begin(),
+                                       shared_build_probe.right.end());
+  for (size_t j = 0; j < probe.column_names().size(); ++j) {
+    if (!shared_probe.count(static_cast<int>(j))) {
+      layout.probe_extra_cols.push_back(static_cast<int>(j));
+      layout.names.push_back(probe.column_names()[j]);
+    }
+  }
+  return layout;
+}
+
+/// Joins one build chunk against one probe chunk into `out`.
+/// Returns the number of emitted rows.
+uint64_t JoinChunks(const RelationChunk& build,
+                    const std::vector<int>& build_keys,
+                    const RelationChunk& probe,
+                    const std::vector<int>& probe_keys,
+                    const std::vector<int>& probe_extra_cols,
+                    RelationChunk& out) {
+  std::unordered_multimap<uint64_t, size_t> table;
+  table.reserve(build.num_rows());
+  for (size_t r = 0; r < build.num_rows(); ++r) {
+    table.emplace(KeyHash(build, build_keys, r), r);
+  }
+  uint64_t emitted = 0;
+  size_t build_width = build.columns.size();
+  for (size_t pr = 0; pr < probe.num_rows(); ++pr) {
+    uint64_t h = KeyHash(probe, probe_keys, pr);
+    auto [begin, end] = table.equal_range(h);
+    for (auto it = begin; it != end; ++it) {
+      size_t br = it->second;
+      if (!KeysEqual(build, build_keys, br, probe, probe_keys, pr)) continue;
+      for (size_t c = 0; c < build_width; ++c) {
+        out.columns[c].push_back(build.columns[c][br]);
+      }
+      for (size_t k = 0; k < probe_extra_cols.size(); ++k) {
+        out.columns[build_width + k].push_back(
+            probe.columns[static_cast<size_t>(probe_extra_cols[k])][pr]);
+      }
+      ++emitted;
+    }
+  }
+  return emitted;
+}
+
+/// Reorders `input`'s columns into `target_names` order (names must be a
+/// permutation of the input's). Keeps chunk placement; remaps the
+/// partitioning column and preserves the planner estimate.
+Relation ReorderColumns(Relation&& input,
+                        const std::vector<std::string>& target_names) {
+  if (input.column_names() == target_names) return std::move(input);
+  std::vector<int> source_of(target_names.size());
+  for (size_t c = 0; c < target_names.size(); ++c) {
+    source_of[c] = input.ColumnIndex(target_names[c]);
+  }
+  Relation output(target_names, input.num_chunks());
+  for (uint32_t w = 0; w < input.num_chunks(); ++w) {
+    for (size_t c = 0; c < target_names.size(); ++c) {
+      output.mutable_chunks()[w].columns[c] = std::move(
+          input.mutable_chunks()[w].columns[static_cast<size_t>(
+              source_of[c])]);
+    }
+  }
+  if (input.hash_partitioned_by() >= 0) {
+    const std::string& part_name =
+        input.column_names()[static_cast<size_t>(
+            input.hash_partitioned_by())];
+    output.set_hash_partitioned_by(output.ColumnIndex(part_name));
+  }
+  if (input.planner_bytes_set()) {
+    cluster::ClusterConfig dummy;
+    output.set_planner_bytes(input.PlannerBytes(dummy));
+  }
+  return output;
+}
+
+/// Gathers every row of `relation` into a single chunk (for broadcast).
+RelationChunk GatherAll(const Relation& relation) {
+  RelationChunk gathered;
+  gathered.columns.resize(relation.num_columns());
+  for (const RelationChunk& chunk : relation.chunks()) {
+    for (size_t c = 0; c < chunk.columns.size(); ++c) {
+      gathered.columns[c].insert(gathered.columns[c].end(),
+                                 chunk.columns[c].begin(),
+                                 chunk.columns[c].end());
+    }
+  }
+  return gathered;
+}
+
+}  // namespace
+
+Relation RepartitionByColumn(const Relation& input, int column_index,
+                             uint32_t num_workers,
+                             cluster::CostModel& cost) {
+  if (input.hash_partitioned_by() == column_index &&
+      input.num_chunks() == num_workers) {
+    return input;  // Already placed correctly; free.
+  }
+  cost.ChargeShuffle(input.EstimatedBytes(cost.config()));
+  Relation output(input.column_names(), num_workers);
+  for (const RelationChunk& chunk : input.chunks()) {
+    for (size_t r = 0; r < chunk.num_rows(); ++r) {
+      uint32_t target = static_cast<uint32_t>(
+          Mix64(chunk.columns[static_cast<size_t>(column_index)][r]) %
+          num_workers);
+      RelationChunk& out = output.mutable_chunks()[target];
+      for (size_t c = 0; c < chunk.columns.size(); ++c) {
+        out.columns[c].push_back(chunk.columns[c][r]);
+      }
+    }
+  }
+  output.set_hash_partitioned_by(column_index);
+  return output;
+}
+
+Result<JoinResult> HashJoin(const Relation& left, const Relation& right,
+                            const JoinOptions& options,
+                            cluster::CostModel& cost) {
+  SharedColumns shared = FindSharedColumns(left, right);
+  if (shared.left.empty()) {
+    return Status::InvalidArgument(
+        "join requires at least one shared column; got [" +
+        StrJoin(left.column_names(), ",") + "] vs [" +
+        StrJoin(right.column_names(), ",") + "]");
+  }
+  const cluster::ClusterConfig& config = cost.config();
+  // Broadcast planning uses the *planner* estimates (base-relation sizes;
+  // join outputs are "unknown" and never broadcast — Spark 2.1 semantics).
+  uint64_t left_planner = left.PlannerBytes(config);
+  uint64_t right_planner = right.PlannerBytes(config);
+  uint32_t num_workers = config.num_workers;
+  uint64_t threshold = options.broadcast_threshold_bytes != 0
+                           ? options.broadcast_threshold_bytes
+                           : config.broadcast_threshold_bytes;
+
+  bool broadcast = options.allow_broadcast &&
+                   std::min(left_planner, right_planner) <= threshold;
+
+  if (broadcast) {
+    // Broadcast the (planner-)smaller side; the bigger side never moves.
+    const bool left_is_small = left_planner <= right_planner;
+    const Relation& small = left_is_small ? left : right;
+    const Relation& big = left_is_small ? right : left;
+
+    SharedColumns small_big = FindSharedColumns(small, big);
+    OutputLayout layout = MakeOutputLayout(small, big, small_big);
+
+    // Pipelined into the caller's open stage: no stage boundary.
+    cost.ChargeBroadcast(small.EstimatedBytes(config));
+    RelationChunk small_all = GatherAll(small);
+
+    Relation output(layout.names, big.num_chunks());
+    for (uint32_t w = 0; w < big.num_chunks(); ++w) {
+      const RelationChunk& big_chunk = big.chunks()[w];
+      uint64_t emitted =
+          JoinChunks(small_all, small_big.left, big_chunk, small_big.right,
+                     layout.probe_extra_cols, output.mutable_chunks()[w]);
+      // Every worker builds over the full broadcast relation and probes
+      // its local slice of the big side.
+      cost.ChargeCpuRows(w, small_all.num_rows() + big_chunk.num_rows() +
+                                emitted);
+    }
+
+    // The big side's placement is preserved, so its partitioning column
+    // (if any) still holds in the output.
+    if (big.hash_partitioned_by() >= 0) {
+      const std::string& part_name =
+          big.column_names()[static_cast<size_t>(big.hash_partitioned_by())];
+      int out_index = output.ColumnIndex(part_name);
+      output.set_hash_partitioned_by(out_index);
+    }
+    output.set_planner_bytes(Relation::kUnknownPlannerBytes);
+    // Canonical output layout is left-major regardless of which side was
+    // broadcast, so plans are insensitive to the physical strategy.
+    SharedColumns left_right = FindSharedColumns(left, right);
+    OutputLayout canonical = MakeOutputLayout(left, right, left_right);
+    return JoinResult{ReorderColumns(std::move(output), canonical.names),
+                      JoinStrategy::kBroadcast};
+  }
+
+  // Shuffle join: a stage boundary. Close the caller's pipeline stage,
+  // open the post-shuffle stage, and leave it open for downstream work.
+  cost.EndStage();
+  cost.BeginStage("shuffle_join");
+  Relation left_parts = options.reuse_partitioning
+                            ? RepartitionByColumn(left, shared.left[0],
+                                                  num_workers, cost)
+                            : [&] {
+                                Relation copy = left;
+                                copy.set_hash_partitioned_by(-1);
+                                return RepartitionByColumn(copy, shared.left[0],
+                                                           num_workers, cost);
+                              }();
+  Relation right_parts = options.reuse_partitioning
+                             ? RepartitionByColumn(right, shared.right[0],
+                                                   num_workers, cost)
+                             : [&] {
+                                 Relation copy = right;
+                                 copy.set_hash_partitioned_by(-1);
+                                 return RepartitionByColumn(
+                                     copy, shared.right[0], num_workers, cost);
+                               }();
+
+  OutputLayout layout = MakeOutputLayout(left_parts, right_parts, shared);
+  Relation output(layout.names, num_workers);
+  for (uint32_t w = 0; w < num_workers; ++w) {
+    const RelationChunk& l = left_parts.chunks()[w];
+    const RelationChunk& r = right_parts.chunks()[w];
+    uint64_t emitted = JoinChunks(l, shared.left, r, shared.right,
+                                  layout.probe_extra_cols,
+                                  output.mutable_chunks()[w]);
+    cost.ChargeCpuRows(w, l.num_rows() + r.num_rows() + emitted);
+  }
+  output.set_hash_partitioned_by(shared.left[0]);
+  output.set_planner_bytes(Relation::kUnknownPlannerBytes);
+  return JoinResult{std::move(output), JoinStrategy::kShuffle};
+}
+
+Result<Relation> Filter(const Relation& input, const std::string& column_name,
+                        TermId value, cluster::CostModel& cost) {
+  int column = input.ColumnIndex(column_name);
+  if (column < 0) {
+    return Status::InvalidArgument("filter on unknown column " + column_name);
+  }
+  Relation output(input.column_names(), input.num_chunks());
+  output.set_hash_partitioned_by(input.hash_partitioned_by());
+  // Spark 2.1 static planning: filters do not discount sizeInBytes.
+  if (input.planner_bytes_set()) {
+    output.set_planner_bytes(input.PlannerBytes(cost.config()));
+  }
+  for (uint32_t w = 0; w < input.num_chunks(); ++w) {
+    const RelationChunk& chunk = input.chunks()[w];
+    RelationChunk& out = output.mutable_chunks()[w];
+    for (size_t r = 0; r < chunk.num_rows(); ++r) {
+      if (chunk.columns[static_cast<size_t>(column)][r] != value) continue;
+      for (size_t c = 0; c < chunk.columns.size(); ++c) {
+        out.columns[c].push_back(chunk.columns[c][r]);
+      }
+    }
+    cost.ChargeCpuRows(w, chunk.num_rows());
+  }
+  return output;
+}
+
+Result<Relation> Project(const Relation& input,
+                         const std::vector<std::string>& column_names,
+                         cluster::CostModel& cost) {
+  std::vector<int> indices;
+  indices.reserve(column_names.size());
+  std::unordered_set<std::string> seen;
+  for (const std::string& name : column_names) {
+    int index = input.ColumnIndex(name);
+    if (index < 0) {
+      return Status::InvalidArgument("project on unknown column " + name);
+    }
+    if (!seen.insert(name).second) {
+      return Status::InvalidArgument("duplicate projected column " + name);
+    }
+    indices.push_back(index);
+  }
+  Relation output(column_names, input.num_chunks());
+  for (uint32_t w = 0; w < input.num_chunks(); ++w) {
+    const RelationChunk& chunk = input.chunks()[w];
+    RelationChunk& out = output.mutable_chunks()[w];
+    for (size_t c = 0; c < indices.size(); ++c) {
+      out.columns[c] = chunk.columns[static_cast<size_t>(indices[c])];
+    }
+    cost.ChargeCpuRows(w, chunk.num_rows());
+  }
+  // Projection keeps rows in place; partition column survives if selected.
+  if (input.hash_partitioned_by() >= 0) {
+    const std::string& part_name =
+        input.column_names()[static_cast<size_t>(input.hash_partitioned_by())];
+    output.set_hash_partitioned_by(output.ColumnIndex(part_name));
+  }
+  if (input.planner_bytes_set()) {
+    output.set_planner_bytes(input.PlannerBytes(cost.config()));
+  }
+  return output;
+}
+
+Result<Relation> Distinct(const Relation& input, cluster::CostModel& cost) {
+  // Stage boundary, like a shuffle join: close the caller's pipeline
+  // stage, run the distinct exchange in a new one, leave it open.
+  cost.EndStage();
+  cost.BeginStage("distinct");
+  // Shuffle by full-row hash so duplicates co-locate, then dedupe locally.
+  cost.ChargeShuffle(input.EstimatedBytes(cost.config()));
+  uint32_t num_workers = cost.config().num_workers;
+  Relation shuffled(input.column_names(), num_workers);
+  for (const RelationChunk& chunk : input.chunks()) {
+    for (size_t r = 0; r < chunk.num_rows(); ++r) {
+      uint64_t h = 0x51ed270b9a3e11c7ULL;
+      for (const IdVector& column : chunk.columns) {
+        h = HashCombine(h, column[r]);
+      }
+      RelationChunk& out = shuffled.mutable_chunks()[h % num_workers];
+      for (size_t c = 0; c < chunk.columns.size(); ++c) {
+        out.columns[c].push_back(chunk.columns[c][r]);
+      }
+    }
+  }
+  Relation output(input.column_names(), num_workers);
+  for (uint32_t w = 0; w < num_workers; ++w) {
+    const RelationChunk& chunk = shuffled.chunks()[w];
+    RelationChunk& out = output.mutable_chunks()[w];
+    std::unordered_set<std::string> seen;
+    seen.reserve(chunk.num_rows());
+    std::string key;
+    for (size_t r = 0; r < chunk.num_rows(); ++r) {
+      key.clear();
+      for (const IdVector& column : chunk.columns) {
+        key.append(reinterpret_cast<const char*>(&column[r]),
+                   sizeof(TermId));
+      }
+      if (!seen.insert(key).second) continue;
+      for (size_t c = 0; c < chunk.columns.size(); ++c) {
+        out.columns[c].push_back(chunk.columns[c][r]);
+      }
+    }
+    cost.ChargeCpuRows(w, chunk.num_rows());
+  }
+  output.set_planner_bytes(Relation::kUnknownPlannerBytes);
+  return output;
+}
+
+Relation Limit(const Relation& input, uint64_t limit) {
+  Relation output(input.column_names(), input.num_chunks());
+  uint64_t taken = 0;
+  for (uint32_t w = 0; w < input.num_chunks() && taken < limit; ++w) {
+    const RelationChunk& chunk = input.chunks()[w];
+    RelationChunk& out = output.mutable_chunks()[w];
+    size_t take = static_cast<size_t>(
+        std::min<uint64_t>(chunk.num_rows(), limit - taken));
+    for (size_t c = 0; c < chunk.columns.size(); ++c) {
+      out.columns[c].assign(chunk.columns[c].begin(),
+                            chunk.columns[c].begin() + take);
+    }
+    taken += take;
+  }
+  return output;
+}
+
+Result<Relation> Union(const Relation& a, const Relation& b) {
+  if (a.column_names() != b.column_names()) {
+    return Status::InvalidArgument("union requires identical column names");
+  }
+  if (a.num_chunks() != b.num_chunks()) {
+    return Status::InvalidArgument("union requires equal chunk counts");
+  }
+  Relation output(a.column_names(), a.num_chunks());
+  for (uint32_t w = 0; w < a.num_chunks(); ++w) {
+    RelationChunk& out = output.mutable_chunks()[w];
+    for (size_t c = 0; c < out.columns.size(); ++c) {
+      out.columns[c] = a.chunks()[w].columns[c];
+      out.columns[c].insert(out.columns[c].end(),
+                            b.chunks()[w].columns[c].begin(),
+                            b.chunks()[w].columns[c].end());
+    }
+  }
+  return output;
+}
+
+}  // namespace prost::engine

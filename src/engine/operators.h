@@ -1,0 +1,91 @@
+#ifndef PROST_ENGINE_OPERATORS_H_
+#define PROST_ENGINE_OPERATORS_H_
+
+#include <string>
+#include <vector>
+
+#include "cluster/cost_model.h"
+#include "common/status.h"
+#include "engine/relation.h"
+
+namespace prost::engine {
+
+/// Join-strategy knobs — the engine's stand-in for Catalyst's physical
+/// planning (§3.3: "the optimizer can choose the type of joins to perform,
+/// for example if one of the relations involved is small, a broadcast join
+/// will be performed").
+struct JoinOptions {
+  /// Relations whose *planner* estimate (Relation::PlannerBytes) is at or
+  /// below this are broadcast instead of shuffled. 0 means "use the
+  /// cluster config's broadcast_threshold_bytes" (the common case — the
+  /// threshold scales with the simulated cluster).
+  uint64_t broadcast_threshold_bytes = 0;
+
+  /// Disables broadcast joins entirely (A2 ablation; also the SPARQLGX
+  /// baseline, which joins plain RDDs without Catalyst).
+  bool allow_broadcast = true;
+
+  /// When true, a side that is already hash-partitioned on the join key
+  /// skips its shuffle. Spark 2.1 gets no such guarantee from
+  /// subject-partitioned Parquet files (PRoST does not use bucketing), so
+  /// the faithful default is false; the A3 ablation bench shows what
+  /// partitioning-aware planning would buy.
+  bool reuse_partitioning = false;
+};
+
+/// Which physical strategy a join ended up using (exposed for tests and
+/// the ablation benches).
+enum class JoinStrategy {
+  kBroadcast,
+  kShuffle,
+};
+
+struct JoinResult {
+  Relation relation;
+  JoinStrategy strategy = JoinStrategy::kShuffle;
+};
+
+/// Hash equi-join on all column names shared between `left` and `right`.
+/// Errors if they share no column (the Join Tree translator never emits
+/// cross products).
+///
+/// Stage protocol (Spark pipelining): the caller keeps one stage open for
+/// the whole query pipeline. A *broadcast* join charges its work into the
+/// open stage — in Spark it does not introduce a stage boundary. A
+/// *shuffle* join closes the open stage (the map side ends there), opens
+/// a new one carrying the shuffle transfer and the build/probe work, and
+/// leaves it open for downstream operators.
+Result<JoinResult> HashJoin(const Relation& left, const Relation& right,
+                            const JoinOptions& options,
+                            cluster::CostModel& cost);
+
+/// Keeps rows where column `column_name` equals `value`.
+Result<Relation> Filter(const Relation& input, const std::string& column_name,
+                        TermId value, cluster::CostModel& cost);
+
+/// Keeps only `column_names`, in that order. Duplicate and unknown names
+/// are errors.
+Result<Relation> Project(const Relation& input,
+                         const std::vector<std::string>& column_names,
+                         cluster::CostModel& cost);
+
+/// Removes duplicate rows globally (shuffles by row hash, then dedupes
+/// per worker).
+Result<Relation> Distinct(const Relation& input, cluster::CostModel& cost);
+
+/// Keeps at most `limit` rows (driver-side truncation after collect; the
+/// paper's WatDiv queries do not push limits down).
+Relation Limit(const Relation& input, uint64_t limit);
+
+/// Concatenates two relations with identical column names chunk-wise.
+Result<Relation> Union(const Relation& a, const Relation& b);
+
+/// Re-distributes `input` so rows with equal values in `column_index` land
+/// on the same worker. Charges shuffle bytes unless already partitioned.
+Relation RepartitionByColumn(const Relation& input, int column_index,
+                             uint32_t num_workers,
+                             cluster::CostModel& cost);
+
+}  // namespace prost::engine
+
+#endif  // PROST_ENGINE_OPERATORS_H_

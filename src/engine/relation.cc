@@ -1,0 +1,94 @@
+#include "engine/relation.h"
+
+#include <algorithm>
+
+#include "common/hash.h"
+#include "common/str_util.h"
+
+namespace prost::engine {
+
+Relation::Relation(std::vector<std::string> column_names,
+                   uint32_t num_workers)
+    : column_names_(std::move(column_names)) {
+  chunks_.resize(num_workers);
+  for (RelationChunk& chunk : chunks_) {
+    chunk.columns.resize(column_names_.size());
+  }
+}
+
+int Relation::ColumnIndex(const std::string& name) const {
+  for (size_t i = 0; i < column_names_.size(); ++i) {
+    if (column_names_[i] == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+uint64_t Relation::TotalRows() const {
+  uint64_t total = 0;
+  for (const RelationChunk& chunk : chunks_) total += chunk.num_rows();
+  return total;
+}
+
+uint64_t Relation::EstimatedBytes(const cluster::ClusterConfig& config) const {
+  return static_cast<uint64_t>(static_cast<double>(TotalRows()) *
+                               static_cast<double>(num_columns()) *
+                               config.bytes_per_value);
+}
+
+Status Relation::Validate() const {
+  for (size_t c = 0; c < chunks_.size(); ++c) {
+    const RelationChunk& chunk = chunks_[c];
+    if (chunk.columns.size() != column_names_.size()) {
+      return Status::Internal(
+          StrFormat("chunk %zu has %zu columns, expected %zu", c,
+                    chunk.columns.size(), column_names_.size()));
+    }
+    for (size_t i = 1; i < chunk.columns.size(); ++i) {
+      if (chunk.columns[i].size() != chunk.columns[0].size()) {
+        return Status::Internal(
+            StrFormat("chunk %zu column %zu row-count mismatch", c, i));
+      }
+    }
+  }
+  if (hash_partitioned_by_ >= static_cast<int>(column_names_.size())) {
+    return Status::Internal("hash_partitioned_by out of range");
+  }
+  return Status::OK();
+}
+
+std::vector<Row> Relation::CollectRows() const {
+  std::vector<Row> rows;
+  rows.reserve(TotalRows());
+  for (const RelationChunk& chunk : chunks_) {
+    for (size_t r = 0; r < chunk.num_rows(); ++r) {
+      Row row(num_columns());
+      for (size_t c = 0; c < chunk.columns.size(); ++c) {
+        row[c] = chunk.columns[c][r];
+      }
+      rows.push_back(std::move(row));
+    }
+  }
+  return rows;
+}
+
+std::vector<Row> Relation::CollectSortedRows() const {
+  std::vector<Row> rows = CollectRows();
+  std::sort(rows.begin(), rows.end());
+  return rows;
+}
+
+Relation Relation::FromRows(std::vector<std::string> column_names,
+                            const std::vector<Row>& rows,
+                            uint32_t num_workers) {
+  Relation relation(std::move(column_names), num_workers);
+  for (size_t r = 0; r < rows.size(); ++r) {
+    RelationChunk& chunk =
+        relation.mutable_chunks()[r % relation.num_chunks()];
+    for (size_t c = 0; c < relation.num_columns(); ++c) {
+      chunk.columns[c].push_back(rows[r][c]);
+    }
+  }
+  return relation;
+}
+
+}  // namespace prost::engine

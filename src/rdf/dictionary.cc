@@ -1,0 +1,75 @@
+#include "rdf/dictionary.h"
+
+#include "common/io.h"
+
+namespace prost::rdf {
+
+TermId Dictionary::Intern(std::string_view lexical) {
+  auto it = index_.find(lexical);
+  if (it != index_.end()) return it->second;
+  lexicals_.emplace_back(lexical);
+  TermId id = static_cast<TermId>(lexicals_.size());
+  index_.emplace(std::string_view(lexicals_.back()), id);
+  return id;
+}
+
+TermId Dictionary::Lookup(std::string_view lexical) const {
+  auto it = index_.find(lexical);
+  return it == index_.end() ? kNullTermId : it->second;
+}
+
+Result<std::string_view> Dictionary::LookupId(TermId id) const {
+  if (id == kNullTermId || id > lexicals_.size()) {
+    return Status::NotFound("term id out of range: " + std::to_string(id));
+  }
+  return std::string_view(lexicals_[id - 1]);
+}
+
+Result<Term> Dictionary::DecodeTerm(TermId id) const {
+  PROST_ASSIGN_OR_RETURN(std::string_view lexical, LookupId(id));
+  return ParseTerm(lexical);
+}
+
+std::vector<uint32_t> Dictionary::TermLengths() const {
+  std::vector<uint32_t> lengths(lexicals_.size() + 1, 0);
+  for (size_t i = 0; i < lexicals_.size(); ++i) {
+    lengths[i + 1] = static_cast<uint32_t>(lexicals_[i].size());
+  }
+  return lengths;
+}
+
+uint64_t Dictionary::EstimatedBytes() const {
+  uint64_t bytes = 0;
+  for (const auto& lexical : lexicals_) {
+    // Lexical payload + varint length + 8-byte index entry.
+    bytes += lexical.size() + 2 + 8;
+  }
+  return bytes;
+}
+
+void Dictionary::Serialize(std::string* out) const {
+  ByteWriter writer;
+  writer.PutVarint(lexicals_.size());
+  for (const auto& lexical : lexicals_) {
+    writer.PutString(lexical);
+  }
+  *out = std::move(writer.TakeBuffer());
+}
+
+Result<Dictionary> Dictionary::Deserialize(std::string_view data) {
+  ByteReader reader(data);
+  uint64_t count;
+  PROST_RETURN_IF_ERROR(reader.GetVarint(&count));
+  Dictionary dict;
+  std::string lexical;
+  for (uint64_t i = 0; i < count; ++i) {
+    PROST_RETURN_IF_ERROR(reader.GetString(&lexical));
+    dict.Intern(lexical);
+  }
+  if (dict.size() != count) {
+    return Status::Corruption("duplicate entries in serialized dictionary");
+  }
+  return dict;
+}
+
+}  // namespace prost::rdf

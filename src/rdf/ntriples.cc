@@ -1,0 +1,108 @@
+#include "rdf/ntriples.h"
+
+#include "common/str_util.h"
+
+namespace prost::rdf {
+namespace {
+
+/// Consumes one term token from `rest`, advancing it past the token and
+/// any following whitespace. Handles quoted literals containing spaces.
+Result<std::string_view> TakeTermToken(std::string_view& rest) {
+  if (rest.empty()) return Status::ParseError("expected term, found end");
+  size_t end = 0;
+  if (rest.front() == '"') {
+    // Scan to the closing quote (skipping escapes), then continue through
+    // any @lang / ^^<datatype> suffix until whitespace.
+    size_t i = 1;
+    bool closed = false;
+    for (; i < rest.size(); ++i) {
+      if (rest[i] == '\\') {
+        ++i;
+        continue;
+      }
+      if (rest[i] == '"') {
+        closed = true;
+        ++i;
+        break;
+      }
+    }
+    if (!closed) return Status::ParseError("unterminated literal");
+    while (i < rest.size() && rest[i] != ' ' && rest[i] != '\t') ++i;
+    end = i;
+  } else {
+    while (end < rest.size() && rest[end] != ' ' && rest[end] != '\t') ++end;
+  }
+  std::string_view token = rest.substr(0, end);
+  rest.remove_prefix(end);
+  rest = StrTrim(rest);
+  return token;
+}
+
+}  // namespace
+
+Result<Triple> ParseNTriplesLine(std::string_view line) {
+  std::string_view rest = StrTrim(line);
+  PROST_ASSIGN_OR_RETURN(std::string_view subject_tok, TakeTermToken(rest));
+  PROST_ASSIGN_OR_RETURN(std::string_view predicate_tok, TakeTermToken(rest));
+  PROST_ASSIGN_OR_RETURN(std::string_view object_tok, TakeTermToken(rest));
+  if (rest != ".") {
+    return Status::ParseError("statement must end with '.'");
+  }
+  PROST_ASSIGN_OR_RETURN(Term subject, ParseTerm(subject_tok));
+  PROST_ASSIGN_OR_RETURN(Term predicate, ParseTerm(predicate_tok));
+  PROST_ASSIGN_OR_RETURN(Term object, ParseTerm(object_tok));
+  if (subject.is_literal() || subject.is_variable()) {
+    return Status::ParseError("subject must be an IRI or blank node");
+  }
+  if (!predicate.is_iri()) {
+    return Status::ParseError("predicate must be an IRI");
+  }
+  if (object.is_variable()) {
+    return Status::ParseError("object must be concrete");
+  }
+  return Triple{std::move(subject), std::move(predicate), std::move(object)};
+}
+
+Status ParseNTriples(std::string_view document,
+                     const std::function<void(Triple&&)>& sink) {
+  size_t line_number = 0;
+  size_t start = 0;
+  while (start <= document.size()) {
+    size_t newline = document.find('\n', start);
+    std::string_view line =
+        newline == std::string_view::npos
+            ? document.substr(start)
+            : document.substr(start, newline - start);
+    ++line_number;
+    std::string_view trimmed = StrTrim(line);
+    if (!trimmed.empty() && trimmed.front() != '#') {
+      Result<Triple> triple = ParseNTriplesLine(trimmed);
+      if (!triple.ok()) {
+        return Status::ParseError(StrFormat(
+            "line %zu: %s", line_number, triple.status().message().c_str()));
+      }
+      sink(std::move(triple).value());
+    }
+    if (newline == std::string_view::npos) break;
+    start = newline + 1;
+  }
+  return Status::OK();
+}
+
+Result<std::vector<Triple>> ParseNTriplesToVector(std::string_view document) {
+  std::vector<Triple> out;
+  PROST_RETURN_IF_ERROR(
+      ParseNTriples(document, [&](Triple&& t) { out.push_back(std::move(t)); }));
+  return out;
+}
+
+std::string WriteNTriples(const std::vector<Triple>& triples) {
+  std::string out;
+  for (const Triple& triple : triples) {
+    out += triple.ToNTriples();
+    out.push_back('\n');
+  }
+  return out;
+}
+
+}  // namespace prost::rdf

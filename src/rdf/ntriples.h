@@ -1,0 +1,33 @@
+#ifndef PROST_RDF_NTRIPLES_H_
+#define PROST_RDF_NTRIPLES_H_
+
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "rdf/triple.h"
+
+namespace prost::rdf {
+
+/// Parses one N-Triples statement line ("S P O .") into a Triple. The line
+/// must not contain the trailing newline. Comment lines (starting with
+/// '#') and blank lines are the caller's concern (see ParseNTriples).
+Result<Triple> ParseNTriplesLine(std::string_view line);
+
+/// Parses a full N-Triples document, invoking `sink` per triple. Blank
+/// lines and comment lines are skipped. On malformed input, returns a
+/// ParseError citing the 1-based line number.
+Status ParseNTriples(std::string_view document,
+                     const std::function<void(Triple&&)>& sink);
+
+/// Convenience: parse a document into a vector.
+Result<std::vector<Triple>> ParseNTriplesToVector(std::string_view document);
+
+/// Serializes triples as an N-Triples document (one statement per line).
+std::string WriteNTriples(const std::vector<Triple>& triples);
+
+}  // namespace prost::rdf
+
+#endif  // PROST_RDF_NTRIPLES_H_

@@ -1,0 +1,10 @@
+#include "rdf/triple.h"
+
+namespace prost::rdf {
+
+std::string Triple::ToNTriples() const {
+  return subject.ToNTriples() + " " + predicate.ToNTriples() + " " +
+         object.ToNTriples() + " .";
+}
+
+}  // namespace prost::rdf

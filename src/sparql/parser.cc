@@ -1,0 +1,537 @@
+#include "sparql/parser.h"
+
+#include <cctype>
+#include <map>
+
+#include "common/str_util.h"
+
+namespace prost::sparql {
+namespace {
+
+constexpr std::string_view kRdfType =
+    "http://www.w3.org/1999/02/22-rdf-syntax-ns#type";
+constexpr std::string_view kXsdInteger =
+    "http://www.w3.org/2001/XMLSchema#integer";
+
+enum class TokenKind {
+  kIri,        // <...>
+  kPrefixedName,  // ns:local  or  ns:
+  kVariable,   // ?name
+  kLiteral,    // "..." with optional @lang / ^^<dt>
+  kInteger,    // bare integer literal
+  kKeyword,    // SELECT, DISTINCT, WHERE, PREFIX, LIMIT, a
+  kPunct,      // { } . ; , *
+  kEnd,
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;
+  size_t line = 0;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view input) : input_(input) {}
+
+  Result<Token> Next() {
+    SkipWhitespaceAndComments();
+    Token token;
+    token.line = line_;
+    if (pos_ >= input_.size()) {
+      token.kind = TokenKind::kEnd;
+      return token;
+    }
+    char c = input_[pos_];
+    if (c == '{' || c == '}' || c == '.' || c == ';' || c == ',' ||
+        c == '*' || c == '(' || c == ')') {
+      token.kind = TokenKind::kPunct;
+      token.text = std::string(1, c);
+      ++pos_;
+      return token;
+    }
+    if (c == '=' || c == '!' || c == '>') {
+      token.kind = TokenKind::kPunct;
+      token.text = std::string(1, c);
+      ++pos_;
+      if (pos_ < input_.size() && input_[pos_] == '=') {
+        token.text.push_back('=');
+        ++pos_;
+      }
+      if (token.text == "!") return Error("'!' must be part of '!='");
+      return token;
+    }
+    if (c == '<') {
+      // '<' is ambiguous: an IRI opener or a comparison operator. An IRI
+      // has its closing '>' before any whitespace.
+      if (pos_ + 1 < input_.size() && input_[pos_ + 1] == '=') {
+        token.kind = TokenKind::kPunct;
+        token.text = "<=";
+        pos_ += 2;
+        return token;
+      }
+      size_t end = input_.find('>', pos_);
+      size_t space = input_.find_first_of(" \t\r\n", pos_);
+      if (end == std::string_view::npos ||
+          (space != std::string_view::npos && space < end)) {
+        token.kind = TokenKind::kPunct;
+        token.text = "<";
+        ++pos_;
+        return token;
+      }
+      token.kind = TokenKind::kIri;
+      token.text = std::string(input_.substr(pos_ + 1, end - pos_ - 1));
+      pos_ = end + 1;
+      return token;
+    }
+    if (c == '?' || c == '$') {
+      ++pos_;
+      size_t start = pos_;
+      while (pos_ < input_.size() && (std::isalnum(Peek()) || Peek() == '_')) {
+        ++pos_;
+      }
+      if (pos_ == start) return Error("empty variable name");
+      token.kind = TokenKind::kVariable;
+      token.text = std::string(input_.substr(start, pos_ - start));
+      return token;
+    }
+    if (c == '"') {
+      size_t end = std::string_view::npos;
+      for (size_t i = pos_ + 1; i < input_.size(); ++i) {
+        if (input_[i] == '\\') {
+          ++i;
+          continue;
+        }
+        if (input_[i] == '"') {
+          end = i;
+          break;
+        }
+      }
+      if (end == std::string_view::npos) {
+        return Error("unterminated literal");
+      }
+      size_t after = end + 1;
+      // Absorb @lang / ^^<dt>.
+      if (after < input_.size() && input_[after] == '@') {
+        ++after;
+        while (after < input_.size() &&
+               (std::isalnum(static_cast<unsigned char>(input_[after])) ||
+                input_[after] == '-')) {
+          ++after;
+        }
+      } else if (after + 1 < input_.size() && input_[after] == '^' &&
+                 input_[after + 1] == '^') {
+        after += 2;
+        if (after >= input_.size() || input_[after] != '<') {
+          return Error("expected <datatype> after ^^");
+        }
+        size_t close = input_.find('>', after);
+        if (close == std::string_view::npos) {
+          return Error("unterminated datatype IRI");
+        }
+        after = close + 1;
+      }
+      token.kind = TokenKind::kLiteral;
+      token.text = std::string(input_.substr(pos_, after - pos_));
+      pos_ = after;
+      return token;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) || c == '-' ||
+        c == '+') {
+      size_t start = pos_;
+      if (c == '-' || c == '+') ++pos_;
+      while (pos_ < input_.size() &&
+             std::isdigit(static_cast<unsigned char>(Peek()))) {
+        ++pos_;
+      }
+      token.kind = TokenKind::kInteger;
+      token.text = std::string(input_.substr(start, pos_ - start));
+      return token;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t start = pos_;
+      bool has_colon = false;
+      while (pos_ < input_.size()) {
+        char k = Peek();
+        if (std::isalnum(static_cast<unsigned char>(k)) || k == '_' ||
+            k == '-') {
+          ++pos_;
+        } else if (k == ':' && !has_colon) {
+          has_colon = true;
+          ++pos_;
+        } else {
+          break;
+        }
+      }
+      token.text = std::string(input_.substr(start, pos_ - start));
+      token.kind =
+          has_colon ? TokenKind::kPrefixedName : TokenKind::kKeyword;
+      return token;
+    }
+    return Error(StrFormat("unexpected character '%c'", c));
+  }
+
+ private:
+  char Peek() const { return input_[pos_]; }
+
+  void SkipWhitespaceAndComments() {
+    while (pos_ < input_.size()) {
+      char c = input_[pos_];
+      if (c == '\n') {
+        ++line_;
+        ++pos_;
+      } else if (c == ' ' || c == '\t' || c == '\r') {
+        ++pos_;
+      } else if (c == '#') {
+        while (pos_ < input_.size() && input_[pos_] != '\n') ++pos_;
+      } else {
+        break;
+      }
+    }
+  }
+
+  Status Error(const std::string& message) const {
+    return Status::ParseError(
+        StrFormat("line %zu: %s", line_, message.c_str()));
+  }
+
+  std::string_view input_;
+  size_t pos_ = 0;
+  size_t line_ = 1;
+};
+
+bool KeywordIs(const Token& token, std::string_view keyword) {
+  if (token.kind != TokenKind::kKeyword) return false;
+  if (token.text.size() != keyword.size()) return false;
+  for (size_t i = 0; i < keyword.size(); ++i) {
+    if (std::toupper(static_cast<unsigned char>(token.text[i])) !=
+        keyword[i]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+class Parser {
+ public:
+  explicit Parser(std::string_view input) : lexer_(input) {}
+
+  Result<Query> Parse() {
+    PROST_RETURN_IF_ERROR(Advance());
+    PROST_RETURN_IF_ERROR(ParsePrologue());
+    Query query;
+    PROST_RETURN_IF_ERROR(ParseSelect(&query));
+    PROST_RETURN_IF_ERROR(ParseWhere(&query));
+    PROST_RETURN_IF_ERROR(ParseModifiers(&query));
+    if (current_.kind != TokenKind::kEnd) {
+      return Error("unexpected trailing input '" + current_.text + "'");
+    }
+    PROST_RETURN_IF_ERROR(ValidateQuery(query));
+    return query;
+  }
+
+ private:
+  Status Advance() {
+    PROST_ASSIGN_OR_RETURN(current_, lexer_.Next());
+    return Status::OK();
+  }
+
+  Status Error(const std::string& message) const {
+    return Status::ParseError(
+        StrFormat("line %zu: %s", current_.line, message.c_str()));
+  }
+
+  bool IsPunct(std::string_view p) const {
+    return current_.kind == TokenKind::kPunct && current_.text == p;
+  }
+
+  Status ExpectPunct(std::string_view p) {
+    if (!IsPunct(p)) {
+      return Error(StrFormat("expected '%s', found '%s'",
+                             std::string(p).c_str(),
+                             current_.text.c_str()));
+    }
+    return Advance();
+  }
+
+  Status ParsePrologue() {
+    while (KeywordIs(current_, "PREFIX")) {
+      PROST_RETURN_IF_ERROR(Advance());
+      if (current_.kind != TokenKind::kPrefixedName) {
+        return Error("expected prefix name after PREFIX");
+      }
+      std::string prefix = current_.text;
+      if (prefix.empty() || prefix.back() != ':') {
+        return Error("prefix declaration must end with ':'");
+      }
+      prefix.pop_back();
+      PROST_RETURN_IF_ERROR(Advance());
+      if (current_.kind != TokenKind::kIri) {
+        return Error("expected <iri> in prefix declaration");
+      }
+      prefixes_[prefix] = current_.text;
+      PROST_RETURN_IF_ERROR(Advance());
+    }
+    return Status::OK();
+  }
+
+  Status ParseSelect(Query* query) {
+    if (!KeywordIs(current_, "SELECT")) {
+      return Error("expected SELECT, found '" + current_.text + "'");
+    }
+    PROST_RETURN_IF_ERROR(Advance());
+    if (KeywordIs(current_, "DISTINCT")) {
+      query->distinct = true;
+      PROST_RETURN_IF_ERROR(Advance());
+    }
+    if (IsPunct("*")) {
+      return Advance();
+    }
+    if (IsPunct("(")) {
+      // (COUNT([DISTINCT] * | ?var) AS ?alias)
+      PROST_RETURN_IF_ERROR(Advance());
+      if (!KeywordIs(current_, "COUNT")) {
+        return Error("expected COUNT after '(' in SELECT");
+      }
+      PROST_RETURN_IF_ERROR(Advance());
+      PROST_RETURN_IF_ERROR(ExpectPunct("("));
+      CountAggregate count;
+      if (KeywordIs(current_, "DISTINCT")) {
+        count.distinct = true;
+        PROST_RETURN_IF_ERROR(Advance());
+      }
+      if (IsPunct("*")) {
+        PROST_RETURN_IF_ERROR(Advance());
+      } else if (current_.kind == TokenKind::kVariable) {
+        count.variable = current_.text;
+        PROST_RETURN_IF_ERROR(Advance());
+      } else {
+        return Error("COUNT expects '*' or a variable");
+      }
+      PROST_RETURN_IF_ERROR(ExpectPunct(")"));
+      if (!KeywordIs(current_, "AS")) {
+        return Error("expected AS after COUNT(...)");
+      }
+      PROST_RETURN_IF_ERROR(Advance());
+      if (current_.kind != TokenKind::kVariable) {
+        return Error("expected ?alias after AS");
+      }
+      count.alias = current_.text;
+      PROST_RETURN_IF_ERROR(Advance());
+      PROST_RETURN_IF_ERROR(ExpectPunct(")"));
+      query->count = std::move(count);
+      return Status::OK();
+    }
+    while (current_.kind == TokenKind::kVariable) {
+      query->projection.push_back(current_.text);
+      PROST_RETURN_IF_ERROR(Advance());
+    }
+    if (query->projection.empty()) {
+      return Error("SELECT requires '*' or at least one variable");
+    }
+    return Status::OK();
+  }
+
+  Result<rdf::Term> ParseTermToken(bool allow_literal) {
+    switch (current_.kind) {
+      case TokenKind::kIri: {
+        rdf::Term term = rdf::Term::Iri(current_.text);
+        PROST_RETURN_IF_ERROR(Advance());
+        return term;
+      }
+      case TokenKind::kVariable: {
+        rdf::Term term = rdf::Term::Variable(current_.text);
+        PROST_RETURN_IF_ERROR(Advance());
+        return term;
+      }
+      case TokenKind::kPrefixedName: {
+        size_t colon = current_.text.find(':');
+        std::string prefix = current_.text.substr(0, colon);
+        std::string local = current_.text.substr(colon + 1);
+        auto it = prefixes_.find(prefix);
+        if (it == prefixes_.end()) {
+          return Error("undeclared prefix '" + prefix + ":'");
+        }
+        rdf::Term term = rdf::Term::Iri(it->second + local);
+        PROST_RETURN_IF_ERROR(Advance());
+        return term;
+      }
+      case TokenKind::kLiteral: {
+        if (!allow_literal) return Error("literal not allowed here");
+        PROST_ASSIGN_OR_RETURN(rdf::Term term,
+                               rdf::ParseTerm(current_.text));
+        PROST_RETURN_IF_ERROR(Advance());
+        return term;
+      }
+      case TokenKind::kInteger: {
+        if (!allow_literal) return Error("literal not allowed here");
+        rdf::Term term = rdf::Term::TypedLiteral(current_.text,
+                                                 std::string(kXsdInteger));
+        PROST_RETURN_IF_ERROR(Advance());
+        return term;
+      }
+      case TokenKind::kKeyword:
+        if (current_.text == "a") {
+          rdf::Term term = rdf::Term::Iri(std::string(kRdfType));
+          PROST_RETURN_IF_ERROR(Advance());
+          return term;
+        }
+        return Error("unexpected keyword '" + current_.text + "'");
+      default:
+        return Error("expected term, found '" + current_.text + "'");
+    }
+  }
+
+  Status ParseWhere(Query* query) {
+    if (!KeywordIs(current_, "WHERE")) {
+      return Error("expected WHERE, found '" + current_.text + "'");
+    }
+    PROST_RETURN_IF_ERROR(Advance());
+    PROST_RETURN_IF_ERROR(ExpectPunct("{"));
+    while (!IsPunct("}")) {
+      if (KeywordIs(current_, "FILTER")) {
+        PROST_RETURN_IF_ERROR(ParseFilter(query));
+        if (IsPunct(".")) PROST_RETURN_IF_ERROR(Advance());
+        continue;
+      }
+      PROST_ASSIGN_OR_RETURN(rdf::Term subject,
+                             ParseTermToken(/*allow_literal=*/false));
+      // predicate-object list: p o (, o)* (; p o ...)* .
+      while (true) {
+        PROST_ASSIGN_OR_RETURN(rdf::Term predicate,
+                               ParseTermToken(/*allow_literal=*/false));
+        while (true) {
+          PROST_ASSIGN_OR_RETURN(rdf::Term object,
+                                 ParseTermToken(/*allow_literal=*/true));
+          query->bgp.patterns.push_back(
+              TriplePattern{subject, predicate, object});
+          if (IsPunct(",")) {
+            PROST_RETURN_IF_ERROR(Advance());
+            continue;
+          }
+          break;
+        }
+        if (IsPunct(";")) {
+          PROST_RETURN_IF_ERROR(Advance());
+          // Allow a trailing ';' before '.' or '}'.
+          if (IsPunct(".") || IsPunct("}")) break;
+          continue;
+        }
+        break;
+      }
+      if (IsPunct(".")) {
+        PROST_RETURN_IF_ERROR(Advance());
+      } else if (!IsPunct("}")) {
+        return Error("expected '.', ';' or '}' after triple pattern");
+      }
+    }
+    return Advance();  // consume '}'
+  }
+
+  Status ParseFilter(Query* query) {
+    PROST_RETURN_IF_ERROR(Advance());  // consume FILTER
+    PROST_RETURN_IF_ERROR(ExpectPunct("("));
+    if (current_.kind != TokenKind::kVariable) {
+      return Error("FILTER expects a variable on the left-hand side");
+    }
+    FilterConstraint filter;
+    filter.variable = current_.text;
+    PROST_RETURN_IF_ERROR(Advance());
+    if (current_.kind != TokenKind::kPunct) {
+      return Error("expected comparison operator in FILTER");
+    }
+    if (current_.text == "=") {
+      filter.op = CompareOp::kEq;
+    } else if (current_.text == "!=") {
+      filter.op = CompareOp::kNe;
+    } else if (current_.text == "<") {
+      filter.op = CompareOp::kLt;
+    } else if (current_.text == "<=") {
+      filter.op = CompareOp::kLe;
+    } else if (current_.text == ">") {
+      filter.op = CompareOp::kGt;
+    } else if (current_.text == ">=") {
+      filter.op = CompareOp::kGe;
+    } else {
+      return Error("unknown comparison operator '" + current_.text + "'");
+    }
+    PROST_RETURN_IF_ERROR(Advance());
+    if (current_.kind == TokenKind::kVariable) {
+      filter.rhs_is_variable = true;
+      filter.rhs_variable = current_.text;
+      PROST_RETURN_IF_ERROR(Advance());
+    } else {
+      PROST_ASSIGN_OR_RETURN(filter.rhs_term,
+                             ParseTermToken(/*allow_literal=*/true));
+    }
+    PROST_RETURN_IF_ERROR(ExpectPunct(")"));
+    query->filters.push_back(std::move(filter));
+    return Status::OK();
+  }
+
+  Status ParseModifiers(Query* query) {
+    if (KeywordIs(current_, "ORDER")) {
+      PROST_RETURN_IF_ERROR(Advance());
+      if (!KeywordIs(current_, "BY")) {
+        return Error("expected BY after ORDER");
+      }
+      PROST_RETURN_IF_ERROR(Advance());
+      while (true) {
+        OrderKey key;
+        if (current_.kind == TokenKind::kVariable) {
+          key.variable = current_.text;
+          PROST_RETURN_IF_ERROR(Advance());
+        } else if (KeywordIs(current_, "ASC") ||
+                   KeywordIs(current_, "DESC")) {
+          key.descending = KeywordIs(current_, "DESC");
+          PROST_RETURN_IF_ERROR(Advance());
+          PROST_RETURN_IF_ERROR(ExpectPunct("("));
+          if (current_.kind != TokenKind::kVariable) {
+            return Error("expected variable in ASC()/DESC()");
+          }
+          key.variable = current_.text;
+          PROST_RETURN_IF_ERROR(Advance());
+          PROST_RETURN_IF_ERROR(ExpectPunct(")"));
+        } else {
+          break;
+        }
+        query->order_by.push_back(std::move(key));
+      }
+      if (query->order_by.empty()) {
+        return Error("ORDER BY requires at least one key");
+      }
+    }
+    // LIMIT and OFFSET in either order (SPARQL allows both orders).
+    for (int round = 0; round < 2; ++round) {
+      if (KeywordIs(current_, "LIMIT") && query->limit == 0) {
+        PROST_RETURN_IF_ERROR(Advance());
+        if (current_.kind != TokenKind::kInteger) {
+          return Error("expected integer after LIMIT");
+        }
+        query->limit = std::strtoull(current_.text.c_str(), nullptr, 10);
+        if (query->limit == 0) return Error("LIMIT must be positive");
+        PROST_RETURN_IF_ERROR(Advance());
+      } else if (KeywordIs(current_, "OFFSET") && query->offset == 0) {
+        PROST_RETURN_IF_ERROR(Advance());
+        if (current_.kind != TokenKind::kInteger) {
+          return Error("expected integer after OFFSET");
+        }
+        query->offset = std::strtoull(current_.text.c_str(), nullptr, 10);
+        PROST_RETURN_IF_ERROR(Advance());
+      }
+    }
+    return Status::OK();
+  }
+
+  Lexer lexer_;
+  Token current_;
+  std::map<std::string, std::string> prefixes_;
+};
+
+}  // namespace
+
+Result<Query> ParseQuery(std::string_view text) {
+  return Parser(text).Parse();
+}
+
+}  // namespace prost::sparql

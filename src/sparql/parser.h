@@ -1,0 +1,27 @@
+#ifndef PROST_SPARQL_PARSER_H_
+#define PROST_SPARQL_PARSER_H_
+
+#include <string_view>
+
+#include "common/status.h"
+#include "sparql/algebra.h"
+
+namespace prost::sparql {
+
+/// Parses the SPARQL subset the paper evaluates (WatDiv basic queries):
+///
+///   PREFIX ns: <iri>                      (any number)
+///   SELECT [DISTINCT] (?v ... | *)
+///   WHERE { tp . tp . ... }
+///   [LIMIT n]
+///
+/// Triple-pattern terms may be IRIs (`<...>`), prefixed names (`ns:local`),
+/// literals (`"v"`, `"v"@lang`, `"v"^^<dt>`, plain integers), variables
+/// (`?name`), or the keyword `a` for rdf:type. `#` starts a comment.
+/// Predicate-object lists with `;` and object lists with `,` are
+/// supported.
+Result<Query> ParseQuery(std::string_view text);
+
+}  // namespace prost::sparql
+
+#endif  // PROST_SPARQL_PARSER_H_

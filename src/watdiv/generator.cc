@@ -1,0 +1,456 @@
+#include "watdiv/generator.h"
+
+#include <algorithm>
+
+#include "common/rng.h"
+#include "common/str_util.h"
+#include "rdf/ntriples.h"
+#include "watdiv/schema.h"
+
+namespace prost::watdiv {
+namespace {
+
+using rdf::Term;
+
+/// Builds the graph entity by entity. Every probability and degree
+/// distribution below is fixed so the dataset is a pure function of the
+/// config (seed included).
+class GeneratorImpl {
+ public:
+  GeneratorImpl(const WatDivConfig& config, const WatDivSizing& sizing)
+      : config_(config),
+        sizing_(sizing),
+        rng_(config.seed),
+        user_pick_(sizing.users, config.skew),
+        product_pick_(sizing.products, config.skew),
+        retailer_pick_(sizing.retailers, config.skew),
+        website_pick_(sizing.websites, config.skew),
+        city_pick_(sizing.cities, config.skew),
+        country_pick_(sizing.countries, config.skew),
+        genre_pick_(sizing.sub_genres, config.skew),
+        topic_pick_(sizing.topics, config.skew),
+        language_pick_(sizing.languages, config.skew),
+        category_pick_(sizing.product_categories, config.skew),
+        age_pick_(sizing.age_groups, config.skew),
+        role_pick_(sizing.roles, config.skew),
+        degree_pick_(64, 1.35) {}
+
+  WatDivDataset Run() {
+    GenerateSubGenres();
+    GenerateCities();
+    GenerateWebsites();
+    GenerateRetailers();
+    GenerateUsers();
+    GenerateProducts();
+    GenerateReviews();
+    GenerateOffers();
+    GeneratePurchases();
+    WatDivDataset dataset;
+    dataset.graph = std::move(graph_);
+    dataset.sizing = sizing_;
+    dataset.config = config_;
+    return dataset;
+  }
+
+ private:
+  void Add(const std::string& subject, const std::string& predicate,
+           Term object) {
+    graph_.Add(rdf::Triple{Term::Iri(subject), Term::Iri(predicate),
+                           std::move(object)});
+  }
+
+  void AddIri(const std::string& subject, const std::string& predicate,
+              std::string object_iri) {
+    Add(subject, predicate, Term::Iri(std::move(object_iri)));
+  }
+
+  void AddLit(const std::string& subject, const std::string& predicate,
+              std::string value) {
+    Add(subject, predicate, Term::Literal(std::move(value)));
+  }
+
+  void AddInt(const std::string& subject, const std::string& predicate,
+              uint64_t value) {
+    Add(subject, predicate,
+        Term::TypedLiteral(std::to_string(value),
+                           "http://www.w3.org/2001/XMLSchema#integer"));
+  }
+
+  bool Chance(double p) { return rng_.NextBernoulli(p); }
+
+  /// Degree for a multi-valued edge: mostly small, heavy tail, capped.
+  uint64_t Degree(uint64_t mean_scale, uint64_t cap) {
+    uint64_t raw = degree_pick_.Sample(rng_);  // Zipf-distributed 0..63.
+    uint64_t degree = raw * mean_scale / 4;
+    return std::min<uint64_t>(degree, cap);
+  }
+
+  void GenerateSubGenres() {
+    // SubGenres carry topic tags and a class, which the F1 snowflake
+    // template pivots on (?v3 hasGenre ?v0 . ?v0 og:tag %topic%).
+    const std::string genre_class = std::string(kWsdbm) + "Genre";
+    for (uint64_t g = 0; g < sizing_.sub_genres; ++g) {
+      std::string genre = SubGenreIri(g);
+      AddIri(genre, Predicates::type(), genre_class);
+      for (uint64_t i = 0, n = 1 + rng_.NextBounded(3); i < n; ++i) {
+        AddIri(genre, Predicates::tag(), TopicIri(topic_pick_.Sample(rng_)));
+      }
+    }
+  }
+
+  void GenerateCities() {
+    for (uint64_t c = 0; c < sizing_.cities; ++c) {
+      AddIri(CityIri(c), Predicates::parentCountry(),
+             CountryIri(country_pick_.Sample(rng_)));
+    }
+  }
+
+  void GenerateWebsites() {
+    for (uint64_t w = 0; w < sizing_.websites; ++w) {
+      std::string site = WebsiteIri(w);
+      AddLit(site, Predicates::url(),
+             StrFormat("http://www.site%llu.example.org/",
+                       static_cast<unsigned long long>(w)));
+      if (Chance(0.8)) AddInt(site, Predicates::hits(), rng_.NextBounded(100000));
+      if (Chance(0.5)) {
+        AddIri(site, Predicates::language(),
+               LanguageIri(language_pick_.Sample(rng_)));
+      }
+    }
+  }
+
+  void GenerateRetailers() {
+    for (uint64_t r = 0; r < sizing_.retailers; ++r) {
+      std::string retailer = RetailerIri(r);
+      AddLit(retailer, Predicates::legalName(),
+             StrFormat("Retailer %llu Inc.",
+                       static_cast<unsigned long long>(r)));
+      if (Chance(0.6)) {
+        AddLit(retailer, Predicates::paymentAccepted(),
+               (r % 2 == 0) ? "Cash, Credit Card" : "Credit Card");
+      }
+      if (Chance(0.5)) {
+        AddLit(retailer, Predicates::openingHours(), "Mo-Fr 09:00-18:00");
+      }
+      if (Chance(0.5)) {
+        AddLit(retailer, Predicates::telephone(),
+               StrFormat("+1-555-%04llu",
+                         static_cast<unsigned long long>(r % 10000)));
+      }
+      if (Chance(0.4)) {
+        AddLit(retailer, Predicates::email(),
+               StrFormat("contact@retailer%llu.example.org",
+                         static_cast<unsigned long long>(r)));
+      }
+    }
+  }
+
+  void GenerateUsers() {
+    for (uint64_t u = 0; u < sizing_.users; ++u) {
+      std::string user = UserIri(u);
+      AddIri(user, Predicates::type(), RoleIri(role_pick_.Sample(rng_)));
+      AddInt(user, Predicates::userId(), u);
+      if (Chance(0.6)) {
+        AddIri(user, Predicates::gender(), GenderIri(rng_.NextBounded(2)));
+      }
+      if (Chance(0.5)) {
+        AddIri(user, Predicates::age(), AgeGroupIri(age_pick_.Sample(rng_)));
+      }
+      if (Chance(0.7)) {
+        AddLit(user, Predicates::givenName(),
+               StrFormat("GivenName%llu",
+                         static_cast<unsigned long long>(
+                             rng_.NextBounded(200))));
+      }
+      if (Chance(0.7)) {
+        AddLit(user, Predicates::familyName(),
+               StrFormat("FamilyName%llu",
+                         static_cast<unsigned long long>(
+                             rng_.NextBounded(400))));
+      }
+      if (Chance(0.7)) {
+        AddIri(user, Predicates::nationality(),
+               CountryIri(country_pick_.Sample(rng_)));
+      }
+      if (Chance(0.4)) {
+        AddIri(user, Predicates::location(),
+               CityIri(city_pick_.Sample(rng_)));
+      }
+      if (Chance(0.3)) {
+        AddLit(user, Predicates::jobTitle(),
+               StrFormat("Job%llu", static_cast<unsigned long long>(
+                                        rng_.NextBounded(50))));
+      }
+      if (Chance(0.3)) {
+        AddLit(user, Predicates::email(),
+               StrFormat("user%llu@example.org",
+                         static_cast<unsigned long long>(u)));
+      }
+      if (Chance(0.25)) {
+        AddIri(user, Predicates::homepage(),
+               WebsiteIri(website_pick_.Sample(rng_)));
+      }
+      // Seed edges for User0 so popular-entity query placeholders
+      // (e.g. S7's "User0 likes ?v0") are never vacuously empty.
+      if (u == 0) {
+        AddIri(user, Predicates::likes(), ProductIri(0));
+        AddIri(user, Predicates::friendOf(), UserIri(1));
+        AddIri(user, Predicates::subscribes(), WebsiteIri(0));
+      }
+      // Social edges (multi-valued).
+      for (uint64_t i = 0, n = Degree(3, 40); i < n; ++i) {
+        uint64_t friend_id = user_pick_.Sample(rng_);
+        if (friend_id != u) {
+          AddIri(user, Predicates::friendOf(), UserIri(friend_id));
+        }
+      }
+      for (uint64_t i = 0, n = Degree(2, 30); i < n; ++i) {
+        uint64_t followee = user_pick_.Sample(rng_);
+        if (followee != u) {
+          AddIri(user, Predicates::follows(), UserIri(followee));
+        }
+      }
+      for (uint64_t i = 0, n = Degree(2, 25); i < n; ++i) {
+        AddIri(user, Predicates::likes(),
+               ProductIri(product_pick_.Sample(rng_)));
+      }
+      for (uint64_t i = 0, n = Degree(1, 8); i < n; ++i) {
+        AddIri(user, Predicates::subscribes(),
+               WebsiteIri(website_pick_.Sample(rng_)));
+      }
+    }
+  }
+
+  void GenerateProducts() {
+    for (uint64_t p = 0; p < sizing_.products; ++p) {
+      std::string product = ProductIri(p);
+      AddIri(product, Predicates::type(),
+             ProductCategoryIri(category_pick_.Sample(rng_)));
+      if (Chance(0.8)) {
+        AddLit(product, Predicates::caption(),
+               StrFormat("Caption of product %llu",
+                         static_cast<unsigned long long>(p)));
+      }
+      if (Chance(0.55)) {
+        AddLit(product, Predicates::description(),
+               StrFormat("Description text for product %llu",
+                         static_cast<unsigned long long>(p)));
+      }
+      if (Chance(0.45)) {
+        AddLit(product, Predicates::keywords(),
+               StrFormat("keyword%llu keyword%llu",
+                         static_cast<unsigned long long>(
+                             rng_.NextBounded(300)),
+                         static_cast<unsigned long long>(
+                             rng_.NextBounded(300))));
+      }
+      if (Chance(0.3)) {
+        AddLit(product, Predicates::text(),
+               StrFormat("Full text of product %llu",
+                         static_cast<unsigned long long>(p)));
+      }
+      if (Chance(0.35)) {
+        AddLit(product, Predicates::contentRating(),
+               StrFormat("Rating-%llu", static_cast<unsigned long long>(
+                                            rng_.NextBounded(5))));
+      }
+      if (Chance(0.35)) {
+        AddInt(product, Predicates::contentSize(),
+               rng_.NextInRange(1, 9000));
+      }
+      if (Chance(0.5)) {
+        AddIri(product, Predicates::language(),
+               LanguageIri(language_pick_.Sample(rng_)));
+      }
+      AddIri(product, Predicates::hasGenre(),
+             SubGenreIri(genre_pick_.Sample(rng_)));
+      if (Chance(0.3)) {
+        AddIri(product, Predicates::hasGenre(),
+               SubGenreIri(genre_pick_.Sample(rng_)));
+      }
+      for (uint64_t i = 0, n = Degree(2, 10); i < n; ++i) {
+        AddIri(product, Predicates::tag(),
+               TopicIri(topic_pick_.Sample(rng_)));
+      }
+      if (Chance(0.6)) {
+        AddLit(product, Predicates::title(),
+               StrFormat("Title %llu", static_cast<unsigned long long>(p)));
+      }
+      if (Chance(0.35)) {
+        AddIri(product, Predicates::publisher(),
+               UserIri(user_pick_.Sample(rng_)));
+      }
+      if (Chance(0.3)) {
+        AddIri(product, Predicates::author(),
+               UserIri(user_pick_.Sample(rng_)));
+      }
+      if (Chance(0.15)) {
+        AddIri(product, Predicates::editor(),
+               UserIri(user_pick_.Sample(rng_)));
+      }
+      for (uint64_t i = 0, n = Degree(1, 6); i < n; ++i) {
+        AddIri(product, Predicates::actor(),
+               UserIri(user_pick_.Sample(rng_)));
+      }
+      if (Chance(0.2)) {
+        AddIri(product, Predicates::artist(),
+               UserIri(user_pick_.Sample(rng_)));
+      }
+      if (Chance(0.1)) {
+        AddIri(product, Predicates::conductor(),
+               UserIri(user_pick_.Sample(rng_)));
+      }
+      if (Chance(0.2)) {
+        AddLit(product, Predicates::trailer(),
+               StrFormat("http://trailers.example.org/%llu",
+                         static_cast<unsigned long long>(p)));
+      }
+      if (Chance(0.25)) {
+        // Products can have homepages too (F2/F4 pivot on this).
+        AddIri(product, Predicates::homepage(),
+               WebsiteIri(website_pick_.Sample(rng_)));
+      }
+    }
+  }
+
+  void GenerateReviews() {
+    for (uint64_t v = 0; v < sizing_.reviews; ++v) {
+      std::string review = ReviewIri(v);
+      AddIri(ProductIri(product_pick_.Sample(rng_)), Predicates::hasReview(),
+             review);
+      AddIri(review, Predicates::reviewer(),
+             UserIri(user_pick_.Sample(rng_)));
+      AddInt(review, Predicates::rating(), rng_.NextInRange(1, 10));
+      if (Chance(0.85)) {
+        AddLit(review, Predicates::revTitle(),
+               StrFormat("Review title %llu",
+                         static_cast<unsigned long long>(v)));
+      }
+      if (Chance(0.7)) {
+        AddLit(review, Predicates::revText(),
+               StrFormat("Review body %llu",
+                         static_cast<unsigned long long>(v)));
+      }
+      if (Chance(0.8)) {
+        AddInt(review, Predicates::totalVotes(), rng_.NextBounded(500));
+      }
+    }
+  }
+
+  void GenerateOffers() {
+    for (uint64_t o = 0; o < sizing_.offers; ++o) {
+      std::string offer = OfferIri(o);
+      AddIri(RetailerIri(retailer_pick_.Sample(rng_)), Predicates::offers(),
+             offer);
+      AddIri(offer, Predicates::includes(),
+             ProductIri(product_pick_.Sample(rng_)));
+      AddLit(offer, Predicates::price(),
+             StrFormat("%llu.%02llu",
+                       static_cast<unsigned long long>(
+                           rng_.NextInRange(1, 500)),
+                       static_cast<unsigned long long>(
+                           rng_.NextBounded(100))));
+      if (Chance(0.8)) {
+        AddInt(offer, Predicates::serialNumber(), 1000000 + o);
+      }
+      if (Chance(0.6)) {
+        AddLit(offer, Predicates::validFrom(),
+               StrFormat("2017-%02llu-%02llu",
+                         static_cast<unsigned long long>(
+                             rng_.NextInRange(1, 12)),
+                         static_cast<unsigned long long>(
+                             rng_.NextInRange(1, 28))));
+      }
+      if (Chance(0.6)) {
+        AddLit(offer, Predicates::validThrough(),
+               StrFormat("2018-%02llu-%02llu",
+                         static_cast<unsigned long long>(
+                             rng_.NextInRange(1, 12)),
+                         static_cast<unsigned long long>(
+                             rng_.NextInRange(1, 28))));
+      }
+      if (Chance(0.7)) {
+        AddIri(offer, Predicates::eligibleRegion(),
+               CountryIri(country_pick_.Sample(rng_)));
+      }
+      if (Chance(0.6)) {
+        AddInt(offer, Predicates::eligibleQuantity(),
+               rng_.NextInRange(1, 50));
+      }
+      if (Chance(0.4)) {
+        AddLit(offer, Predicates::priceValidUntil(),
+               StrFormat("2018-%02llu-01",
+                         static_cast<unsigned long long>(
+                             rng_.NextInRange(1, 12))));
+      }
+    }
+  }
+
+  void GeneratePurchases() {
+    for (uint64_t q = 0; q < sizing_.purchases; ++q) {
+      std::string purchase = PurchaseIri(q);
+      AddIri(UserIri(user_pick_.Sample(rng_)), Predicates::makesPurchase(),
+             purchase);
+      AddIri(purchase, Predicates::purchaseFor(),
+             ProductIri(product_pick_.Sample(rng_)));
+      AddLit(purchase, Predicates::purchaseDate(),
+             StrFormat("2017-%02llu-%02llu",
+                       static_cast<unsigned long long>(
+                           rng_.NextInRange(1, 12)),
+                       static_cast<unsigned long long>(
+                           rng_.NextInRange(1, 28))));
+    }
+  }
+
+  WatDivConfig config_;
+  WatDivSizing sizing_;
+  Rng rng_;
+  rdf::EncodedGraph graph_;
+
+  ZipfGenerator user_pick_;
+  ZipfGenerator product_pick_;
+  ZipfGenerator retailer_pick_;
+  ZipfGenerator website_pick_;
+  ZipfGenerator city_pick_;
+  ZipfGenerator country_pick_;
+  ZipfGenerator genre_pick_;
+  ZipfGenerator topic_pick_;
+  ZipfGenerator language_pick_;
+  ZipfGenerator category_pick_;
+  ZipfGenerator age_pick_;
+  ZipfGenerator role_pick_;
+  ZipfGenerator degree_pick_;
+};
+
+}  // namespace
+
+WatDivSizing ComputeSizing(const WatDivConfig& config) {
+  WatDivSizing sizing;
+  // Each user contributes ~30 triples transitively (own attributes and
+  // social edges plus its share of products, reviews, offers, purchases).
+  sizing.users = std::max<uint64_t>(100, config.target_triples / 30);
+  sizing.products = std::max<uint64_t>(50, sizing.users / 2);
+  sizing.retailers = std::max<uint64_t>(5, sizing.users / 200);
+  sizing.websites = std::max<uint64_t>(10, sizing.users / 20);
+  sizing.offers = std::max<uint64_t>(40, sizing.products * 9 / 10);
+  sizing.reviews = std::max<uint64_t>(40, sizing.products * 3 / 2);
+  sizing.purchases = std::max<uint64_t>(40, sizing.users * 3 / 5);
+  sizing.cities = std::max<uint64_t>(20, sizing.users / 100);
+  return sizing;
+}
+
+WatDivDataset Generate(const WatDivConfig& config) {
+  return GeneratorImpl(config, ComputeSizing(config)).Run();
+}
+
+std::string ToNTriplesText(const WatDivDataset& dataset) {
+  std::string out;
+  for (size_t i = 0; i < dataset.graph.size(); ++i) {
+    // DecodeTriple cannot fail for triples produced by the generator.
+    out += dataset.graph.DecodeTriple(i).value().ToNTriples();
+    out.push_back('\n');
+  }
+  return out;
+}
+
+}  // namespace prost::watdiv

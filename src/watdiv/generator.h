@@ -1,0 +1,64 @@
+#ifndef PROST_WATDIV_GENERATOR_H_
+#define PROST_WATDIV_GENERATOR_H_
+
+#include <cstdint>
+#include <string>
+
+#include "rdf/graph.h"
+
+namespace prost::watdiv {
+
+/// Scaled-down WatDiv-like dataset generator. The original suite grows a
+/// retail universe (users, products, retailers, offers, reviews,
+/// purchases) with power-law degree distributions and ~86 predicates; this
+/// generator reproduces the same entity graph shape at configurable scale,
+/// which is what drives the relative selectivities of the 20 basic query
+/// templates.
+struct WatDivConfig {
+  /// Approximate number of triples to generate. Entity counts derive from
+  /// this (each user contributes ~30 triples transitively).
+  uint64_t target_triples = 1'000'000;
+  uint64_t seed = 42;
+
+  /// Zipf skew of social / popularity degree distributions.
+  double skew = 0.9;
+};
+
+/// Sizing derived from a config (exposed so tests can assert on it).
+struct WatDivSizing {
+  uint64_t users = 0;
+  uint64_t products = 0;
+  uint64_t retailers = 0;
+  uint64_t websites = 0;
+  uint64_t offers = 0;
+  uint64_t reviews = 0;
+  uint64_t purchases = 0;
+  uint64_t cities = 0;
+  uint64_t countries = 25;
+  uint64_t sub_genres = 25;
+  uint64_t topics = 250;
+  uint64_t languages = 10;
+  uint64_t roles = 3;
+  uint64_t product_categories = 15;
+  uint64_t age_groups = 9;
+};
+
+WatDivSizing ComputeSizing(const WatDivConfig& config);
+
+/// A generated dataset: the encoded graph plus the sizing used.
+struct WatDivDataset {
+  rdf::EncodedGraph graph;
+  WatDivSizing sizing;
+  WatDivConfig config;
+};
+
+/// Generates a dataset deterministically from `config`.
+WatDivDataset Generate(const WatDivConfig& config);
+
+/// Serializes the dataset's graph as N-Triples text (the loading input
+/// format, as in the paper's loading experiment).
+std::string ToNTriplesText(const WatDivDataset& dataset);
+
+}  // namespace prost::watdiv
+
+#endif  // PROST_WATDIV_GENERATOR_H_

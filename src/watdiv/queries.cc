@@ -1,0 +1,242 @@
+#include "watdiv/queries.h"
+
+#include "common/str_util.h"
+#include "sparql/parser.h"
+#include "watdiv/schema.h"
+
+namespace prost::watdiv {
+namespace {
+
+/// Common prologue: every template starts from the same prefix set.
+std::string Prologue() {
+  std::string out;
+  out += StrFormat("PREFIX wsdbm: <%s>\n", kWsdbm);
+  out += StrFormat("PREFIX sorg: <%s>\n", kSorg);
+  out += StrFormat("PREFIX foaf: <%s>\n", kFoaf);
+  out += StrFormat("PREFIX gr: <%s>\n", kGr);
+  out += StrFormat("PREFIX rev: <%s>\n", kRev);
+  out += StrFormat("PREFIX og: <%s>\n", kOg);
+  out += StrFormat("PREFIX dc: <%s>\n", kDc);
+  out += StrFormat("PREFIX gn: <%s>\n", kGn);
+  out += StrFormat("PREFIX mo: <%s>\n", kMo);
+  out += StrFormat("PREFIX rdf: <%s>\n", kRdf);
+  return out;
+}
+
+WatDivQuery Make(const char* id, char query_class, const std::string& body) {
+  return WatDivQuery{id, query_class, Prologue() + body};
+}
+
+}  // namespace
+
+std::vector<WatDivQuery> BasicQuerySet(const WatDivDataset&) {
+  // Placeholders are bound to popular (low-rank) entities, which the
+  // generator guarantees exist and are well connected. The shapes follow
+  // the original WatDiv basic templates; deviations are limited to
+  // attribute renames documented in DESIGN.md.
+  std::vector<WatDivQuery> queries;
+
+  // ---- Complex ----
+  queries.push_back(Make("C1", 'C', R"(
+SELECT * WHERE {
+  ?v0 sorg:caption ?v1 .
+  ?v0 sorg:text ?v2 .
+  ?v0 sorg:contentRating ?v3 .
+  ?v0 rev:hasReview ?v4 .
+  ?v4 rev:title ?v5 .
+  ?v4 rev:reviewer ?v6 .
+  ?v7 sorg:actor ?v6 .
+  ?v7 sorg:language ?v8 .
+})"));
+
+  queries.push_back(Make("C2", 'C', R"(
+SELECT * WHERE {
+  ?v0 sorg:legalName ?v1 .
+  ?v0 gr:offers ?v2 .
+  ?v2 sorg:eligibleRegion wsdbm:Country5 .
+  ?v2 gr:includes ?v3 .
+  ?v4 sorg:jobTitle ?v5 .
+  ?v4 wsdbm:makesPurchase ?v6 .
+  ?v6 wsdbm:purchaseFor ?v3 .
+  ?v3 rev:hasReview ?v7 .
+  ?v7 rev:totalVotes ?v8 .
+})"));
+
+  queries.push_back(Make("C3", 'C', R"(
+SELECT * WHERE {
+  ?v0 wsdbm:likes ?v1 .
+  ?v0 wsdbm:friendOf ?v2 .
+  ?v0 dc:Location ?v3 .
+  ?v0 foaf:age ?v4 .
+  ?v0 wsdbm:gender ?v5 .
+  ?v0 foaf:givenName ?v6 .
+})"));
+
+  // ---- Snowflake ----
+  queries.push_back(Make("F1", 'F', R"(
+SELECT * WHERE {
+  ?v0 og:tag wsdbm:Topic0 .
+  ?v0 rdf:type ?v2 .
+  ?v3 sorg:trailer ?v4 .
+  ?v3 sorg:keywords ?v5 .
+  ?v3 wsdbm:hasGenre ?v0 .
+  ?v3 rdf:type wsdbm:ProductCategory2 .
+})"));
+
+  queries.push_back(Make("F2", 'F', R"(
+SELECT * WHERE {
+  ?v0 foaf:homepage ?v1 .
+  ?v0 og:title ?v2 .
+  ?v0 rdf:type ?v3 .
+  ?v0 sorg:caption ?v4 .
+  ?v0 sorg:description ?v5 .
+  ?v1 sorg:url ?v6 .
+  ?v1 wsdbm:hits ?v7 .
+  ?v0 wsdbm:hasGenre wsdbm:SubGenre0 .
+})"));
+
+  queries.push_back(Make("F3", 'F', R"(
+SELECT * WHERE {
+  ?v0 sorg:contentRating ?v1 .
+  ?v0 sorg:contentSize ?v2 .
+  ?v0 wsdbm:hasGenre wsdbm:SubGenre0 .
+  ?v4 wsdbm:makesPurchase ?v5 .
+  ?v5 wsdbm:purchaseDate ?v6 .
+  ?v5 wsdbm:purchaseFor ?v0 .
+})"));
+
+  queries.push_back(Make("F4", 'F', R"(
+SELECT * WHERE {
+  ?v0 foaf:homepage ?v1 .
+  ?v2 gr:includes ?v0 .
+  ?v0 og:tag wsdbm:Topic0 .
+  ?v0 sorg:description ?v4 .
+  ?v0 sorg:contentSize ?v8 .
+  ?v1 sorg:url ?v5 .
+  ?v1 wsdbm:hits ?v6 .
+  ?v1 sorg:language wsdbm:Language0 .
+  ?v7 wsdbm:likes ?v0 .
+})"));
+
+  queries.push_back(Make("F5", 'F', R"(
+SELECT * WHERE {
+  ?v0 gr:includes ?v1 .
+  wsdbm:Retailer0 gr:offers ?v0 .
+  ?v0 gr:price ?v3 .
+  ?v0 gr:validThrough ?v4 .
+  ?v1 og:title ?v5 .
+  ?v1 rdf:type ?v6 .
+})"));
+
+  // ---- Linear ----
+  queries.push_back(Make("L1", 'L', R"(
+SELECT * WHERE {
+  ?v0 wsdbm:subscribes wsdbm:Website0 .
+  ?v2 sorg:caption ?v3 .
+  ?v0 wsdbm:likes ?v2 .
+})"));
+
+  queries.push_back(Make("L2", 'L', R"(
+SELECT * WHERE {
+  wsdbm:City0 gn:parentCountry ?v1 .
+  ?v2 wsdbm:likes wsdbm:Product0 .
+  ?v2 sorg:nationality ?v1 .
+})"));
+
+  queries.push_back(Make("L3", 'L', R"(
+SELECT * WHERE {
+  ?v0 wsdbm:likes ?v1 .
+  ?v0 wsdbm:subscribes wsdbm:Website0 .
+})"));
+
+  queries.push_back(Make("L4", 'L', R"(
+SELECT * WHERE {
+  ?v0 og:tag wsdbm:Topic0 .
+  ?v0 sorg:caption ?v2 .
+})"));
+
+  queries.push_back(Make("L5", 'L', R"(
+SELECT * WHERE {
+  ?v0 sorg:jobTitle ?v1 .
+  wsdbm:City0 gn:parentCountry ?v3 .
+  ?v0 sorg:nationality ?v3 .
+})"));
+
+  // ---- Star ----
+  queries.push_back(Make("S1", 'S', R"(
+SELECT * WHERE {
+  ?v0 gr:includes ?v1 .
+  wsdbm:Retailer0 gr:offers ?v0 .
+  ?v0 gr:price ?v2 .
+  ?v0 gr:serialNumber ?v3 .
+  ?v0 gr:validFrom ?v4 .
+  ?v0 gr:validThrough ?v5 .
+  ?v0 sorg:eligibleQuantity ?v6 .
+  ?v0 sorg:eligibleRegion ?v7 .
+  ?v0 sorg:priceValidUntil ?v8 .
+})"));
+
+  queries.push_back(Make("S2", 'S', R"(
+SELECT * WHERE {
+  ?v0 dc:Location wsdbm:City0 .
+  ?v0 sorg:nationality ?v1 .
+  ?v0 wsdbm:gender ?v2 .
+  ?v0 rdf:type wsdbm:Role2 .
+})"));
+
+  queries.push_back(Make("S3", 'S', R"(
+SELECT * WHERE {
+  ?v0 rdf:type wsdbm:ProductCategory0 .
+  ?v0 sorg:caption ?v1 .
+  ?v0 wsdbm:hasGenre ?v2 .
+  ?v0 sorg:publisher ?v3 .
+})"));
+
+  queries.push_back(Make("S4", 'S', R"(
+SELECT * WHERE {
+  ?v0 foaf:age wsdbm:AgeGroup0 .
+  ?v0 foaf:familyName ?v1 .
+  ?v2 mo:artist ?v0 .
+  ?v0 sorg:nationality wsdbm:Country1 .
+})"));
+
+  queries.push_back(Make("S5", 'S', R"(
+SELECT * WHERE {
+  ?v0 rdf:type wsdbm:ProductCategory0 .
+  ?v0 sorg:description ?v1 .
+  ?v0 sorg:keywords ?v2 .
+  ?v0 sorg:language wsdbm:Language0 .
+})"));
+
+  queries.push_back(Make("S6", 'S', R"(
+SELECT * WHERE {
+  ?v0 mo:conductor ?v1 .
+  ?v0 rdf:type ?v2 .
+  ?v0 wsdbm:hasGenre wsdbm:SubGenre0 .
+})"));
+
+  queries.push_back(Make("S7", 'S', R"(
+SELECT * WHERE {
+  ?v0 rdf:type ?v1 .
+  ?v0 sorg:text ?v2 .
+  wsdbm:User0 wsdbm:likes ?v0 .
+})"));
+
+  return queries;
+}
+
+Result<std::vector<sparql::Query>> ParseQuerySet(
+    const std::vector<WatDivQuery>& queries) {
+  std::vector<sparql::Query> parsed;
+  parsed.reserve(queries.size());
+  for (const WatDivQuery& q : queries) {
+    Result<sparql::Query> result = sparql::ParseQuery(q.sparql);
+    if (!result.ok()) {
+      return Status::ParseError(q.id + ": " + result.status().message());
+    }
+    parsed.push_back(std::move(result).value());
+  }
+  return parsed;
+}
+
+}  // namespace prost::watdiv

@@ -1,0 +1,32 @@
+#ifndef PROST_WATDIV_QUERIES_H_
+#define PROST_WATDIV_QUERIES_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "sparql/algebra.h"
+#include "watdiv/generator.h"
+
+namespace prost::watdiv {
+
+/// One instantiated query from the WatDiv basic query set.
+struct WatDivQuery {
+  std::string id;     // "C1".."C3", "F1".."F5", "L1".."L5", "S1".."S7"
+  char query_class;   // 'C', 'F', 'L', 'S'
+  std::string sparql;
+};
+
+/// The 20 WatDiv basic query templates (§4.1: complex, snowflake, linear,
+/// star), instantiated against `dataset` with popular entities so every
+/// query has non-empty results. Shapes follow the original templates;
+/// placeholders (%vN%) are bound deterministically.
+std::vector<WatDivQuery> BasicQuerySet(const WatDivDataset& dataset);
+
+/// Parses every query in the set (convenience used by tests and benches).
+Result<std::vector<sparql::Query>> ParseQuerySet(
+    const std::vector<WatDivQuery>& queries);
+
+}  // namespace prost::watdiv
+
+#endif  // PROST_WATDIV_QUERIES_H_

@@ -1,0 +1,34 @@
+#include "watdiv/schema.h"
+
+#include "common/str_util.h"
+
+namespace prost::watdiv {
+namespace {
+
+std::string Entity(const char* name, uint64_t i) {
+  return StrFormat("%s%s%llu", kWsdbm, name,
+                   static_cast<unsigned long long>(i));
+}
+
+}  // namespace
+
+std::string UserIri(uint64_t i) { return Entity("User", i); }
+std::string ProductIri(uint64_t i) { return Entity("Product", i); }
+std::string RetailerIri(uint64_t i) { return Entity("Retailer", i); }
+std::string WebsiteIri(uint64_t i) { return Entity("Website", i); }
+std::string CityIri(uint64_t i) { return Entity("City", i); }
+std::string CountryIri(uint64_t i) { return Entity("Country", i); }
+std::string SubGenreIri(uint64_t i) { return Entity("SubGenre", i); }
+std::string TopicIri(uint64_t i) { return Entity("Topic", i); }
+std::string LanguageIri(uint64_t i) { return Entity("Language", i); }
+std::string ReviewIri(uint64_t i) { return Entity("Review", i); }
+std::string OfferIri(uint64_t i) { return Entity("Offer", i); }
+std::string PurchaseIri(uint64_t i) { return Entity("Purchase", i); }
+std::string RoleIri(uint64_t i) { return Entity("Role", i); }
+std::string ProductCategoryIri(uint64_t i) {
+  return Entity("ProductCategory", i);
+}
+std::string AgeGroupIri(uint64_t i) { return Entity("AgeGroup", i); }
+std::string GenderIri(uint64_t i) { return Entity("Gender", i); }
+
+}  // namespace prost::watdiv

@@ -1,0 +1,154 @@
+#ifndef PROST_WATDIV_SCHEMA_H_
+#define PROST_WATDIV_SCHEMA_H_
+
+#include <cstdint>
+#include <string>
+
+namespace prost::watdiv {
+
+/// Namespace IRIs of the WatDiv universe (Waterloo SPARQL Diversity Test
+/// Suite). The reproduction uses the original prefixes so generated data
+/// and queries read like real WatDiv output.
+inline constexpr const char* kWsdbm = "http://db.uwaterloo.ca/~galuc/wsdbm/";
+inline constexpr const char* kSorg = "http://schema.org/";
+inline constexpr const char* kFoaf = "http://xmlns.com/foaf/";
+inline constexpr const char* kGr = "http://purl.org/goodrelations/";
+inline constexpr const char* kRev = "http://purl.org/stuff/rev#";
+inline constexpr const char* kOg = "http://ogp.me/ns#";
+inline constexpr const char* kDc = "http://purl.org/dc/terms/";
+inline constexpr const char* kGn = "http://www.geonames.org/ontology#";
+inline constexpr const char* kMo = "http://purl.org/ontology/mo/";
+inline constexpr const char* kRdf =
+    "http://www.w3.org/1999/02/22-rdf-syntax-ns#";
+
+/// Predicate IRIs (the subset of WatDiv's ~86 predicates that the basic
+/// query templates touch, plus enough filler attributes to reproduce the
+/// NULL-heavy Property Table shape).
+struct Predicates {
+  // User.
+  static std::string type() { return std::string(kRdf) + "type"; }
+  static std::string friendOf() { return std::string(kWsdbm) + "friendOf"; }
+  static std::string follows() { return std::string(kWsdbm) + "follows"; }
+  static std::string likes() { return std::string(kWsdbm) + "likes"; }
+  static std::string subscribes() {
+    return std::string(kWsdbm) + "subscribes";
+  }
+  static std::string makesPurchase() {
+    return std::string(kWsdbm) + "makesPurchase";
+  }
+  static std::string userId() { return std::string(kWsdbm) + "userId"; }
+  static std::string gender() { return std::string(kWsdbm) + "gender"; }
+  static std::string age() { return std::string(kFoaf) + "age"; }
+  static std::string givenName() { return std::string(kFoaf) + "givenName"; }
+  static std::string familyName() {
+    return std::string(kFoaf) + "familyName";
+  }
+  static std::string homepage() { return std::string(kFoaf) + "homepage"; }
+  static std::string nationality() {
+    return std::string(kSorg) + "nationality";
+  }
+  static std::string location() { return std::string(kDc) + "Location"; }
+  static std::string jobTitle() { return std::string(kSorg) + "jobTitle"; }
+  static std::string email() { return std::string(kSorg) + "email"; }
+
+  // Product.
+  static std::string caption() { return std::string(kSorg) + "caption"; }
+  static std::string description() {
+    return std::string(kSorg) + "description";
+  }
+  static std::string keywords() { return std::string(kSorg) + "keywords"; }
+  static std::string text() { return std::string(kSorg) + "text"; }
+  static std::string contentRating() {
+    return std::string(kSorg) + "contentRating";
+  }
+  static std::string contentSize() {
+    return std::string(kSorg) + "contentSize";
+  }
+  static std::string language() { return std::string(kSorg) + "language"; }
+  static std::string publisher() { return std::string(kSorg) + "publisher"; }
+  static std::string author() { return std::string(kSorg) + "author"; }
+  static std::string editor() { return std::string(kSorg) + "editor"; }
+  static std::string actor() { return std::string(kSorg) + "actor"; }
+  static std::string trailer() { return std::string(kSorg) + "trailer"; }
+  static std::string hasGenre() { return std::string(kWsdbm) + "hasGenre"; }
+  static std::string tag() { return std::string(kOg) + "tag"; }
+  static std::string title() { return std::string(kOg) + "title"; }
+  static std::string artist() { return std::string(kMo) + "artist"; }
+  static std::string conductor() { return std::string(kMo) + "conductor"; }
+
+  // Review.
+  static std::string hasReview() { return std::string(kRev) + "hasReview"; }
+  static std::string reviewer() { return std::string(kRev) + "reviewer"; }
+  static std::string revTitle() { return std::string(kRev) + "title"; }
+  static std::string revText() { return std::string(kRev) + "text"; }
+  static std::string rating() { return std::string(kRev) + "rating"; }
+  static std::string totalVotes() {
+    return std::string(kRev) + "totalVotes";
+  }
+
+  // Offer / Retailer.
+  static std::string offers() { return std::string(kGr) + "offers"; }
+  static std::string includes() { return std::string(kGr) + "includes"; }
+  static std::string price() { return std::string(kGr) + "price"; }
+  static std::string serialNumber() {
+    return std::string(kGr) + "serialNumber";
+  }
+  static std::string validFrom() { return std::string(kGr) + "validFrom"; }
+  static std::string validThrough() {
+    return std::string(kGr) + "validThrough";
+  }
+  static std::string eligibleRegion() {
+    return std::string(kSorg) + "eligibleRegion";
+  }
+  static std::string eligibleQuantity() {
+    return std::string(kSorg) + "eligibleQuantity";
+  }
+  static std::string priceValidUntil() {
+    return std::string(kSorg) + "priceValidUntil";
+  }
+  static std::string legalName() { return std::string(kSorg) + "legalName"; }
+  static std::string paymentAccepted() {
+    return std::string(kSorg) + "paymentAccepted";
+  }
+  static std::string openingHours() {
+    return std::string(kSorg) + "openingHours";
+  }
+  static std::string telephone() { return std::string(kSorg) + "telephone"; }
+
+  // Purchase.
+  static std::string purchaseFor() {
+    return std::string(kWsdbm) + "purchaseFor";
+  }
+  static std::string purchaseDate() {
+    return std::string(kWsdbm) + "purchaseDate";
+  }
+
+  // Website / City.
+  static std::string url() { return std::string(kSorg) + "url"; }
+  static std::string hits() { return std::string(kWsdbm) + "hits"; }
+  static std::string parentCountry() {
+    return std::string(kGn) + "parentCountry";
+  }
+};
+
+/// Entity IRI construction (wsdbm:User123 style).
+std::string UserIri(uint64_t i);
+std::string ProductIri(uint64_t i);
+std::string RetailerIri(uint64_t i);
+std::string WebsiteIri(uint64_t i);
+std::string CityIri(uint64_t i);
+std::string CountryIri(uint64_t i);
+std::string SubGenreIri(uint64_t i);
+std::string TopicIri(uint64_t i);
+std::string LanguageIri(uint64_t i);
+std::string ReviewIri(uint64_t i);
+std::string OfferIri(uint64_t i);
+std::string PurchaseIri(uint64_t i);
+std::string RoleIri(uint64_t i);
+std::string ProductCategoryIri(uint64_t i);
+std::string AgeGroupIri(uint64_t i);
+std::string GenderIri(uint64_t i);
+
+}  // namespace prost::watdiv
+
+#endif  // PROST_WATDIV_SCHEMA_H_

@@ -1,0 +1,181 @@
+// Unit tests for the three baseline systems, on small hand-built graphs
+// (the WatDiv-scale equivalence is covered by integration_test).
+
+#include <gtest/gtest.h>
+
+#include "baselines/s2rdf.h"
+#include "baselines/system.h"
+#include "common/io.h"
+#include "rdf/graph.h"
+#include "sparql/parser.h"
+
+namespace prost::baselines {
+namespace {
+
+using rdf::Term;
+
+SharedGraph SmallGraph() {
+  rdf::EncodedGraph graph;
+  auto add = [&](const char* s, const char* p, const char* o, bool lit) {
+    graph.Add({Term::Iri(s), Term::Iri(p),
+               lit ? Term::Literal(o) : Term::Iri(o)});
+  };
+  add("u1", "likes", "p1", false);
+  add("u1", "likes", "p2", false);
+  add("u1", "age", "30", true);
+  add("u2", "likes", "p1", false);
+  add("u2", "age", "31", true);
+  add("p1", "label", "x", true);
+  add("p2", "label", "y", true);
+  add("p1", "madeBy", "u2", false);
+  graph.SortAndDedupe();
+  return std::make_shared<const rdf::EncodedGraph>(std::move(graph));
+}
+
+std::vector<engine::Row> RunQuery(const RdfSystem& system, const char* text) {
+  auto query = sparql::ParseQuery(text);
+  EXPECT_TRUE(query.ok()) << query.status();
+  auto result = system.Execute(*query);
+  EXPECT_TRUE(result.ok()) << system.name() << ": " << result.status();
+  return result->relation.CollectSortedRows();
+}
+
+class BaselineSystemsTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    graph_ = SmallGraph();
+    cluster::ClusterConfig cluster;
+    for (auto maker : {MakeProst, MakeProstVpOnly, MakeSparqlGx, MakeS2Rdf,
+                       MakeRya}) {
+      auto system = maker(graph_, cluster);
+      ASSERT_TRUE(system.ok()) << system.status();
+      systems_.push_back(std::move(system).value());
+    }
+  }
+  static void TearDownTestSuite() {
+    systems_.clear();
+    graph_.reset();
+  }
+
+  static SharedGraph graph_;
+  static std::vector<std::unique_ptr<RdfSystem>> systems_;
+};
+
+SharedGraph BaselineSystemsTest::graph_;
+std::vector<std::unique_ptr<RdfSystem>> BaselineSystemsTest::systems_;
+
+TEST_F(BaselineSystemsTest, AllAgreeOnJoinQuery) {
+  const char* query =
+      "SELECT * WHERE { ?u <likes> ?p . ?p <label> ?l . }";
+  std::vector<engine::Row> expected = RunQuery(*systems_[0], query);
+  EXPECT_EQ(expected.size(), 3u);
+  for (size_t i = 1; i < systems_.size(); ++i) {
+    EXPECT_EQ(RunQuery(*systems_[i], query), expected) << systems_[i]->name();
+  }
+}
+
+TEST_F(BaselineSystemsTest, AllAgreeOnConstantObject) {
+  const char* query = "SELECT * WHERE { ?u <likes> <p1> . ?u <age> ?a . }";
+  std::vector<engine::Row> expected = RunQuery(*systems_[0], query);
+  EXPECT_EQ(expected.size(), 2u);
+  for (size_t i = 1; i < systems_.size(); ++i) {
+    EXPECT_EQ(RunQuery(*systems_[i], query), expected) << systems_[i]->name();
+  }
+}
+
+TEST_F(BaselineSystemsTest, AllAgreeOnCycleQuery) {
+  // u2 likes p1 and p1 madeBy u2: a two-hop cycle.
+  const char* query =
+      "SELECT * WHERE { ?u <likes> ?p . ?p <madeBy> ?u . }";
+  std::vector<engine::Row> expected = RunQuery(*systems_[0], query);
+  EXPECT_EQ(expected.size(), 1u);
+  for (size_t i = 1; i < systems_.size(); ++i) {
+    EXPECT_EQ(RunQuery(*systems_[i], query), expected) << systems_[i]->name();
+  }
+}
+
+TEST_F(BaselineSystemsTest, AllAgreeOnEmptyResult) {
+  const char* query =
+      "SELECT * WHERE { ?u <likes> <does-not-exist> . ?u <age> ?a . }";
+  for (const auto& system : systems_) {
+    EXPECT_TRUE(RunQuery(*system, query).empty()) << system->name();
+  }
+}
+
+TEST_F(BaselineSystemsTest, AllAgreeOnDistinctAndLimit) {
+  const char* query = "SELECT DISTINCT ?u WHERE { ?u <likes> ?p . }";
+  std::vector<engine::Row> expected = RunQuery(*systems_[0], query);
+  EXPECT_EQ(expected.size(), 2u);
+  for (size_t i = 1; i < systems_.size(); ++i) {
+    EXPECT_EQ(RunQuery(*systems_[i], query), expected) << systems_[i]->name();
+  }
+  auto parsed = sparql::ParseQuery(
+      "SELECT ?u WHERE { ?u <likes> ?p . } LIMIT 2");
+  ASSERT_TRUE(parsed.ok());
+  for (const auto& system : systems_) {
+    auto result = system->Execute(*parsed);
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(result->num_rows(), 2u) << system->name();
+  }
+}
+
+TEST_F(BaselineSystemsTest, LoadReportsPopulated) {
+  for (const auto& system : systems_) {
+    EXPECT_EQ(system->load_report().input_triples, graph_->size())
+        << system->name();
+    EXPECT_GT(system->load_report().simulated_load_millis, 0.0)
+        << system->name();
+  }
+}
+
+TEST_F(BaselineSystemsTest, PersistProducesBytes) {
+  std::string base = ::testing::TempDir() + "/prost_baselines_persist";
+  for (const auto& system : systems_) {
+    auto bytes = system->PersistTo(base + "/" + system->name());
+    ASSERT_TRUE(bytes.ok()) << system->name() << ": " << bytes.status();
+    EXPECT_GT(*bytes, 0u) << system->name();
+  }
+  (void)RemoveAllRecursively(base);
+}
+
+TEST_F(BaselineSystemsTest, LoadingCostOrdering) {
+  // Fixed-pass ratios hold at any scale: SPARQLGX <= PRoST < Rya. The
+  // S2RDF > Rya relationship needs predicate-pair volume and is asserted
+  // at WatDiv scale in integration_test.
+  std::map<std::string, double> load;
+  for (const auto& system : systems_) {
+    load[system->name()] = system->load_report().simulated_load_millis;
+  }
+  EXPECT_LE(load["SPARQLGX"], load["PRoST"]);
+  EXPECT_LT(load["PRoST"], load["Rya"]);
+}
+
+TEST(S2RdfTest, ExtVpReductionsAreCorrectSemiJoins) {
+  SharedGraph graph = SmallGraph();
+  cluster::ClusterConfig cluster;
+  auto system = S2RdfSystem::Load(graph, cluster);
+  ASSERT_TRUE(system.ok());
+  auto* s2rdf = static_cast<S2RdfSystem*>(system->get());
+  EXPECT_GT(s2rdf->num_extvp_tables(), 0u);
+  EXPECT_GT(s2rdf->total_extvp_rows(), 0u);
+  // Every stored reduction is a subset of its base VP table, so queries
+  // stay correct — verified behaviourally: the likes ⋈ label result above
+  // equals PRoST's. Here we check the bookkeeping is consistent.
+  EXPECT_LT(s2rdf->total_extvp_rows(),
+            graph->size() * 3 * graph->size());
+}
+
+TEST(MakeAllSystemsTest, OrderAndNames) {
+  SharedGraph graph = SmallGraph();
+  cluster::ClusterConfig cluster;
+  auto systems = MakeAllSystems(graph, cluster);
+  ASSERT_TRUE(systems.ok());
+  ASSERT_EQ(systems->size(), 4u);
+  EXPECT_EQ((*systems)[0]->name(), "PRoST");
+  EXPECT_EQ((*systems)[1]->name(), "S2RDF");
+  EXPECT_EQ((*systems)[2]->name(), "Rya");
+  EXPECT_EQ((*systems)[3]->name(), "SPARQLGX");
+}
+
+}  // namespace
+}  // namespace prost::baselines

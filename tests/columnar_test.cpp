@@ -1,0 +1,520 @@
+// Unit and property tests for the columnar substrate: encodings, stored
+// tables, the lexical (Parquet-like) format, and horizontal partitioning.
+
+#include <gtest/gtest.h>
+
+#include "columnar/encoding.h"
+#include "columnar/lexical_format.h"
+#include "columnar/partition.h"
+#include "columnar/table.h"
+#include "columnar/types.h"
+#include "common/hash.h"
+#include "common/io.h"
+#include "common/rng.h"
+
+namespace prost::columnar {
+namespace {
+
+// --------------------------------------------------------------- Schema
+
+TEST(SchemaTest, FieldIndexAndDuplicates) {
+  Schema schema;
+  ASSERT_TRUE(schema.AddField({"s", ColumnKind::kId}).ok());
+  ASSERT_TRUE(schema.AddField({"o", ColumnKind::kIdList}).ok());
+  EXPECT_EQ(schema.FieldIndex("s"), 0);
+  EXPECT_EQ(schema.FieldIndex("o"), 1);
+  EXPECT_EQ(schema.FieldIndex("missing"), -1);
+  EXPECT_EQ(schema.AddField({"s", ColumnKind::kId}).code(),
+            StatusCode::kAlreadyExists);
+}
+
+// -------------------------------------------------------------- Columns
+
+TEST(ColumnTest, ListColumnAppendAndRowSize) {
+  IdListColumn lists;
+  lists.AppendRow({1, 2, 3});
+  lists.AppendRow({});
+  lists.AppendRow({9});
+  EXPECT_EQ(lists.num_rows(), 3u);
+  EXPECT_EQ(lists.RowSize(0), 3u);
+  EXPECT_EQ(lists.RowSize(1), 0u);
+  EXPECT_EQ(lists.RowSize(2), 1u);
+  EXPECT_EQ(lists.values, (IdVector{1, 2, 3, 9}));
+}
+
+TEST(ColumnTest, StatsFlat) {
+  ColumnStats stats = ComputeStats(IdVector{5, 0, 3, 9, 0});
+  EXPECT_EQ(stats.min_id, 3u);
+  EXPECT_EQ(stats.max_id, 9u);
+  EXPECT_EQ(stats.null_count, 2u);
+  EXPECT_EQ(stats.value_count, 3u);
+}
+
+TEST(ColumnTest, StatsList) {
+  IdListColumn lists;
+  lists.AppendRow({4, 7});
+  lists.AppendRow({});
+  lists.AppendRow({2});
+  ColumnStats stats = ComputeStats(lists);
+  EXPECT_EQ(stats.min_id, 2u);
+  EXPECT_EQ(stats.max_id, 7u);
+  EXPECT_EQ(stats.null_count, 1u);
+  EXPECT_EQ(stats.value_count, 3u);
+}
+
+TEST(ColumnTest, StatsEmpty) {
+  ColumnStats stats = ComputeStats(IdVector{});
+  EXPECT_EQ(stats.value_count, 0u);
+  EXPECT_EQ(stats.null_count, 0u);
+}
+
+// ------------------------------------------------------------ Encodings
+
+struct EncodingCase {
+  const char* name;
+  IdVector ids;
+};
+
+IdVector RandomIds(size_t n, uint64_t cap, uint64_t seed) {
+  Rng rng(seed);
+  IdVector ids(n);
+  for (auto& id : ids) id = rng.NextBounded(cap);
+  return ids;
+}
+
+std::vector<EncodingCase> EncodingCases() {
+  std::vector<EncodingCase> cases;
+  cases.push_back({"empty", {}});
+  cases.push_back({"single", {42}});
+  cases.push_back({"constant", IdVector(1000, 7)});
+  cases.push_back({"all_nulls", IdVector(1000, 0)});
+  IdVector sorted(1000);
+  for (size_t i = 0; i < sorted.size(); ++i) sorted[i] = i * 3 + 1;
+  cases.push_back({"sorted", sorted});
+  IdVector descending(500);
+  for (size_t i = 0; i < descending.size(); ++i) {
+    descending[i] = 100000 - i * 7;
+  }
+  cases.push_back({"descending", descending});
+  cases.push_back({"random_small", RandomIds(2000, 100, 1)});
+  cases.push_back({"random_large", RandomIds(2000, ~0ull, 2)});
+  IdVector runs;
+  for (int r = 0; r < 50; ++r) {
+    runs.insert(runs.end(), 37, static_cast<TermId>(r * r));
+  }
+  cases.push_back({"runs", runs});
+  return cases;
+}
+
+class EncodingRoundTripTest
+    : public ::testing::TestWithParam<std::tuple<int, Encoding>> {};
+
+TEST_P(EncodingRoundTripTest, ExplicitEncodingRoundTrips) {
+  const auto& [case_index, encoding] = GetParam();
+  const EncodingCase c = EncodingCases()[static_cast<size_t>(case_index)];
+  ByteWriter writer;
+  EncodeIdsWith(c.ids, encoding, writer);
+  // The size estimator must agree with the actual encoder.
+  EXPECT_EQ(writer.size(), EncodedSize(c.ids, encoding)) << c.name;
+  ByteWriter tagged;
+  tagged.PutU8(static_cast<uint8_t>(encoding));
+  tagged.PutRaw(writer.buffer().data(), writer.size());
+  ByteReader reader(tagged.buffer());
+  IdVector decoded;
+  ASSERT_TRUE(DecodeIds(reader, c.ids.size(), &decoded).ok()) << c.name;
+  EXPECT_EQ(decoded, c.ids) << c.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, EncodingRoundTripTest,
+    ::testing::Combine(::testing::Range(0, 9),
+                       ::testing::Values(Encoding::kPlainVarint,
+                                         Encoding::kRle,
+                                         Encoding::kDeltaVarint,
+                                         Encoding::kBitPacked)));
+
+TEST(EncodingTest, BitPackedDenseSmallDomainWins) {
+  // Values in [0, 7]: 3 bits each; varint costs a full byte.
+  IdVector ids(4096);
+  Rng rng(21);
+  for (auto& id : ids) id = rng.NextBounded(8);
+  uint64_t packed = EncodedSize(ids, Encoding::kBitPacked);
+  uint64_t plain = EncodedSize(ids, Encoding::kPlainVarint);
+  EXPECT_LT(packed, plain / 2);
+  ByteWriter writer;
+  // Adaptive must pick bit-packing for this shape (RLE runs are short,
+  // deltas are random).
+  EXPECT_EQ(EncodeIdsAdaptive(ids, writer), Encoding::kBitPacked);
+  ByteReader reader(writer.buffer());
+  IdVector decoded;
+  ASSERT_TRUE(DecodeIds(reader, ids.size(), &decoded).ok());
+  EXPECT_EQ(decoded, ids);
+}
+
+TEST(EncodingTest, BitPackedFullWidthValues) {
+  IdVector ids = {~0ull, 0, 1ull << 63, 0x123456789abcdef0ull};
+  ByteWriter writer;
+  EncodeIdsWith(ids, Encoding::kBitPacked, writer);
+  EXPECT_EQ(writer.size(), EncodedSize(ids, Encoding::kBitPacked));
+  ByteWriter tagged;
+  tagged.PutU8(static_cast<uint8_t>(Encoding::kBitPacked));
+  tagged.PutRaw(writer.buffer().data(), writer.size());
+  ByteReader reader(tagged.buffer());
+  IdVector decoded;
+  ASSERT_TRUE(DecodeIds(reader, ids.size(), &decoded).ok());
+  EXPECT_EQ(decoded, ids);
+}
+
+TEST(EncodingTest, BitPackedTruncationIsCorruption) {
+  IdVector ids(100, 5);
+  ByteWriter writer;
+  writer.PutU8(static_cast<uint8_t>(Encoding::kBitPacked));
+  EncodeIdsWith(ids, Encoding::kBitPacked, writer);
+  std::string_view truncated(writer.buffer().data(), writer.size() / 2);
+  ByteReader reader(truncated);
+  IdVector out;
+  EXPECT_EQ(DecodeIds(reader, ids.size(), &out).code(),
+            StatusCode::kCorruption);
+}
+
+TEST(EncodingTest, AdaptivePicksSmallest) {
+  // Constant data must pick RLE; sorted data must pick delta.
+  ByteWriter constant_writer;
+  EXPECT_EQ(EncodeIdsAdaptive(IdVector(1000, 99), constant_writer),
+            Encoding::kRle);
+  IdVector sorted(1000);
+  for (size_t i = 0; i < sorted.size(); ++i) sorted[i] = 1000000 + i * 1000;
+  ByteWriter sorted_writer;
+  EXPECT_EQ(EncodeIdsAdaptive(sorted, sorted_writer),
+            Encoding::kDeltaVarint);
+}
+
+TEST(EncodingTest, AdaptiveRoundTripsRandom) {
+  for (uint64_t seed = 0; seed < 10; ++seed) {
+    IdVector ids = RandomIds(777, 1 << (seed + 2), seed);
+    ByteWriter writer;
+    EncodeIdsAdaptive(ids, writer);
+    ByteReader reader(writer.buffer());
+    IdVector decoded;
+    ASSERT_TRUE(DecodeIds(reader, ids.size(), &decoded).ok());
+    EXPECT_EQ(decoded, ids);
+  }
+}
+
+TEST(EncodingTest, DecodeRejectsBadTag) {
+  std::string bytes = "\x09";
+  ByteReader reader(bytes);
+  IdVector out;
+  EXPECT_EQ(DecodeIds(reader, 0, &out).code(), StatusCode::kCorruption);
+}
+
+TEST(EncodingTest, DecodeRleRejectsOverrun) {
+  ByteWriter writer;
+  writer.PutU8(static_cast<uint8_t>(Encoding::kRle));
+  writer.PutVarint(5);   // value
+  writer.PutVarint(10);  // run longer than requested count
+  ByteReader reader(writer.buffer());
+  IdVector out;
+  EXPECT_EQ(DecodeIds(reader, 3, &out).code(), StatusCode::kCorruption);
+}
+
+TEST(EncodingTest, ListColumnRoundTrip) {
+  IdListColumn lists;
+  lists.AppendRow({1, 2, 3});
+  lists.AppendRow({});
+  lists.AppendRow({7});
+  lists.AppendRow({});
+  lists.AppendRow({5, 5, 5, 5});
+  ByteWriter writer;
+  EncodeIdList(lists, writer);
+  ByteReader reader(writer.buffer());
+  IdListColumn decoded;
+  ASSERT_TRUE(DecodeIdList(reader, lists.num_rows(), &decoded).ok());
+  EXPECT_EQ(decoded, lists);
+}
+
+TEST(EncodingTest, NullHeavyColumnCompressesHard) {
+  // The §3.1 claim: RLE collapses the Property Table's NULLs.
+  IdVector sparse(100000, kNullTermId);
+  sparse[777] = 3;
+  sparse[50000] = 9;
+  uint64_t rle = EncodedSize(sparse, Encoding::kRle);
+  uint64_t plain = EncodedSize(sparse, Encoding::kPlainVarint);
+  EXPECT_LT(rle * 1000, plain);
+}
+
+// ----------------------------------------------------------- StoredTable
+
+StoredTable MakeTable() {
+  Schema schema;
+  EXPECT_TRUE(schema.AddField({"s", ColumnKind::kId}).ok());
+  EXPECT_TRUE(schema.AddField({"vals", ColumnKind::kIdList}).ok());
+  IdVector subjects{1, 2, 3, 4};
+  IdListColumn lists;
+  lists.AppendRow({10, 11});
+  lists.AppendRow({});
+  lists.AppendRow({12});
+  lists.AppendRow({13, 14, 15});
+  std::vector<Column> columns;
+  columns.emplace_back(std::move(subjects));
+  columns.emplace_back(std::move(lists));
+  return StoredTable(std::move(schema), std::move(columns));
+}
+
+TEST(StoredTableTest, ValidateCatchesShapeErrors) {
+  StoredTable good = MakeTable();
+  EXPECT_TRUE(good.Validate().ok());
+
+  Schema schema;
+  ASSERT_TRUE(schema.AddField({"a", ColumnKind::kId}).ok());
+  ASSERT_TRUE(schema.AddField({"b", ColumnKind::kId}).ok());
+  std::vector<Column> ragged;
+  ragged.emplace_back(IdVector{1, 2});
+  ragged.emplace_back(IdVector{1});
+  EXPECT_FALSE(StoredTable(schema, std::move(ragged)).Validate().ok());
+
+  std::vector<Column> wrong_kind;
+  wrong_kind.emplace_back(IdVector{1});
+  wrong_kind.emplace_back(IdListColumn{});
+  // One row vs zero rows AND kind mismatch; either way it must fail.
+  EXPECT_FALSE(StoredTable(schema, std::move(wrong_kind)).Validate().ok());
+}
+
+TEST(StoredTableTest, ColumnByName) {
+  StoredTable table = MakeTable();
+  ASSERT_TRUE(table.ColumnByName("s").ok());
+  EXPECT_FALSE(table.ColumnByName("missing").ok());
+}
+
+TEST(StoredTableTest, SerializeRoundTrip) {
+  StoredTable table = MakeTable();
+  std::string bytes;
+  table.Serialize(&bytes);
+  auto restored = StoredTable::Deserialize(bytes);
+  ASSERT_TRUE(restored.ok()) << restored.status();
+  EXPECT_EQ(restored->schema(), table.schema());
+  EXPECT_EQ(restored->num_rows(), table.num_rows());
+  EXPECT_EQ(restored->column(0), table.column(0));
+  EXPECT_EQ(restored->column(1), table.column(1));
+}
+
+TEST(StoredTableTest, SerializeEmptyTable) {
+  Schema schema;
+  ASSERT_TRUE(schema.AddField({"s", ColumnKind::kId}).ok());
+  StoredTable table(schema);
+  std::string bytes;
+  table.Serialize(&bytes);
+  auto restored = StoredTable::Deserialize(bytes);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored->num_rows(), 0u);
+}
+
+TEST(StoredTableTest, MultiRowGroupRoundTrip) {
+  Schema schema;
+  ASSERT_TRUE(schema.AddField({"v", ColumnKind::kId}).ok());
+  IdVector big(kRowGroupSize * 2 + 123);
+  Rng rng(9);
+  for (auto& id : big) id = rng.NextBounded(1 << 22);
+  std::vector<Column> columns;
+  columns.emplace_back(IdVector(big));
+  StoredTable table(schema, std::move(columns));
+  std::string bytes;
+  table.Serialize(&bytes);
+  auto restored = StoredTable::Deserialize(bytes);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored->column(0).ids(), big);
+}
+
+TEST(StoredTableTest, CorruptionDetected) {
+  StoredTable table = MakeTable();
+  std::string bytes;
+  table.Serialize(&bytes);
+  bytes[bytes.size() / 2] ^= 0x40;  // Flip a bit in the middle.
+  EXPECT_EQ(StoredTable::Deserialize(bytes).status().code(),
+            StatusCode::kCorruption);
+  EXPECT_FALSE(StoredTable::Deserialize("short").ok());
+}
+
+TEST(StoredTableTest, FileRoundTrip) {
+  std::string path = ::testing::TempDir() + "/prost_table_test.tbl";
+  StoredTable table = MakeTable();
+  ASSERT_TRUE(WriteTableFile(table, path).ok());
+  auto restored = ReadTableFile(path);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored->column(0), table.column(0));
+  (void)RemoveAllRecursively(path);
+}
+
+// -------------------------------------------------------- Lexical format
+
+TEST(LexicalFormatTest, RoundTripSameDictionary) {
+  rdf::Dictionary dict;
+  TermId a = dict.Intern("<http://a>");
+  TermId b = dict.Intern("<http://b>");
+  TermId lit = dict.Intern("\"value\"");
+
+  Schema schema;
+  ASSERT_TRUE(schema.AddField({"s", ColumnKind::kId}).ok());
+  ASSERT_TRUE(schema.AddField({"o", ColumnKind::kIdList}).ok());
+  IdVector subjects{a, b, a};
+  IdListColumn lists;
+  lists.AppendRow({lit});
+  lists.AppendRow({});
+  lists.AppendRow({a, b});
+  std::vector<Column> columns;
+  columns.emplace_back(std::move(subjects));
+  columns.emplace_back(std::move(lists));
+  StoredTable table(schema, std::move(columns));
+
+  std::string bytes;
+  ASSERT_TRUE(SerializeLexicalTable(table, dict, &bytes).ok());
+  auto restored = DeserializeLexicalTable(bytes, &dict);
+  ASSERT_TRUE(restored.ok()) << restored.status();
+  EXPECT_EQ(restored->column(0), table.column(0));
+  EXPECT_EQ(restored->column(1), table.column(1));
+}
+
+TEST(LexicalFormatTest, RoundTripFreshDictionaryRemapsIds) {
+  rdf::Dictionary dict;
+  // Intern decoys first so ids differ from a fresh dictionary's.
+  dict.Intern("<decoy1>");
+  dict.Intern("<decoy2>");
+  TermId a = dict.Intern("<http://a>");
+  TermId lit = dict.Intern("\"v\"");
+
+  Schema schema;
+  ASSERT_TRUE(schema.AddField({"s", ColumnKind::kId}).ok());
+  ASSERT_TRUE(schema.AddField({"o", ColumnKind::kId}).ok());
+  std::vector<Column> columns;
+  columns.emplace_back(IdVector{a, a});
+  columns.emplace_back(IdVector{lit, kNullTermId});
+  StoredTable table(schema, std::move(columns));
+
+  std::string bytes;
+  ASSERT_TRUE(SerializeLexicalTable(table, dict, &bytes).ok());
+  rdf::Dictionary fresh;
+  auto restored = DeserializeLexicalTable(bytes, &fresh);
+  ASSERT_TRUE(restored.ok());
+  // Ids are remapped, but decode to the same lexical content; NULL stays
+  // NULL.
+  EXPECT_EQ(fresh.LookupId(restored->column(0).ids()[0]).value(),
+            "<http://a>");
+  EXPECT_EQ(fresh.LookupId(restored->column(1).ids()[0]).value(), "\"v\"");
+  EXPECT_EQ(restored->column(1).ids()[1], kNullTermId);
+}
+
+TEST(LexicalFormatTest, FileRoundTripWithCompression) {
+  rdf::Dictionary dict;
+  Schema schema;
+  ASSERT_TRUE(schema.AddField({"s", ColumnKind::kId}).ok());
+  IdVector subjects;
+  for (int i = 0; i < 500; ++i) {
+    subjects.push_back(dict.Intern("<http://entity/" +
+                                   std::to_string(i % 50) + ">"));
+  }
+  std::vector<Column> columns;
+  columns.emplace_back(std::move(subjects));
+  StoredTable table(schema, std::move(columns));
+
+  std::string path = ::testing::TempDir() + "/prost_lexical_test.tbl";
+  ASSERT_TRUE(WriteLexicalTableFile(table, dict, path).ok());
+  rdf::Dictionary fresh;
+  auto restored = ReadLexicalTableFile(path, &fresh);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored->num_rows(), 500u);
+  EXPECT_EQ(fresh.size(), 50u);
+  (void)RemoveAllRecursively(path);
+}
+
+TEST(LexicalFormatTest, ChecksumDetectsCorruption) {
+  rdf::Dictionary dict;
+  Schema schema;
+  ASSERT_TRUE(schema.AddField({"s", ColumnKind::kId}).ok());
+  std::vector<Column> columns;
+  columns.emplace_back(IdVector{dict.Intern("<a>")});
+  StoredTable table(schema, std::move(columns));
+  std::string bytes;
+  ASSERT_TRUE(SerializeLexicalTable(table, dict, &bytes).ok());
+  bytes[6] ^= 0x01;
+  rdf::Dictionary fresh;
+  EXPECT_EQ(DeserializeLexicalTable(bytes, &fresh).status().code(),
+            StatusCode::kCorruption);
+}
+
+TEST(LexicalFormatTest, SizeEstimateCountsDistinctLexicals) {
+  rdf::Dictionary dict;
+  TermId a = dict.Intern("<http://a-very-long-iri/aaaaaaaa>");
+  std::vector<uint32_t> lengths = dict.TermLengths();
+  // 1000 repetitions of one value: lexical bytes charged once.
+  Column column(IdVector(1000, a));
+  uint64_t estimate = LexicalColumnSizeEstimate(column, lengths);
+  EXPECT_LT(estimate, 100u);
+}
+
+// ------------------------------------------------------------ Partition
+
+TEST(PartitionTest, HashAssignmentIsDeterministicAndComplete) {
+  IdVector keys = RandomIds(5000, 1 << 20, 12);
+  auto assignment = AssignPartitionsByHash(keys, 9);
+  auto assignment2 = AssignPartitionsByHash(keys, 9);
+  EXPECT_EQ(assignment, assignment2);
+  std::vector<int> counts(9, 0);
+  for (size_t i = 0; i < keys.size(); ++i) {
+    ASSERT_LT(assignment[i], 9u);
+    ++counts[assignment[i]];
+    // Equal keys always land together.
+    EXPECT_EQ(assignment[i],
+              static_cast<uint32_t>(Mix64(keys[i]) % 9));
+  }
+  for (int c : counts) EXPECT_GT(c, 300);  // Roughly balanced.
+}
+
+TEST(PartitionTest, RoundRobin) {
+  auto assignment = AssignPartitionsRoundRobin(10, 3);
+  EXPECT_EQ(assignment,
+            (std::vector<uint32_t>{0, 1, 2, 0, 1, 2, 0, 1, 2, 0}));
+}
+
+TEST(PartitionTest, SplitPreservesRowsAndLists) {
+  Schema schema;
+  ASSERT_TRUE(schema.AddField({"k", ColumnKind::kId}).ok());
+  ASSERT_TRUE(schema.AddField({"l", ColumnKind::kIdList}).ok());
+  IdVector keys{10, 20, 30, 40, 50};
+  IdListColumn lists;
+  lists.AppendRow({1});
+  lists.AppendRow({2, 3});
+  lists.AppendRow({});
+  lists.AppendRow({4, 5, 6});
+  lists.AppendRow({7});
+  std::vector<Column> columns;
+  columns.emplace_back(IdVector(keys));
+  columns.emplace_back(std::move(lists));
+  StoredTable table(schema, std::move(columns));
+
+  auto partitions = HashPartitionTable(table, 0, 3);
+  ASSERT_TRUE(partitions.ok()) << partitions.status();
+  size_t total_rows = 0, total_values = 0;
+  for (const StoredTable& part : *partitions) {
+    ASSERT_TRUE(part.Validate().ok());
+    total_rows += part.num_rows();
+    total_values += part.column(1).lists().values.size();
+    // Placement invariant: every row's key hashes to this partition.
+  }
+  EXPECT_EQ(total_rows, 5u);
+  EXPECT_EQ(total_values, 7u);
+}
+
+TEST(PartitionTest, SplitRejectsBadInput) {
+  Schema schema;
+  ASSERT_TRUE(schema.AddField({"k", ColumnKind::kId}).ok());
+  std::vector<Column> columns;
+  columns.emplace_back(IdVector{1, 2});
+  StoredTable table(schema, std::move(columns));
+  EXPECT_FALSE(SplitByAssignment(table, {0}, 2).ok());     // Size mismatch.
+  EXPECT_FALSE(SplitByAssignment(table, {0, 5}, 2).ok());  // Out of range.
+  EXPECT_FALSE(SplitByAssignment(table, {0, 1}, 0).ok());  // Zero parts.
+  EXPECT_FALSE(HashPartitionTable(table, 3, 2).ok());      // Bad column.
+}
+
+}  // namespace
+}  // namespace prost::columnar

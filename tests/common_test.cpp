@@ -1,0 +1,418 @@
+// Unit tests for the common substrate: Status/Result, string utilities,
+// deterministic RNG and Zipf sampling, hashing, binary IO, file helpers,
+// and compression.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+#include <map>
+#include <set>
+
+#include "common/compression.h"
+#include "common/hash.h"
+#include "common/io.h"
+#include "common/logging.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/str_util.h"
+
+namespace prost {
+namespace {
+
+// ---------------------------------------------------------------- Status
+
+TEST(StatusTest, DefaultIsOk) {
+  Status status;
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kOk);
+  EXPECT_EQ(status.ToString(), "ok");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status status = Status::NotFound("missing table");
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kNotFound);
+  EXPECT_EQ(status.message(), "missing table");
+  EXPECT_EQ(status.ToString(), "not_found: missing table");
+}
+
+TEST(StatusTest, AllFactoriesProduceDistinctCodes) {
+  std::set<StatusCode> codes;
+  for (const Status& status :
+       {Status::InvalidArgument(""), Status::NotFound(""),
+        Status::AlreadyExists(""), Status::OutOfRange(""),
+        Status::Unimplemented(""), Status::Internal(""), Status::IOError(""),
+        Status::Corruption(""), Status::ParseError(""),
+        Status::ResourceExhausted("")}) {
+    EXPECT_FALSE(status.ok());
+    codes.insert(status.code());
+  }
+  EXPECT_EQ(codes.size(), 10u);
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::NotFound("x"), Status::NotFound("x"));
+  EXPECT_FALSE(Status::NotFound("x") == Status::NotFound("y"));
+  EXPECT_FALSE(Status::NotFound("x") == Status::Internal("x"));
+}
+
+TEST(StatusCodeTest, NamesAreStable) {
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kOk), "ok");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kCorruption), "corruption");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kParseError), "parse_error");
+}
+
+// ---------------------------------------------------------------- Result
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> result = 42;
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value(), 42);
+  EXPECT_EQ(*result, 42);
+  EXPECT_TRUE(result.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> result = Status::NotFound("nope");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> result = std::string(1000, 'x');
+  std::string value = std::move(result).value();
+  EXPECT_EQ(value.size(), 1000u);
+}
+
+Result<int> HalveEven(int x) {
+  if (x % 2 != 0) return Status::InvalidArgument("odd");
+  return x / 2;
+}
+
+Result<int> QuarterViaMacro(int x) {
+  PROST_ASSIGN_OR_RETURN(int half, HalveEven(x));
+  PROST_ASSIGN_OR_RETURN(int quarter, HalveEven(half));
+  return quarter;
+}
+
+TEST(ResultTest, AssignOrReturnPropagates) {
+  EXPECT_EQ(QuarterViaMacro(8).value(), 2);
+  EXPECT_EQ(QuarterViaMacro(6).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(QuarterViaMacro(5).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+Status FailIfNegative(int x) {
+  if (x < 0) return Status::OutOfRange("negative");
+  return Status::OK();
+}
+
+Status CheckBoth(int a, int b) {
+  PROST_RETURN_IF_ERROR(FailIfNegative(a));
+  PROST_RETURN_IF_ERROR(FailIfNegative(b));
+  return Status::OK();
+}
+
+TEST(ResultTest, ReturnIfErrorPropagates) {
+  EXPECT_TRUE(CheckBoth(1, 2).ok());
+  EXPECT_FALSE(CheckBoth(-1, 2).ok());
+  EXPECT_FALSE(CheckBoth(1, -2).ok());
+}
+
+// -------------------------------------------------------------- StrUtil
+
+TEST(StrUtilTest, StrFormatBasics) {
+  EXPECT_EQ(StrFormat("%d-%s", 7, "x"), "7-x");
+  EXPECT_EQ(StrFormat("%.2f", 1.005), "1.00");
+  EXPECT_EQ(StrFormat("empty"), "empty");
+}
+
+TEST(StrUtilTest, StrSplitKeepsEmptyFields) {
+  EXPECT_EQ(StrSplit("a,b,c", ','),
+            (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(StrSplit(",a,", ','), (std::vector<std::string>{"", "a", ""}));
+  EXPECT_EQ(StrSplit("", ','), (std::vector<std::string>{""}));
+}
+
+TEST(StrUtilTest, StrTrim) {
+  EXPECT_EQ(StrTrim("  x \t"), "x");
+  EXPECT_EQ(StrTrim("\r\n"), "");
+  EXPECT_EQ(StrTrim("no-trim"), "no-trim");
+}
+
+TEST(StrUtilTest, StrJoin) {
+  EXPECT_EQ(StrJoin({"a", "b"}, ", "), "a, b");
+  EXPECT_EQ(StrJoin({}, ", "), "");
+  EXPECT_EQ(StrJoin({"solo"}, ","), "solo");
+}
+
+TEST(StrUtilTest, StartsEndsWith) {
+  EXPECT_TRUE(StartsWith("hello", "he"));
+  EXPECT_FALSE(StartsWith("he", "hello"));
+  EXPECT_TRUE(EndsWith("hello", "lo"));
+  EXPECT_FALSE(EndsWith("lo", "hello"));
+}
+
+TEST(StrUtilTest, HumanBytes) {
+  EXPECT_EQ(HumanBytes(512), "512 B");
+  EXPECT_EQ(HumanBytes(2048), "2.0 KB");
+  EXPECT_EQ(HumanBytes(2u * 1024 * 1024 * 1024ull + 100 * 1024 * 1024),
+            "2.1 GB");
+}
+
+TEST(StrUtilTest, HumanDuration) {
+  EXPECT_EQ(HumanDuration(1195), "1,195ms");
+  EXPECT_EQ(HumanDuration(25 * 60000.0 + 32000), "25m 32s");
+  EXPECT_EQ(HumanDuration(3 * 3600000.0 + 11 * 60000 + 44000), "3h 11m 44s");
+}
+
+TEST(StrUtilTest, WithThousands) {
+  EXPECT_EQ(WithThousands(0), "0");
+  EXPECT_EQ(WithThousands(999), "999");
+  EXPECT_EQ(WithThousands(1000), "1,000");
+  EXPECT_EQ(WithThousands(2195322), "2,195,322");
+}
+
+// ------------------------------------------------------------------ Rng
+
+TEST(RngTest, Deterministic) {
+  Rng a(42), b(42), c(43);
+  EXPECT_EQ(a.Next(), b.Next());
+  EXPECT_EQ(a.Next(), b.Next());
+  Rng a2(42);
+  EXPECT_NE(a2.Next(), c.Next());
+}
+
+TEST(RngTest, BoundedStaysInBounds) {
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.NextBounded(17), 17u);
+    uint64_t v = rng.NextInRange(5, 9);
+    EXPECT_GE(v, 5u);
+    EXPECT_LE(v, 9u);
+  }
+}
+
+TEST(RngTest, DoubleInUnitInterval) {
+  Rng rng(2);
+  for (int i = 0; i < 1000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, BernoulliEdges) {
+  Rng rng(3);
+  EXPECT_FALSE(rng.NextBernoulli(0.0));
+  EXPECT_TRUE(rng.NextBernoulli(1.0));
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) hits += rng.NextBernoulli(0.3);
+  EXPECT_NEAR(hits / 10000.0, 0.3, 0.03);
+}
+
+TEST(RngTest, ShuffleIsAPermutation) {
+  Rng rng(4);
+  std::vector<int> values{1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> shuffled = values;
+  rng.Shuffle(shuffled);
+  std::multiset<int> a(values.begin(), values.end());
+  std::multiset<int> b(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(a, b);
+}
+
+TEST(ZipfTest, RankZeroMostPopular) {
+  ZipfGenerator zipf(100, 0.9);
+  Rng rng(5);
+  std::map<uint64_t, int> counts;
+  for (int i = 0; i < 20000; ++i) ++counts[zipf.Sample(rng)];
+  // Rank 0 strictly more popular than rank 10, which beats rank 50.
+  EXPECT_GT(counts[0], counts[10]);
+  EXPECT_GT(counts[10], counts[50]);
+}
+
+TEST(ZipfTest, StaysInRange) {
+  ZipfGenerator zipf(7, 1.2);
+  Rng rng(6);
+  for (int i = 0; i < 5000; ++i) {
+    EXPECT_LT(zipf.Sample(rng), 7u);
+  }
+}
+
+TEST(ZipfTest, SingleItemAlwaysZero) {
+  ZipfGenerator zipf(1, 0.5);
+  Rng rng(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(zipf.Sample(rng), 0u);
+}
+
+TEST(ZipfTest, SkewOneUsesLogBranch) {
+  ZipfGenerator zipf(50, 1.0);
+  Rng rng(8);
+  std::map<uint64_t, int> counts;
+  for (int i = 0; i < 20000; ++i) ++counts[zipf.Sample(rng)];
+  EXPECT_GT(counts[0], counts[20]);
+}
+
+// ----------------------------------------------------------------- Hash
+
+TEST(HashTest, Mix64Avalanches) {
+  // Flipping one input bit flips roughly half the output bits.
+  uint64_t base = Mix64(0x1234567890abcdefULL);
+  int total_flips = 0;
+  for (int bit = 0; bit < 64; ++bit) {
+    uint64_t flipped = Mix64(0x1234567890abcdefULL ^ (1ULL << bit));
+    total_flips += __builtin_popcountll(base ^ flipped);
+  }
+  double avg = total_flips / 64.0;
+  EXPECT_GT(avg, 24.0);
+  EXPECT_LT(avg, 40.0);
+}
+
+TEST(HashTest, HashBytesDistinguishes) {
+  EXPECT_NE(HashBytes("a"), HashBytes("b"));
+  EXPECT_NE(HashBytes(""), HashBytes("a"));
+  EXPECT_EQ(HashBytes("same"), HashBytes("same"));
+}
+
+TEST(HashTest, HashCombineOrderSensitive) {
+  EXPECT_NE(HashCombine(1, 2), HashCombine(2, 1));
+}
+
+// ------------------------------------------------------------- Byte IO
+
+TEST(ByteIoTest, PrimitivesRoundTrip) {
+  ByteWriter writer;
+  writer.PutU8(7);
+  writer.PutU32(0xdeadbeef);
+  writer.PutU64(0x0123456789abcdefULL);
+  writer.PutDouble(3.25);
+  writer.PutVarint(0);
+  writer.PutVarint(127);
+  writer.PutVarint(128);
+  writer.PutVarint(~0ull);
+  writer.PutString("hello");
+  writer.PutString("");
+
+  ByteReader reader(writer.buffer());
+  uint8_t u8;
+  uint32_t u32;
+  uint64_t u64, v;
+  double d;
+  std::string s;
+  ASSERT_TRUE(reader.GetU8(&u8).ok());
+  EXPECT_EQ(u8, 7);
+  ASSERT_TRUE(reader.GetU32(&u32).ok());
+  EXPECT_EQ(u32, 0xdeadbeefu);
+  ASSERT_TRUE(reader.GetU64(&u64).ok());
+  EXPECT_EQ(u64, 0x0123456789abcdefULL);
+  ASSERT_TRUE(reader.GetDouble(&d).ok());
+  EXPECT_EQ(d, 3.25);
+  for (uint64_t expected : {0ull, 127ull, 128ull, ~0ull}) {
+    ASSERT_TRUE(reader.GetVarint(&v).ok());
+    EXPECT_EQ(v, expected);
+  }
+  ASSERT_TRUE(reader.GetString(&s).ok());
+  EXPECT_EQ(s, "hello");
+  ASSERT_TRUE(reader.GetString(&s).ok());
+  EXPECT_EQ(s, "");
+  EXPECT_TRUE(reader.AtEnd());
+}
+
+TEST(ByteIoTest, TruncationIsCorruption) {
+  ByteWriter writer;
+  writer.PutU64(1);
+  std::string_view half(writer.buffer().data(), 4);
+  ByteReader reader(half);
+  uint64_t v;
+  EXPECT_EQ(reader.GetU64(&v).code(), StatusCode::kCorruption);
+}
+
+TEST(ByteIoTest, TruncatedVarintIsCorruption) {
+  std::string bytes = "\xff";  // Continuation bit set, nothing follows.
+  ByteReader reader(bytes);
+  uint64_t v;
+  EXPECT_EQ(reader.GetVarint(&v).code(), StatusCode::kCorruption);
+}
+
+TEST(ByteIoTest, OverlongVarintIsCorruption) {
+  std::string bytes(11, '\xff');
+  ByteReader reader(bytes);
+  uint64_t v;
+  EXPECT_EQ(reader.GetVarint(&v).code(), StatusCode::kCorruption);
+}
+
+TEST(ByteIoTest, SkipAndRemaining) {
+  ByteWriter writer;
+  writer.PutRaw("abcdef", 6);
+  ByteReader reader(writer.buffer());
+  EXPECT_EQ(reader.remaining(), 6u);
+  ASSERT_TRUE(reader.Skip(4).ok());
+  EXPECT_EQ(reader.remaining(), 2u);
+  EXPECT_FALSE(reader.Skip(3).ok());
+}
+
+// -------------------------------------------------------------- File IO
+
+TEST(FileIoTest, WriteReadRoundTrip) {
+  std::string dir = ::testing::TempDir() + "/prost_io_test";
+  ASSERT_TRUE(MakeDirectories(dir + "/nested/deeper").ok());
+  std::string path = dir + "/nested/file.bin";
+  std::string payload = "binary\0data", read_back;
+  ASSERT_TRUE(WriteStringToFile(path, payload).ok());
+  ASSERT_TRUE(ReadFileToString(path, &read_back).ok());
+  EXPECT_EQ(read_back, payload);
+  EXPECT_EQ(FileSize(path).value(), payload.size());
+  EXPECT_GE(DirectorySize(dir).value(), payload.size());
+  ASSERT_TRUE(RemoveAllRecursively(dir).ok());
+  EXPECT_FALSE(std::filesystem::exists(dir));
+}
+
+TEST(FileIoTest, MissingFileErrors) {
+  std::string contents;
+  EXPECT_EQ(ReadFileToString("/nonexistent/prost/file", &contents).code(),
+            StatusCode::kIOError);
+  EXPECT_FALSE(FileSize("/nonexistent/prost/file").ok());
+}
+
+// ---------------------------------------------------------- Compression
+
+TEST(CompressionTest, RoundTrip) {
+  std::string input;
+  for (int i = 0; i < 1000; ++i) {
+    input += "<http://db.uwaterloo.ca/~galuc/wsdbm/User" +
+             std::to_string(i % 100) + ">\n";
+  }
+  auto compressed = DeflateCompress(input);
+  ASSERT_TRUE(compressed.ok());
+  EXPECT_LT(compressed->size(), input.size() / 2);
+  auto restored = DeflateDecompress(*compressed);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(*restored, input);
+}
+
+TEST(CompressionTest, EmptyInput) {
+  auto compressed = DeflateCompress("");
+  ASSERT_TRUE(compressed.ok());
+  auto restored = DeflateDecompress(*compressed);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_TRUE(restored->empty());
+}
+
+TEST(CompressionTest, GarbageInputIsCorruption) {
+  auto restored = DeflateDecompress("definitely not deflate data");
+  EXPECT_FALSE(restored.ok());
+}
+
+// -------------------------------------------------------------- Logging
+
+TEST(LoggingTest, LevelRoundTrip) {
+  LogLevel original = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+  SetLogLevel(original);
+}
+
+}  // namespace
+}  // namespace prost

@@ -1,0 +1,197 @@
+// Unit tests for the sorted key-value store (the Accumulo stand-in):
+// write/read semantics, LSM merge behaviour, range and prefix scans,
+// bulk loading, serialization, and big-endian key encoding.
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/io.h"
+#include "common/rng.h"
+#include "kvstore/kv_store.h"
+
+namespace prost::kvstore {
+namespace {
+
+TEST(KvStoreTest, PutGet) {
+  SortedKvStore store;
+  store.Put("b", "2");
+  store.Put("a", "1");
+  EXPECT_EQ(store.Get("a").value(), "1");
+  EXPECT_EQ(store.Get("b").value(), "2");
+  EXPECT_FALSE(store.Get("c").has_value());
+}
+
+TEST(KvStoreTest, OverwriteInMemtable) {
+  SortedKvStore store;
+  store.Put("k", "old");
+  store.Put("k", "new");
+  EXPECT_EQ(store.Get("k").value(), "new");
+  EXPECT_EQ(store.num_entries(), 1u);
+}
+
+TEST(KvStoreTest, MemtableShadowsRuns) {
+  SortedKvStore store;
+  store.Put("k", "v1");
+  store.Flush();
+  store.Put("k", "v2");
+  EXPECT_EQ(store.Get("k").value(), "v2");
+  EXPECT_EQ(store.num_entries(), 1u);
+}
+
+TEST(KvStoreTest, NewerRunShadowsOlder) {
+  SortedKvStore store;
+  store.Put("k", "v1");
+  store.Flush();
+  store.Put("k", "v2");
+  store.Flush();
+  EXPECT_EQ(store.num_runs(), 2u);
+  EXPECT_EQ(store.Get("k").value(), "v2");
+  store.Compact();
+  EXPECT_EQ(store.num_runs(), 1u);
+  EXPECT_EQ(store.Get("k").value(), "v2");
+}
+
+TEST(KvStoreTest, ScanMergesSourcesInOrder) {
+  SortedKvStore store;
+  store.Put("d", "run1");
+  store.Put("b", "run1");
+  store.Flush();
+  store.Put("c", "run2");
+  store.Put("b", "run2");  // Overwrites run1's b.
+  store.Flush();
+  store.Put("a", "mem");
+
+  auto it = store.Scan("", "");
+  std::vector<std::pair<std::string, std::string>> seen;
+  for (; it.Valid(); it.Next()) {
+    seen.emplace_back(std::string(it.key()), std::string(it.value()));
+  }
+  EXPECT_EQ(seen, (std::vector<std::pair<std::string, std::string>>{
+                      {"a", "mem"}, {"b", "run2"}, {"c", "run2"},
+                      {"d", "run1"}}));
+}
+
+TEST(KvStoreTest, ScanRangeBoundsAreHalfOpen) {
+  SortedKvStore store;
+  for (const char* k : {"a", "b", "c", "d"}) store.Put(k, "");
+  auto it = store.Scan("b", "d");
+  std::vector<std::string> keys;
+  for (; it.Valid(); it.Next()) keys.emplace_back(it.key());
+  EXPECT_EQ(keys, (std::vector<std::string>{"b", "c"}));
+}
+
+TEST(KvStoreTest, ScanPrefix) {
+  SortedKvStore store;
+  store.Put("ab1", "");
+  store.Put("ab2", "");
+  store.Put("ac", "");
+  store.Put("b", "");
+  auto it = store.ScanPrefix("ab");
+  EXPECT_EQ(it.size(), 2u);
+}
+
+TEST(KvStoreTest, ScanPrefixAtKeyspaceEnd) {
+  // Prefix of 0xff bytes has no upper bound string; must scan to the end.
+  SortedKvStore store;
+  std::string high = "\xff\xff";
+  store.Put(high + "a", "1");
+  store.Put("a", "2");
+  auto it = store.ScanPrefix(high);
+  EXPECT_EQ(it.size(), 1u);
+}
+
+TEST(KvStoreTest, BulkLoadSortsAndDedupes) {
+  SortedKvStore store;
+  std::vector<std::pair<std::string, std::string>> entries = {
+      {"c", "1"}, {"a", "1"}, {"b", "1"}, {"a", "2"}};
+  store.BulkLoad(std::move(entries));
+  EXPECT_EQ(store.num_entries(), 3u);
+  // Last occurrence of the duplicate key wins.
+  EXPECT_EQ(store.Get("a").value(), "2");
+  auto it = store.Scan("", "");
+  std::string previous;
+  for (; it.Valid(); it.Next()) {
+    EXPECT_LT(previous, std::string(it.key()));
+    previous = std::string(it.key());
+  }
+}
+
+TEST(KvStoreTest, LargeRandomWorkloadMatchesStdMap) {
+  SortedKvStore store;
+  std::map<std::string, std::string> reference;
+  Rng rng(11);
+  for (int i = 0; i < 3000; ++i) {
+    std::string key = BigEndianKey(rng.NextBounded(500));
+    std::string value = std::to_string(rng.Next());
+    store.Put(key, value);
+    reference[key] = value;
+    if (i % 700 == 0) store.Flush();
+    if (i % 1500 == 0) store.Compact();
+  }
+  EXPECT_EQ(store.num_entries(), reference.size());
+  for (const auto& [key, value] : reference) {
+    EXPECT_EQ(store.Get(key).value(), value);
+  }
+  // Range scan equivalence on a sub-range.
+  std::string lo = BigEndianKey(100), hi = BigEndianKey(300);
+  auto it = store.Scan(lo, hi);
+  auto ref_it = reference.lower_bound(lo);
+  size_t count = 0;
+  for (; it.Valid(); it.Next(), ++ref_it, ++count) {
+    ASSERT_NE(ref_it, reference.end());
+    EXPECT_EQ(it.key(), ref_it->first);
+    EXPECT_EQ(it.value(), ref_it->second);
+  }
+  EXPECT_EQ(ref_it, reference.lower_bound(hi));
+}
+
+TEST(KvStoreTest, ApproximateBytesGrows) {
+  SortedKvStore store;
+  uint64_t empty = store.ApproximateBytes();
+  store.Put("key", "value");
+  EXPECT_GT(store.ApproximateBytes(), empty);
+}
+
+TEST(KvStoreTest, SerializeRoundTrip) {
+  SortedKvStore store;
+  store.Put("b", "2");
+  store.Put("a", "1");
+  store.Flush();
+  store.Put("c", "3");
+  std::string bytes;
+  store.Serialize(&bytes);
+  auto restored = SortedKvStore::Deserialize(bytes);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored->num_entries(), 3u);
+  EXPECT_EQ(restored->Get("b").value(), "2");
+}
+
+TEST(KvStoreTest, DeserializeRejectsUnsortedData) {
+  ByteWriter writer;
+  writer.PutVarint(2);
+  writer.PutString("b");
+  writer.PutString("");
+  writer.PutString("a");  // Out of order.
+  writer.PutString("");
+  EXPECT_EQ(SortedKvStore::Deserialize(writer.buffer()).status().code(),
+            StatusCode::kCorruption);
+}
+
+TEST(BigEndianKeyTest, PreservesNumericOrder) {
+  Rng rng(13);
+  for (int i = 0; i < 1000; ++i) {
+    uint64_t a = rng.Next(), b = rng.Next();
+    EXPECT_EQ(a < b, BigEndianKey(a) < BigEndianKey(b));
+  }
+}
+
+TEST(BigEndianKeyTest, RoundTrip) {
+  for (uint64_t v : {0ull, 1ull, 255ull, 256ull, ~0ull}) {
+    EXPECT_EQ(DecodeBigEndianKey(BigEndianKey(v)), v);
+  }
+  EXPECT_EQ(BigEndianKey(7).size(), 8u);
+}
+
+}  // namespace
+}  // namespace prost::kvstore

@@ -1,0 +1,322 @@
+// Tests for FILTER constraints and solution modifiers (ORDER BY, OFFSET,
+// LIMIT, DISTINCT) across the parser, the shared evaluator in
+// core/modifiers.cc, and all four systems.
+
+#include <gtest/gtest.h>
+
+#include "baselines/system.h"
+#include "core/prost_db.h"
+#include "reference_evaluator.h"
+#include "sparql/parser.h"
+
+namespace prost {
+namespace {
+
+using rdf::Term;
+
+// ------------------------------------------------------------- Parsing
+
+TEST(FilterParseTest, ComparisonOperators) {
+  auto query = sparql::ParseQuery(
+      "SELECT * WHERE { ?s <http://p> ?o . FILTER(?o > 5) . "
+      "FILTER(?o <= 10) FILTER(?o != \"x\") }");
+  ASSERT_TRUE(query.ok()) << query.status();
+  ASSERT_EQ(query->filters.size(), 3u);
+  EXPECT_EQ(query->filters[0].op, sparql::CompareOp::kGt);
+  EXPECT_EQ(query->filters[0].rhs_term.datatype,
+            "http://www.w3.org/2001/XMLSchema#integer");
+  EXPECT_EQ(query->filters[1].op, sparql::CompareOp::kLe);
+  EXPECT_EQ(query->filters[2].op, sparql::CompareOp::kNe);
+  EXPECT_EQ(query->filters[2].rhs_term.value, "x");
+}
+
+TEST(FilterParseTest, VariableRhsAndIriRhs) {
+  auto query = sparql::ParseQuery(
+      "SELECT * WHERE { ?a <http://p> ?b . ?a <http://q> ?c . "
+      "FILTER(?b = ?c) FILTER(?a != <http://ex/thing>) }");
+  ASSERT_TRUE(query.ok()) << query.status();
+  ASSERT_EQ(query->filters.size(), 2u);
+  EXPECT_TRUE(query->filters[0].rhs_is_variable);
+  EXPECT_EQ(query->filters[0].rhs_variable, "c");
+  EXPECT_FALSE(query->filters[1].rhs_is_variable);
+  EXPECT_TRUE(query->filters[1].rhs_term.is_iri());
+}
+
+TEST(FilterParseTest, LessThanVsIriDisambiguation) {
+  // '<' followed by an IRI body is an IRI; '<' followed by space is an
+  // operator.
+  auto query = sparql::ParseQuery(
+      "SELECT * WHERE { ?s <http://p> ?o . FILTER(?o < 7) }");
+  ASSERT_TRUE(query.ok()) << query.status();
+  EXPECT_EQ(query->filters[0].op, sparql::CompareOp::kLt);
+}
+
+TEST(FilterParseTest, Failures) {
+  for (const char* bad : {
+           "SELECT * WHERE { ?s <http://p> ?o . FILTER(?o >) }",
+           "SELECT * WHERE { ?s <http://p> ?o . FILTER(5 > ?o) }",
+           "SELECT * WHERE { ?s <http://p> ?o . FILTER ?o > 5 }",
+           "SELECT * WHERE { ?s <http://p> ?o . FILTER(?o > 5 }",
+           "SELECT * WHERE { ?s <http://p> ?o . FILTER(?zz > 5) }",  // unbound
+       }) {
+    EXPECT_FALSE(sparql::ParseQuery(bad).ok()) << bad;
+  }
+}
+
+TEST(ModifierParseTest, OrderByLimitOffset) {
+  auto query = sparql::ParseQuery(
+      "SELECT ?o WHERE { ?s <http://p> ?o . } "
+      "ORDER BY DESC(?o) ?s LIMIT 3 OFFSET 2");
+  ASSERT_TRUE(query.ok()) << query.status();
+  ASSERT_EQ(query->order_by.size(), 2u);
+  EXPECT_TRUE(query->order_by[0].descending);
+  EXPECT_EQ(query->order_by[0].variable, "o");
+  EXPECT_FALSE(query->order_by[1].descending);
+  EXPECT_EQ(query->limit, 3u);
+  EXPECT_EQ(query->offset, 2u);
+  // OFFSET-before-LIMIT also parses.
+  auto swapped = sparql::ParseQuery(
+      "SELECT ?o WHERE { ?s <http://p> ?o . } OFFSET 2 LIMIT 3");
+  ASSERT_TRUE(swapped.ok());
+  EXPECT_EQ(swapped->limit, 3u);
+  EXPECT_EQ(swapped->offset, 2u);
+}
+
+TEST(ModifierParseTest, ToStringRoundTrip) {
+  auto query = sparql::ParseQuery(
+      "SELECT ?o WHERE { ?s <http://p> ?o . FILTER(?o >= 3) } "
+      "ORDER BY ASC(?o) LIMIT 5 OFFSET 1");
+  ASSERT_TRUE(query.ok());
+  auto reparsed = sparql::ParseQuery(query->ToString());
+  ASSERT_TRUE(reparsed.ok()) << query->ToString();
+  EXPECT_EQ(reparsed->filters, query->filters);
+  EXPECT_EQ(reparsed->order_by, query->order_by);
+  EXPECT_EQ(reparsed->offset, query->offset);
+}
+
+// ------------------------------------------------------------ Execution
+
+rdf::EncodedGraph ScoresGraph() {
+  rdf::EncodedGraph graph;
+  auto add_score = [&](const char* who, int score) {
+    graph.Add({Term::Iri(who), Term::Iri("score"),
+               Term::TypedLiteral(std::to_string(score),
+                                  "http://www.w3.org/2001/XMLSchema#integer")});
+    graph.Add({Term::Iri(who), Term::Iri("name"),
+               Term::Literal(std::string("name-") + who)});
+  };
+  add_score("a", 5);
+  add_score("b", 30);
+  add_score("c", 7);   // "7" > "30" lexically, 7 < 30 numerically.
+  add_score("d", 30);
+  graph.SortAndDedupe();
+  return graph;
+}
+
+std::unique_ptr<core::ProstDb> LoadScores() {
+  core::ProstDb::Options options;
+  auto db = core::ProstDb::LoadFromGraph(ScoresGraph(), options);
+  EXPECT_TRUE(db.ok());
+  return std::move(db).value();
+}
+
+TEST(FilterExecTest, NumericComparisonNotLexical) {
+  auto db = LoadScores();
+  auto result = db->ExecuteSparql(
+      "SELECT ?s WHERE { ?s <score> ?v . FILTER(?v < 30) }");
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->num_rows(), 2u);  // a(5) and c(7); lexical would differ.
+}
+
+TEST(FilterExecTest, EqualityAndInequality) {
+  auto db = LoadScores();
+  auto eq = db->ExecuteSparql(
+      "SELECT ?s WHERE { ?s <score> ?v . FILTER(?v = 30) }");
+  ASSERT_TRUE(eq.ok());
+  EXPECT_EQ(eq->num_rows(), 2u);  // b and d.
+  auto ne = db->ExecuteSparql(
+      "SELECT ?s WHERE { ?s <score> ?v . FILTER(?v != 30) }");
+  ASSERT_TRUE(ne.ok());
+  EXPECT_EQ(ne->num_rows(), 2u);
+  auto iri = db->ExecuteSparql(
+      "SELECT ?s WHERE { ?s <score> ?v . FILTER(?s != <a>) }");
+  ASSERT_TRUE(iri.ok());
+  EXPECT_EQ(iri->num_rows(), 3u);
+}
+
+TEST(FilterExecTest, VariableVsVariable) {
+  rdf::EncodedGraph graph;
+  auto add = [&](const char* s, const char* p, int v) {
+    graph.Add({Term::Iri(s), Term::Iri(p),
+               Term::TypedLiteral(std::to_string(v),
+                                  "http://www.w3.org/2001/XMLSchema#integer")});
+  };
+  add("x", "low", 1);
+  add("x", "high", 9);
+  add("y", "low", 5);
+  add("y", "high", 3);  // low > high: filtered out
+  core::ProstDb::Options options;
+  auto db = core::ProstDb::LoadFromGraph(std::move(graph), options);
+  ASSERT_TRUE(db.ok());
+  auto result = (*db)->ExecuteSparql(
+      "SELECT ?s WHERE { ?s <low> ?l . ?s <high> ?h . FILTER(?l < ?h) }");
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->num_rows(), 1u);
+}
+
+TEST(FilterExecTest, ConstantAbsentFromDataStillComparable) {
+  auto db = LoadScores();
+  // "6" does not occur in the dataset; ordering must still work.
+  auto result = db->ExecuteSparql(
+      "SELECT ?s WHERE { ?s <score> ?v . FILTER(?v > 6) }");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->num_rows(), 3u);  // 30, 7, 30.
+}
+
+TEST(OrderByExecTest, NumericOrderAndDesc) {
+  auto db = LoadScores();
+  auto result = db->ExecuteSparql(
+      "SELECT ?s ?v WHERE { ?s <score> ?v . } ORDER BY DESC(?v) ?s");
+  ASSERT_TRUE(result.ok()) << result.status();
+  auto rows = db->DecodeRows(result->relation);
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 4u);
+  // DESC(?v): 30, 30, 7, 5; ties broken by ?s ascending (b before d).
+  EXPECT_EQ((*rows)[0][0], "<b>");
+  EXPECT_EQ((*rows)[1][0], "<d>");
+  EXPECT_EQ((*rows)[2][0], "<c>");
+  EXPECT_EQ((*rows)[3][0], "<a>");
+}
+
+TEST(OrderByExecTest, LimitAndOffsetAfterOrder) {
+  auto db = LoadScores();
+  auto result = db->ExecuteSparql(
+      "SELECT ?s WHERE { ?s <score> ?v . } ORDER BY ?v OFFSET 1 LIMIT 2");
+  ASSERT_TRUE(result.ok()) << result.status();
+  auto rows = db->DecodeRows(result->relation);
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 2u);
+  // ASC order: a(5), c(7), b(30), d(30); offset 1, limit 2 -> c, b.
+  EXPECT_EQ((*rows)[0][0], "<c>");
+  EXPECT_EQ((*rows)[1][0], "<b>");
+}
+
+TEST(OffsetExecTest, OffsetWithoutOrderDropsRows) {
+  auto db = LoadScores();
+  auto result = db->ExecuteSparql(
+      "SELECT ?s WHERE { ?s <score> ?v . } OFFSET 3");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->num_rows(), 1u);
+  auto all_dropped = db->ExecuteSparql(
+      "SELECT ?s WHERE { ?s <score> ?v . } OFFSET 99");
+  ASSERT_TRUE(all_dropped.ok());
+  EXPECT_EQ(all_dropped->num_rows(), 0u);
+}
+
+// --------------------------------------------------------------- COUNT
+
+TEST(CountTest, ParseForms) {
+  auto star = sparql::ParseQuery(
+      "SELECT (COUNT(*) AS ?n) WHERE { ?s <p> ?o . }");
+  ASSERT_TRUE(star.ok()) << star.status();
+  ASSERT_TRUE(star->count.has_value());
+  EXPECT_TRUE(star->count->variable.empty());
+  EXPECT_FALSE(star->count->distinct);
+  EXPECT_EQ(star->count->alias, "n");
+
+  auto distinct_var = sparql::ParseQuery(
+      "SELECT (COUNT(DISTINCT ?o) AS ?kinds) WHERE { ?s <p> ?o . }");
+  ASSERT_TRUE(distinct_var.ok()) << distinct_var.status();
+  EXPECT_TRUE(distinct_var->count->distinct);
+  EXPECT_EQ(distinct_var->count->variable, "o");
+
+  for (const char* bad : {
+           "SELECT (COUNT(*)) WHERE { ?s <p> ?o . }",          // no AS
+           "SELECT (SUM(*) AS ?n) WHERE { ?s <p> ?o . }",      // not COUNT
+           "SELECT (COUNT(?zz) AS ?n) WHERE { ?s <p> ?o . }",  // unbound
+       }) {
+    EXPECT_FALSE(sparql::ParseQuery(bad).ok()) << bad;
+  }
+}
+
+TEST(CountTest, CountStarAndDistinct) {
+  auto db = LoadScores();
+  auto total = db->ExecuteSparql(
+      "SELECT (COUNT(*) AS ?n) WHERE { ?s <score> ?v . }");
+  ASSERT_TRUE(total.ok()) << total.status();
+  ASSERT_EQ(total->num_rows(), 1u);
+  EXPECT_EQ(total->relation.column_names(),
+            (std::vector<std::string>{"n"}));
+  EXPECT_EQ(total->relation.CollectRows()[0][0], rdf::VirtualIntegerId(4));
+
+  auto kinds = db->ExecuteSparql(
+      "SELECT (COUNT(DISTINCT ?v) AS ?k) WHERE { ?s <score> ?v . }");
+  ASSERT_TRUE(kinds.ok());
+  // Scores are 5, 30, 7, 30 -> 3 distinct values.
+  EXPECT_EQ(kinds->relation.CollectRows()[0][0], rdf::VirtualIntegerId(3));
+
+  auto filtered = db->ExecuteSparql(
+      "SELECT (COUNT(*) AS ?n) WHERE { ?s <score> ?v . FILTER(?v < 30) }");
+  ASSERT_TRUE(filtered.ok());
+  EXPECT_EQ(filtered->relation.CollectRows()[0][0],
+            rdf::VirtualIntegerId(2));
+
+  auto decoded = db->DecodeRows(total->relation);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ((*decoded)[0][0],
+            "\"4\"^^<http://www.w3.org/2001/XMLSchema#integer>");
+}
+
+TEST(CountTest, CrossSystemAgreement) {
+  auto graph = std::make_shared<const rdf::EncodedGraph>(ScoresGraph());
+  cluster::ClusterConfig cluster;
+  auto systems = baselines::MakeAllSystems(graph, cluster);
+  ASSERT_TRUE(systems.ok());
+  auto query = sparql::ParseQuery(
+      "SELECT (COUNT(DISTINCT ?s) AS ?n) WHERE { ?s <score> ?v . "
+      "?s <name> ?m . FILTER(?v >= 7) }");
+  ASSERT_TRUE(query.ok()) << query.status();
+  auto expected = testing::ReferenceEvaluate(*query, *graph);
+  ASSERT_EQ(expected.size(), 1u);
+  EXPECT_EQ(expected[0][0], rdf::VirtualIntegerId(3));
+  for (const auto& system : *systems) {
+    auto result = system->Execute(*query);
+    ASSERT_TRUE(result.ok()) << system->name() << ": " << result.status();
+    EXPECT_EQ(result->relation.CollectSortedRows(), expected)
+        << system->name();
+  }
+}
+
+// ------------------------------------------------- Cross-system filters
+
+TEST(FilterCrossSystemTest, AllSystemsAgreeWithReference) {
+  auto graph = std::make_shared<const rdf::EncodedGraph>(ScoresGraph());
+  cluster::ClusterConfig cluster;
+  auto systems = baselines::MakeAllSystems(graph, cluster);
+  ASSERT_TRUE(systems.ok());
+  auto vp_only = baselines::MakeProstVpOnly(graph, cluster);
+  ASSERT_TRUE(vp_only.ok());
+
+  for (const char* text : {
+           "SELECT * WHERE { ?s <score> ?v . FILTER(?v >= 7) }",
+           "SELECT * WHERE { ?s <score> ?v . ?s <name> ?n . "
+           "FILTER(?v < 30) FILTER(?n != \"name-a\") }",
+           "SELECT DISTINCT ?v WHERE { ?s <score> ?v . FILTER(?v <= 30) }",
+       }) {
+    auto query = sparql::ParseQuery(text);
+    ASSERT_TRUE(query.ok()) << text << ": " << query.status();
+    auto expected = testing::ReferenceEvaluate(*query, *graph);
+    for (const auto& system : *systems) {
+      auto result = system->Execute(*query);
+      ASSERT_TRUE(result.ok()) << system->name() << ": " << result.status();
+      EXPECT_EQ(result->relation.CollectSortedRows(), expected)
+          << system->name() << " on " << text;
+    }
+    auto vp_result = (*vp_only)->Execute(*query);
+    ASSERT_TRUE(vp_result.ok());
+    EXPECT_EQ(vp_result->relation.CollectSortedRows(), expected) << text;
+  }
+}
+
+}  // namespace
+}  // namespace prost

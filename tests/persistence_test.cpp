@@ -1,0 +1,135 @@
+// Persistence round-trip tests: PersistTo writes a self-describing
+// database directory; OpenFrom reopens it into a fresh dictionary and
+// must answer every query identically.
+
+#include <gtest/gtest.h>
+
+#include "common/io.h"
+#include "core/prost_db.h"
+#include "sparql/parser.h"
+#include "watdiv/generator.h"
+#include "watdiv/queries.h"
+
+namespace prost::core {
+namespace {
+
+std::string ScratchDir(const char* name) {
+  return ::testing::TempDir() + "/prost_persistence_" + name;
+}
+
+TEST(PersistenceTest, RoundTripSmallGraph) {
+  ProstDb::Options options;
+  options.use_reverse_property_table = true;
+  auto db = ProstDb::LoadFromNTriples(
+      "<u1> <likes> <p1> .\n"
+      "<u1> <likes> <p2> .\n"
+      "<u1> <age> \"30\"^^<http://www.w3.org/2001/XMLSchema#integer> .\n"
+      "<u2> <likes> <p1> .\n"
+      "<p1> <label> \"x\" .\n"
+      "<p2> <label> \"y\" .\n",
+      options);
+  ASSERT_TRUE(db.ok()) << db.status();
+
+  std::string dir = ScratchDir("small");
+  auto bytes = (*db)->PersistTo(dir);
+  ASSERT_TRUE(bytes.ok()) << bytes.status();
+
+  // Reopen with *different* option flags: the manifest wins.
+  ProstDb::Options open_options;
+  open_options.use_property_table = false;
+  auto reopened = ProstDb::OpenFrom(dir, open_options);
+  ASSERT_TRUE(reopened.ok()) << reopened.status();
+  EXPECT_TRUE((*reopened)->options().use_property_table);
+  EXPECT_TRUE((*reopened)->options().use_reverse_property_table);
+  EXPECT_EQ((*reopened)->load_report().input_triples, 6u);
+  EXPECT_EQ((*reopened)->statistics().num_predicates(), 3u);
+
+  for (const char* text : {
+           "SELECT * WHERE { ?u <likes> ?p . ?p <label> ?l . }",
+           "SELECT * WHERE { ?u <likes> ?p . ?u <age> ?a . }",
+           "SELECT ?u WHERE { ?u <likes> ?p . FILTER(?p != <p2>) }",
+       }) {
+    auto query = sparql::ParseQuery(text);
+    ASSERT_TRUE(query.ok());
+    auto original = (*db)->Execute(*query);
+    auto restored = (*reopened)->Execute(*query);
+    ASSERT_TRUE(original.ok()) << original.status();
+    ASSERT_TRUE(restored.ok()) << text << ": " << restored.status();
+    // Ids differ across dictionaries; compare decoded lexical rows.
+    auto original_rows = (*db)->DecodeRows(original->relation);
+    auto restored_rows = (*reopened)->DecodeRows(restored->relation);
+    ASSERT_TRUE(original_rows.ok());
+    ASSERT_TRUE(restored_rows.ok());
+    std::sort(original_rows->begin(), original_rows->end());
+    std::sort(restored_rows->begin(), restored_rows->end());
+    EXPECT_EQ(*original_rows, *restored_rows) << text;
+    EXPECT_GT(restored->simulated_millis, 0.0);
+  }
+  (void)RemoveAllRecursively(dir);
+}
+
+TEST(PersistenceTest, RoundTripWatDivQuerySet) {
+  watdiv::WatDivConfig config;
+  config.target_triples = 15000;
+  watdiv::WatDivDataset dataset = watdiv::Generate(config);
+  auto queries = watdiv::BasicQuerySet(dataset);
+
+  ProstDb::Options options;
+  auto db = ProstDb::LoadFromGraph(std::move(dataset.graph), options);
+  ASSERT_TRUE(db.ok());
+  std::string dir = ScratchDir("watdiv");
+  ASSERT_TRUE((*db)->PersistTo(dir).ok());
+  auto reopened = ProstDb::OpenFrom(dir, ProstDb::Options{});
+  ASSERT_TRUE(reopened.ok()) << reopened.status();
+
+  for (const watdiv::WatDivQuery& wq : queries) {
+    auto query = sparql::ParseQuery(wq.sparql);
+    ASSERT_TRUE(query.ok());
+    auto original = (*db)->Execute(*query);
+    auto restored = (*reopened)->Execute(*query);
+    ASSERT_TRUE(original.ok()) << wq.id;
+    ASSERT_TRUE(restored.ok()) << wq.id << ": " << restored.status();
+    auto original_rows = (*db)->DecodeRows(original->relation);
+    auto restored_rows = (*reopened)->DecodeRows(restored->relation);
+    ASSERT_TRUE(original_rows.ok());
+    ASSERT_TRUE(restored_rows.ok());
+    std::sort(original_rows->begin(), original_rows->end());
+    std::sort(restored_rows->begin(), restored_rows->end());
+    EXPECT_EQ(*original_rows, *restored_rows) << wq.id;
+  }
+  (void)RemoveAllRecursively(dir);
+}
+
+TEST(PersistenceTest, OpenMissingDirectoryFails) {
+  auto db = ProstDb::OpenFrom("/nonexistent/prost/db", ProstDb::Options{});
+  EXPECT_FALSE(db.ok());
+}
+
+TEST(PersistenceTest, OpenCorruptManifestFails) {
+  std::string dir = ScratchDir("corrupt");
+  ASSERT_TRUE(MakeDirectories(dir).ok());
+  ASSERT_TRUE(WriteStringToFile(dir + "/MANIFEST", "not a manifest").ok());
+  auto db = ProstDb::OpenFrom(dir, ProstDb::Options{});
+  EXPECT_EQ(db.status().code(), StatusCode::kCorruption);
+  (void)RemoveAllRecursively(dir);
+}
+
+TEST(PersistenceTest, OpenCorruptTableFails) {
+  ProstDb::Options options;
+  auto db = ProstDb::LoadFromNTriples("<s> <p> <o> .\n", options);
+  ASSERT_TRUE(db.ok());
+  std::string dir = ScratchDir("bitrot");
+  ASSERT_TRUE((*db)->PersistTo(dir).ok());
+  // Flip a byte in the first VP table file.
+  std::string victim = dir + "/vp/vp_0_p0.tbl";
+  std::string bytes;
+  ASSERT_TRUE(ReadFileToString(victim, &bytes).ok());
+  bytes[bytes.size() / 2] ^= 0x20;
+  ASSERT_TRUE(WriteStringToFile(victim, bytes).ok());
+  auto reopened = ProstDb::OpenFrom(dir, ProstDb::Options{});
+  EXPECT_FALSE(reopened.ok());
+  (void)RemoveAllRecursively(dir);
+}
+
+}  // namespace
+}  // namespace prost::core

@@ -1,0 +1,227 @@
+#ifndef PROST_TESTS_REFERENCE_EVALUATOR_H_
+#define PROST_TESTS_REFERENCE_EVALUATOR_H_
+
+// Test-only brute-force BGP evaluator: the semantic ground truth every
+// system under test is compared against. Backtracking over triple
+// patterns with a variable-binding map; bag semantics (no duplicate
+// elimination unless the query says DISTINCT), matching SPARQL BGP
+// evaluation over a set-valued RDF graph.
+
+#include <algorithm>
+#include <cstdlib>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "rdf/graph.h"
+#include "sparql/algebra.h"
+
+namespace prost::testing {
+
+using Binding = std::map<std::string, rdf::TermId>;
+
+/// Triples bucketed by predicate id — queries in this suite always have
+/// concrete predicates, so each backtracking level only scans one bucket.
+using PredicateIndex =
+    std::map<rdf::TermId, std::vector<rdf::EncodedTriple>>;
+
+inline PredicateIndex BuildPredicateIndex(const rdf::EncodedGraph& graph) {
+  PredicateIndex index;
+  for (const rdf::EncodedTriple& t : graph.triples()) {
+    index[t.predicate].push_back(t);
+  }
+  return index;
+}
+
+inline void MatchPatternsRecursive(
+    const std::vector<sparql::TriplePattern>& patterns, size_t index,
+    const PredicateIndex& predicate_index,
+    const rdf::Dictionary& dictionary, Binding& binding,
+    std::vector<Binding>& out) {
+  if (index == patterns.size()) {
+    out.push_back(binding);
+    return;
+  }
+  const sparql::TriplePattern& pattern = patterns[index];
+  static const std::vector<rdf::EncodedTriple> kEmpty;
+  const std::vector<rdf::EncodedTriple>* triples_ptr = &kEmpty;
+  if (!pattern.predicate.is_variable()) {
+    auto it = predicate_index.find(
+        dictionary.Lookup(pattern.predicate.ToNTriples()));
+    if (it != predicate_index.end()) triples_ptr = &it->second;
+  } else {
+    // Variable predicates: fall back to the full graph.
+    static thread_local std::vector<rdf::EncodedTriple> all;
+    all.clear();
+    for (const auto& [p, bucket] : predicate_index) {
+      all.insert(all.end(), bucket.begin(), bucket.end());
+    }
+    triples_ptr = &all;
+  }
+  const std::vector<rdf::EncodedTriple>& triples = *triples_ptr;
+  auto matches = [&](const rdf::Term& term, rdf::TermId id,
+                     const Binding& b) {
+    if (!term.is_variable()) {
+      return dictionary.Lookup(term.ToNTriples()) == id;
+    }
+    auto it = b.find(term.value);
+    return it == b.end() || it->second == id;
+  };
+  for (const rdf::EncodedTriple& t : triples) {
+    if (!matches(pattern.subject, t.subject, binding)) continue;
+    if (!matches(pattern.predicate, t.predicate, binding)) continue;
+    // The object must also be consistent with a subject binding made by
+    // this very triple (e.g. ?x p ?x), so extend stepwise.
+    Binding extended = binding;
+    if (pattern.subject.is_variable()) {
+      extended[pattern.subject.value] = t.subject;
+    }
+    if (pattern.predicate.is_variable()) {
+      extended[pattern.predicate.value] = t.predicate;
+    }
+    if (!matches(pattern.object, t.object, extended)) continue;
+    if (pattern.object.is_variable()) {
+      extended[pattern.object.value] = t.object;
+    }
+    MatchPatternsRecursive(patterns, index + 1, predicate_index, dictionary,
+                           extended, out);
+  }
+}
+
+/// Independent re-implementation of the comparison semantics (numeric for
+/// numeric literals, term/lexical otherwise) so the library's
+/// core/modifiers.cc has a second opinion to be tested against.
+struct RefKey {
+  bool is_numeric = false;
+  double number = 0;
+  std::string lexical;
+};
+
+inline RefKey RefKeyOf(const rdf::Term& term) {
+  RefKey key;
+  key.lexical = term.ToNTriples();
+  if (term.is_literal() &&
+      term.datatype.rfind("http://www.w3.org/2001/XMLSchema#", 0) == 0) {
+    std::string local = term.datatype.substr(33);
+    if (local == "integer" || local == "decimal" || local == "double" ||
+        local == "float" || local == "int" || local == "long" ||
+        local == "short" || local == "nonNegativeInteger") {
+      char* end = nullptr;
+      double v = std::strtod(term.value.c_str(), &end);
+      if (end != nullptr && *end == '\0' && !term.value.empty()) {
+        key.is_numeric = true;
+        key.number = v;
+      }
+    }
+  }
+  return key;
+}
+
+inline int RefCompare(const RefKey& a, const RefKey& b) {
+  if (a.is_numeric && b.is_numeric) {
+    if (a.number < b.number) return -1;
+    if (a.number > b.number) return 1;
+    return 0;
+  }
+  return a.lexical.compare(b.lexical);
+}
+
+inline bool RefEval(sparql::CompareOp op, int cmp) {
+  switch (op) {
+    case sparql::CompareOp::kEq:
+      return cmp == 0;
+    case sparql::CompareOp::kNe:
+      return cmp != 0;
+    case sparql::CompareOp::kLt:
+      return cmp < 0;
+    case sparql::CompareOp::kLe:
+      return cmp <= 0;
+    case sparql::CompareOp::kGt:
+      return cmp > 0;
+    case sparql::CompareOp::kGe:
+      return cmp >= 0;
+  }
+  return false;
+}
+
+/// Evaluates `query` over `graph` — BGP matching, FILTERs, projection,
+/// DISTINCT, OFFSET and LIMIT — returning sorted projected rows (ids in
+/// the order of query.EffectiveProjection()). ORDER BY does not change
+/// the (sorted) comparison form, but OFFSET/LIMIT require it: when the
+/// query uses OFFSET or LIMIT with unordered semantics, callers should
+/// compare row *counts*, not contents.
+inline std::vector<std::vector<rdf::TermId>> ReferenceEvaluate(
+    const sparql::Query& query, const rdf::EncodedGraph& graph) {
+  std::vector<Binding> bindings;
+  Binding empty;
+  PredicateIndex index = BuildPredicateIndex(graph);
+  MatchPatternsRecursive(query.bgp.patterns, 0, index, graph.dictionary(),
+                         empty, bindings);
+
+  // FILTER constraints.
+  std::vector<Binding> filtered;
+  for (const Binding& binding : bindings) {
+    bool keep = true;
+    for (const sparql::FilterConstraint& filter : query.filters) {
+      rdf::Term lhs =
+          graph.dictionary().DecodeTerm(binding.at(filter.variable)).value();
+      rdf::Term rhs =
+          filter.rhs_is_variable
+              ? graph.dictionary()
+                    .DecodeTerm(binding.at(filter.rhs_variable))
+                    .value()
+              : filter.rhs_term;
+      if (!RefEval(filter.op, RefCompare(RefKeyOf(lhs), RefKeyOf(rhs)))) {
+        keep = false;
+        break;
+      }
+    }
+    if (keep) filtered.push_back(binding);
+  }
+
+  if (query.count.has_value()) {
+    uint64_t n = 0;
+    if (query.count->variable.empty() || !query.count->distinct) {
+      n = filtered.size();
+    } else {
+      std::set<rdf::TermId> distinct_values;
+      for (const Binding& binding : filtered) {
+        distinct_values.insert(binding.at(query.count->variable));
+      }
+      n = distinct_values.size();
+    }
+    if (query.offset > 0) return {};
+    return {{rdf::VirtualIntegerId(n)}};
+  }
+
+  std::vector<std::string> projection = query.EffectiveProjection();
+  std::vector<std::vector<rdf::TermId>> rows;
+  rows.reserve(filtered.size());
+  for (const Binding& binding : filtered) {
+    std::vector<rdf::TermId> row;
+    row.reserve(projection.size());
+    for (const std::string& var : projection) {
+      row.push_back(binding.at(var));
+    }
+    rows.push_back(std::move(row));
+  }
+  if (query.distinct) {
+    std::sort(rows.begin(), rows.end());
+    rows.erase(std::unique(rows.begin(), rows.end()), rows.end());
+  } else {
+    std::sort(rows.begin(), rows.end());
+  }
+  if (query.offset > 0) {
+    rows.erase(rows.begin(),
+               rows.begin() + std::min<size_t>(rows.size(), query.offset));
+  }
+  if (query.limit > 0 && rows.size() > query.limit) {
+    rows.resize(query.limit);
+  }
+  return rows;
+}
+
+}  // namespace prost::testing
+
+#endif  // PROST_TESTS_REFERENCE_EVALUATOR_H_
