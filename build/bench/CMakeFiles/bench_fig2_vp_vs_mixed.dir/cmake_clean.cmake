@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_vp_vs_mixed.dir/bench_fig2_vp_vs_mixed.cpp.o"
+  "CMakeFiles/bench_fig2_vp_vs_mixed.dir/bench_fig2_vp_vs_mixed.cpp.o.d"
+  "bench_fig2_vp_vs_mixed"
+  "bench_fig2_vp_vs_mixed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_vp_vs_mixed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

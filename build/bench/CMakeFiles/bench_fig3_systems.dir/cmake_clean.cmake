@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_systems.dir/bench_fig3_systems.cpp.o"
+  "CMakeFiles/bench_fig3_systems.dir/bench_fig3_systems.cpp.o.d"
+  "bench_fig3_systems"
+  "bench_fig3_systems.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_systems.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

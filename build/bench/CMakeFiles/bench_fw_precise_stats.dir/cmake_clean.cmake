@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fw_precise_stats.dir/bench_fw_precise_stats.cpp.o"
+  "CMakeFiles/bench_fw_precise_stats.dir/bench_fw_precise_stats.cpp.o.d"
+  "bench_fw_precise_stats"
+  "bench_fw_precise_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fw_precise_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

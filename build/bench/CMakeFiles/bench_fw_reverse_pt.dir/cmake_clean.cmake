@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fw_reverse_pt.dir/bench_fw_reverse_pt.cpp.o"
+  "CMakeFiles/bench_fw_reverse_pt.dir/bench_fw_reverse_pt.cpp.o.d"
+  "bench_fw_reverse_pt"
+  "bench_fw_reverse_pt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fw_reverse_pt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prost_baselines.dir/rya.cc.o"
+  "CMakeFiles/prost_baselines.dir/rya.cc.o.d"
+  "CMakeFiles/prost_baselines.dir/s2rdf.cc.o"
+  "CMakeFiles/prost_baselines.dir/s2rdf.cc.o.d"
+  "CMakeFiles/prost_baselines.dir/sparqlgx.cc.o"
+  "CMakeFiles/prost_baselines.dir/sparqlgx.cc.o.d"
+  "CMakeFiles/prost_baselines.dir/system.cc.o"
+  "CMakeFiles/prost_baselines.dir/system.cc.o.d"
+  "libprost_baselines.a"
+  "libprost_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prost_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

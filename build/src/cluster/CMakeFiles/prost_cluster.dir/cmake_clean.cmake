@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prost_cluster.dir/cost_model.cc.o"
+  "CMakeFiles/prost_cluster.dir/cost_model.cc.o.d"
+  "libprost_cluster.a"
+  "libprost_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prost_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

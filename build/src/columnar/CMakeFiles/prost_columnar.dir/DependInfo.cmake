@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/columnar/column.cc" "src/columnar/CMakeFiles/prost_columnar.dir/column.cc.o" "gcc" "src/columnar/CMakeFiles/prost_columnar.dir/column.cc.o.d"
+  "/root/repo/src/columnar/encoding.cc" "src/columnar/CMakeFiles/prost_columnar.dir/encoding.cc.o" "gcc" "src/columnar/CMakeFiles/prost_columnar.dir/encoding.cc.o.d"
+  "/root/repo/src/columnar/lexical_format.cc" "src/columnar/CMakeFiles/prost_columnar.dir/lexical_format.cc.o" "gcc" "src/columnar/CMakeFiles/prost_columnar.dir/lexical_format.cc.o.d"
+  "/root/repo/src/columnar/partition.cc" "src/columnar/CMakeFiles/prost_columnar.dir/partition.cc.o" "gcc" "src/columnar/CMakeFiles/prost_columnar.dir/partition.cc.o.d"
+  "/root/repo/src/columnar/table.cc" "src/columnar/CMakeFiles/prost_columnar.dir/table.cc.o" "gcc" "src/columnar/CMakeFiles/prost_columnar.dir/table.cc.o.d"
+  "/root/repo/src/columnar/types.cc" "src/columnar/CMakeFiles/prost_columnar.dir/types.cc.o" "gcc" "src/columnar/CMakeFiles/prost_columnar.dir/types.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/prost_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/rdf/CMakeFiles/prost_rdf.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

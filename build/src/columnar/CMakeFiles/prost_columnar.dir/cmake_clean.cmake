@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prost_columnar.dir/column.cc.o"
+  "CMakeFiles/prost_columnar.dir/column.cc.o.d"
+  "CMakeFiles/prost_columnar.dir/encoding.cc.o"
+  "CMakeFiles/prost_columnar.dir/encoding.cc.o.d"
+  "CMakeFiles/prost_columnar.dir/lexical_format.cc.o"
+  "CMakeFiles/prost_columnar.dir/lexical_format.cc.o.d"
+  "CMakeFiles/prost_columnar.dir/partition.cc.o"
+  "CMakeFiles/prost_columnar.dir/partition.cc.o.d"
+  "CMakeFiles/prost_columnar.dir/table.cc.o"
+  "CMakeFiles/prost_columnar.dir/table.cc.o.d"
+  "CMakeFiles/prost_columnar.dir/types.cc.o"
+  "CMakeFiles/prost_columnar.dir/types.cc.o.d"
+  "libprost_columnar.a"
+  "libprost_columnar.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prost_columnar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prost_common.dir/compression.cc.o"
+  "CMakeFiles/prost_common.dir/compression.cc.o.d"
+  "CMakeFiles/prost_common.dir/hash.cc.o"
+  "CMakeFiles/prost_common.dir/hash.cc.o.d"
+  "CMakeFiles/prost_common.dir/io.cc.o"
+  "CMakeFiles/prost_common.dir/io.cc.o.d"
+  "CMakeFiles/prost_common.dir/logging.cc.o"
+  "CMakeFiles/prost_common.dir/logging.cc.o.d"
+  "CMakeFiles/prost_common.dir/rng.cc.o"
+  "CMakeFiles/prost_common.dir/rng.cc.o.d"
+  "CMakeFiles/prost_common.dir/status.cc.o"
+  "CMakeFiles/prost_common.dir/status.cc.o.d"
+  "CMakeFiles/prost_common.dir/str_util.cc.o"
+  "CMakeFiles/prost_common.dir/str_util.cc.o.d"
+  "libprost_common.a"
+  "libprost_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prost_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

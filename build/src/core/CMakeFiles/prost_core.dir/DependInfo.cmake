@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/executor.cc" "src/core/CMakeFiles/prost_core.dir/executor.cc.o" "gcc" "src/core/CMakeFiles/prost_core.dir/executor.cc.o.d"
+  "/root/repo/src/core/join_tree.cc" "src/core/CMakeFiles/prost_core.dir/join_tree.cc.o" "gcc" "src/core/CMakeFiles/prost_core.dir/join_tree.cc.o.d"
+  "/root/repo/src/core/modifiers.cc" "src/core/CMakeFiles/prost_core.dir/modifiers.cc.o" "gcc" "src/core/CMakeFiles/prost_core.dir/modifiers.cc.o.d"
+  "/root/repo/src/core/property_table.cc" "src/core/CMakeFiles/prost_core.dir/property_table.cc.o" "gcc" "src/core/CMakeFiles/prost_core.dir/property_table.cc.o.d"
+  "/root/repo/src/core/prost_db.cc" "src/core/CMakeFiles/prost_core.dir/prost_db.cc.o" "gcc" "src/core/CMakeFiles/prost_core.dir/prost_db.cc.o.d"
+  "/root/repo/src/core/statistics.cc" "src/core/CMakeFiles/prost_core.dir/statistics.cc.o" "gcc" "src/core/CMakeFiles/prost_core.dir/statistics.cc.o.d"
+  "/root/repo/src/core/translator.cc" "src/core/CMakeFiles/prost_core.dir/translator.cc.o" "gcc" "src/core/CMakeFiles/prost_core.dir/translator.cc.o.d"
+  "/root/repo/src/core/vp_store.cc" "src/core/CMakeFiles/prost_core.dir/vp_store.cc.o" "gcc" "src/core/CMakeFiles/prost_core.dir/vp_store.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/prost_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/rdf/CMakeFiles/prost_rdf.dir/DependInfo.cmake"
+  "/root/repo/build/src/columnar/CMakeFiles/prost_columnar.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/prost_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/prost_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/sparql/CMakeFiles/prost_sparql.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

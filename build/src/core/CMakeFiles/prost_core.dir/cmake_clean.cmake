@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prost_core.dir/executor.cc.o"
+  "CMakeFiles/prost_core.dir/executor.cc.o.d"
+  "CMakeFiles/prost_core.dir/join_tree.cc.o"
+  "CMakeFiles/prost_core.dir/join_tree.cc.o.d"
+  "CMakeFiles/prost_core.dir/modifiers.cc.o"
+  "CMakeFiles/prost_core.dir/modifiers.cc.o.d"
+  "CMakeFiles/prost_core.dir/property_table.cc.o"
+  "CMakeFiles/prost_core.dir/property_table.cc.o.d"
+  "CMakeFiles/prost_core.dir/prost_db.cc.o"
+  "CMakeFiles/prost_core.dir/prost_db.cc.o.d"
+  "CMakeFiles/prost_core.dir/statistics.cc.o"
+  "CMakeFiles/prost_core.dir/statistics.cc.o.d"
+  "CMakeFiles/prost_core.dir/translator.cc.o"
+  "CMakeFiles/prost_core.dir/translator.cc.o.d"
+  "CMakeFiles/prost_core.dir/vp_store.cc.o"
+  "CMakeFiles/prost_core.dir/vp_store.cc.o.d"
+  "libprost_core.a"
+  "libprost_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prost_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

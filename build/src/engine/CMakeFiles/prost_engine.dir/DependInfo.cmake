@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/engine/operators.cc" "src/engine/CMakeFiles/prost_engine.dir/operators.cc.o" "gcc" "src/engine/CMakeFiles/prost_engine.dir/operators.cc.o.d"
+  "/root/repo/src/engine/relation.cc" "src/engine/CMakeFiles/prost_engine.dir/relation.cc.o" "gcc" "src/engine/CMakeFiles/prost_engine.dir/relation.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/prost_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/rdf/CMakeFiles/prost_rdf.dir/DependInfo.cmake"
+  "/root/repo/build/src/columnar/CMakeFiles/prost_columnar.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/prost_cluster.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

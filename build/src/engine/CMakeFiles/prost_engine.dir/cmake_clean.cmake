@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prost_engine.dir/operators.cc.o"
+  "CMakeFiles/prost_engine.dir/operators.cc.o.d"
+  "CMakeFiles/prost_engine.dir/relation.cc.o"
+  "CMakeFiles/prost_engine.dir/relation.cc.o.d"
+  "libprost_engine.a"
+  "libprost_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prost_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prost_kvstore.dir/kv_store.cc.o"
+  "CMakeFiles/prost_kvstore.dir/kv_store.cc.o.d"
+  "libprost_kvstore.a"
+  "libprost_kvstore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prost_kvstore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

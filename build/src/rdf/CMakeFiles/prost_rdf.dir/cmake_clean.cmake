@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prost_rdf.dir/dictionary.cc.o"
+  "CMakeFiles/prost_rdf.dir/dictionary.cc.o.d"
+  "CMakeFiles/prost_rdf.dir/graph.cc.o"
+  "CMakeFiles/prost_rdf.dir/graph.cc.o.d"
+  "CMakeFiles/prost_rdf.dir/ntriples.cc.o"
+  "CMakeFiles/prost_rdf.dir/ntriples.cc.o.d"
+  "CMakeFiles/prost_rdf.dir/term.cc.o"
+  "CMakeFiles/prost_rdf.dir/term.cc.o.d"
+  "CMakeFiles/prost_rdf.dir/triple.cc.o"
+  "CMakeFiles/prost_rdf.dir/triple.cc.o.d"
+  "libprost_rdf.a"
+  "libprost_rdf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prost_rdf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prost_sparql.dir/algebra.cc.o"
+  "CMakeFiles/prost_sparql.dir/algebra.cc.o.d"
+  "CMakeFiles/prost_sparql.dir/parser.cc.o"
+  "CMakeFiles/prost_sparql.dir/parser.cc.o.d"
+  "libprost_sparql.a"
+  "libprost_sparql.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prost_sparql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

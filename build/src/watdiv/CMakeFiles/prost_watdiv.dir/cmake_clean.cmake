@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prost_watdiv.dir/generator.cc.o"
+  "CMakeFiles/prost_watdiv.dir/generator.cc.o.d"
+  "CMakeFiles/prost_watdiv.dir/queries.cc.o"
+  "CMakeFiles/prost_watdiv.dir/queries.cc.o.d"
+  "CMakeFiles/prost_watdiv.dir/schema.cc.o"
+  "CMakeFiles/prost_watdiv.dir/schema.cc.o.d"
+  "libprost_watdiv.a"
+  "libprost_watdiv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prost_watdiv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

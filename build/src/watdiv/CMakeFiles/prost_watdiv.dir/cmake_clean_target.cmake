@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libprost_watdiv.a"
+)

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core_test.cpp" "tests/CMakeFiles/core_test.dir/core_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/prost_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/rdf/CMakeFiles/prost_rdf.dir/DependInfo.cmake"
+  "/root/repo/build/src/columnar/CMakeFiles/prost_columnar.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/prost_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/prost_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/sparql/CMakeFiles/prost_sparql.dir/DependInfo.cmake"
+  "/root/repo/build/src/kvstore/CMakeFiles/prost_kvstore.dir/DependInfo.cmake"
+  "/root/repo/build/src/watdiv/CMakeFiles/prost_watdiv.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/prost_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/prost_baselines.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/watdiv_test.dir/watdiv_test.cpp.o"
+  "CMakeFiles/watdiv_test.dir/watdiv_test.cpp.o.d"
+  "watdiv_test"
+  "watdiv_test.pdb"
+  "watdiv_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/watdiv_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
