@@ -10,9 +10,9 @@
 
 #include "baselines/system.h"
 #include "common/str_util.h"
+#include "sparql/parser.h"
 #include "watdiv/generator.h"
 #include "watdiv/queries.h"
-#include "sparql/parser.h"
 
 int main(int argc, char** argv) {
   using namespace prost;

@@ -1,0 +1,74 @@
+#ifndef PROST_ANALYSIS_PLAN_CHECKER_H_
+#define PROST_ANALYSIS_PLAN_CHECKER_H_
+
+#include "cluster/config.h"
+#include "common/status.h"
+#include "core/join_tree.h"
+#include "core/property_table.h"
+#include "core/statistics.h"
+#include "core/vp_store.h"
+#include "rdf/dictionary.h"
+#include "sparql/algebra.h"
+
+namespace prost::analysis {
+
+/// What a plan is validated against. Every pointer may be null; each check
+/// that needs an absent ingredient is skipped, so callers hand over
+/// whatever they have (the executor has stores, ProstDb has everything).
+struct PlanContext {
+  const core::VpStore* vp = nullptr;
+  const core::PropertyTable* property_table = nullptr;
+  const core::PropertyTable* reverse_property_table = nullptr;
+  const core::DatasetStatistics* stats = nullptr;
+  const rdf::Dictionary* dictionary = nullptr;
+  const cluster::ClusterConfig* cluster = nullptr;
+};
+
+/// Knobs for CheckPlan. Defaults run every check the context allows.
+struct PlanCheckerOptions {
+  /// Cross-check node cardinality estimates and storage row counts
+  /// against the §3.3 statistics (requires context.stats).
+  bool check_statistics = true;
+  /// Join-key type agreement from predicate object domains
+  /// (requires context.stats with literal-object counts).
+  bool check_types = true;
+};
+
+/// Structural verification of a Join Tree against its query — no stores or
+/// statistics needed, so the executor can afford it on every debug-build
+/// execution:
+///   - every node is well-formed (non-empty, VP arity 1, PT/RPT patterns
+///     share one key term, variable/constant resolution is coherent);
+///   - the tree covers each BGP triple pattern exactly once;
+///   - the left-deep fold never needs a cross product (each node after the
+///     first shares a join variable with the part already planned);
+///   - node output schemas and the final projection contain no duplicate
+///     columns, and no literal ever occupies a subject position;
+///   - every projected / filtered / ordered / counted variable is bound.
+/// Errors carry the offending node's label and index.
+Status CheckPlanStructure(const core::JoinTree& tree,
+                          const sparql::Query& query);
+
+/// Full static analysis: CheckPlanStructure plus every contextual check
+/// the `context` supports —
+///   - storage availability: a PT/RPT node requires that table to exist;
+///   - column resolution: each non-null predicate resolves to a VP table
+///     (VP nodes) or a Property-Table column (PT/RPT nodes), and resolved
+///     term ids agree with the dictionary;
+///   - physical-shape invariants: every referenced table is partitioned
+///     exactly `cluster.num_workers` ways with per-partition size info;
+///   - statistics agreement: VP row counts must match the §3.3 statistics
+///     (node ordering *and* broadcast eligibility are planned from these
+///     numbers, so a disagreement means the optimizer and the executor see
+///     different worlds), and each node's estimated cardinality must be
+///     finite, non-negative and within its statistics upper bound;
+///   - join-key type agreement: a variable bound in subject position can
+///     never also be bound by a predicate whose objects are all literals
+///     (and literal-only cannot meet entity-only object domains).
+Status CheckPlan(const core::JoinTree& tree, const sparql::Query& query,
+                 const PlanContext& context,
+                 const PlanCheckerOptions& options = {});
+
+}  // namespace prost::analysis
+
+#endif  // PROST_ANALYSIS_PLAN_CHECKER_H_

@@ -276,7 +276,7 @@ Result<uint64_t> RyaSystem::PersistTo(const std::string& dir) const {
       std::string_view key = it.key();
       for (int i = 0; i < 3; ++i) {
         rdf::TermId id = DecodeBigEndianKey(key.substr(1 + 8 * i, 8));
-        text += std::string(dictionary.LookupId(id).value());
+        text += std::string(dictionary.MustLookupId(id));
         text.push_back(i == 2 ? '\n' : '\x00');
       }
       // Accumulo key metadata: every entry carries a distinct ingest

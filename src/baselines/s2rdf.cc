@@ -6,8 +6,8 @@
 #include "common/io.h"
 #include "common/str_util.h"
 #include "common/timer.h"
-#include "core/translator.h"
 #include "core/modifiers.h"
+#include "core/translator.h"
 #include "engine/operators.h"
 
 namespace prost::baselines {

@@ -31,8 +31,7 @@ Result<std::unique_ptr<RdfSystem>> SparqlGxSystem::Load(
   const rdf::Dictionary& dictionary = g.dictionary();
   std::vector<uint32_t> lengths(dictionary.size() + 1, 0);
   for (rdf::TermId id = 1; id <= dictionary.size(); ++id) {
-    lengths[id] =
-        static_cast<uint32_t>(dictionary.LookupId(id).value().size());
+    lengths[id] = static_cast<uint32_t>(dictionary.MustLookupId(id).size());
   }
   for (const rdf::EncodedTriple& t : g.triples()) {
     auto [it, inserted] = system->text_bytes_.try_emplace(
@@ -142,9 +141,9 @@ Result<uint64_t> SparqlGxSystem::PersistTo(const std::string& dir) const {
       const auto& subjects = part.column(0).ids();
       const auto& objects = part.column(1).ids();
       for (size_t r = 0; r < subjects.size(); ++r) {
-        text += std::string(dictionary.LookupId(subjects[r]).value());
+        text += std::string(dictionary.MustLookupId(subjects[r]));
         text.push_back('\t');
-        text += std::string(dictionary.LookupId(objects[r]).value());
+        text += std::string(dictionary.MustLookupId(objects[r]));
         text.push_back('\n');
       }
       // SPARQLGX keeps its HDFS text files codec-compressed; that is

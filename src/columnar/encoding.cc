@@ -104,8 +104,11 @@ void EncodeRle(const IdVector& ids, ByteWriter& writer) {
 void EncodeDelta(const IdVector& ids, ByteWriter& writer) {
   TermId previous = 0;
   for (TermId id : ids) {
-    writer.PutVarint(ZigZag(static_cast<int64_t>(id) -
-                            static_cast<int64_t>(previous)));
+    // Deltas wrap modulo 2^64: ids may span the whole TermId space
+    // (virtual integer ids set the top bit), so the signed difference can
+    // overflow. The unsigned difference reinterpreted as signed zig-zags
+    // to the same varint and round-trips exactly.
+    writer.PutVarint(ZigZag(static_cast<int64_t>(id - previous)));
     previous = id;
   }
 }
@@ -135,12 +138,14 @@ Status DecodeRle(ByteReader& reader, size_t count, IdVector* out) {
 
 Status DecodeDelta(ByteReader& reader, size_t count, IdVector* out) {
   out->resize(count);
-  int64_t previous = 0;
+  // Accumulate in unsigned space: the encoder's deltas wrap modulo 2^64,
+  // and a signed accumulator would overflow on ids above 2^63.
+  TermId previous = 0;
   for (size_t i = 0; i < count; ++i) {
     uint64_t zz;
     PROST_RETURN_IF_ERROR(reader.GetVarint(&zz));
-    previous += UnZigZag(zz);
-    (*out)[i] = static_cast<TermId>(previous);
+    previous += static_cast<uint64_t>(UnZigZag(zz));
+    (*out)[i] = previous;
   }
   return Status::OK();
 }
@@ -198,8 +203,8 @@ uint64_t EncodedSize(const IdVector& ids, Encoding encoding) {
     case Encoding::kDeltaVarint: {
       TermId previous = 0;
       for (TermId id : ids) {
-        size += VarintSize(ZigZag(static_cast<int64_t>(id) -
-                                  static_cast<int64_t>(previous)));
+        // Wrapping difference, matching EncodeDelta.
+        size += VarintSize(ZigZag(static_cast<int64_t>(id - previous)));
         previous = id;
       }
       return size;

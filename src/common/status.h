@@ -32,7 +32,11 @@ const char* StatusCodeToString(StatusCode code);
 
 /// A success-or-error value. Cheap to copy in the success case (no message
 /// allocation). Construct errors through the named factory functions.
-class Status {
+///
+/// `[[nodiscard]]`: ignoring a returned Status silently swallows errors,
+/// so every call site must consume it (check, propagate, or explicitly
+/// discard via PROST_IGNORE_ERROR with a reason).
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}
@@ -93,7 +97,7 @@ std::ostream& operator<<(std::ostream& os, const Status& status);
 /// an errored result aborts the process (programming error), so callers
 /// must check `ok()` first or use the PROST_ASSIGN_OR_RETURN macro.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Implicit construction from a value or an error Status keeps call
   /// sites terse: `return value;` / `return Status::NotFound(...);`.
@@ -161,6 +165,14 @@ void Result<T>::AbortOkResult() {
 }
 
 }  // namespace prost
+
+/// Explicitly discards a Status (or Result) when failure is genuinely
+/// acceptable at the call site. The macro exists so intentional discards
+/// survive `[[nodiscard]]` enforcement while staying greppable.
+#define PROST_IGNORE_ERROR(expr) \
+  do {                           \
+    (void)(expr);                \
+  } while (false)
 
 /// Propagates a non-OK Status from the current function.
 #define PROST_RETURN_IF_ERROR(expr)                 \

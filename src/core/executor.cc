@@ -1,6 +1,19 @@
 #include "core/executor.h"
 
+#include "analysis/plan_checker.h"
 #include "core/modifiers.h"
+
+// Paranoid self-checks at operator boundaries: always on in debug builds,
+// and in release builds when the tree is compiled with sanitizers
+// (PROST_PARANOID_CHECKS comes from the PROST_ASAN/PROST_UBSAN options).
+#if defined(PROST_PARANOID_CHECKS) || !defined(NDEBUG)
+#define PROST_VALIDATE_RELATION(relation) \
+  PROST_RETURN_IF_ERROR((relation).Validate())
+#else
+#define PROST_VALIDATE_RELATION(relation) \
+  do {                                    \
+  } while (false)
+#endif
 
 namespace prost::core {
 namespace {
@@ -51,6 +64,12 @@ Result<QueryResult> ExecuteJoinTree(
   if (tree.nodes.empty()) {
     return Status::InvalidArgument("empty join tree");
   }
+#if defined(PROST_PARANOID_CHECKS) || !defined(NDEBUG)
+  // Structural verification of the plan against its query. ProstDb already
+  // ran the full contextual CheckPlan; this guards direct callers (tests,
+  // hand-built trees) at zero cost in plain release builds.
+  PROST_RETURN_IF_ERROR(analysis::CheckPlanStructure(tree, query));
+#endif
   QueryResult result;
   cost.ChargeQueryOverhead();
 
@@ -67,6 +86,7 @@ Result<QueryResult> ExecuteJoinTree(
       cost.EndStage();
       return scanned.status();
     }
+    PROST_VALIDATE_RELATION(scanned.value());
     if (i == 0) {
       accumulated = std::move(scanned).value();
       continue;
@@ -76,6 +96,7 @@ Result<QueryResult> ExecuteJoinTree(
         engine::HashJoin(accumulated, scanned.value(), join_options, cost));
     result.join_strategies.push_back(joined.strategy);
     accumulated = std::move(joined.relation);
+    PROST_VALIDATE_RELATION(accumulated);
   }
 
   // FILTERs and solution modifiers, pipelined into the open stage
@@ -83,6 +104,7 @@ Result<QueryResult> ExecuteJoinTree(
   PROST_ASSIGN_OR_RETURN(accumulated,
                          ApplyFiltersAndModifiers(std::move(accumulated),
                                                   query, dictionary, cost));
+  PROST_VALIDATE_RELATION(accumulated);
   cost.EndStage();
 
   result.relation = std::move(accumulated);

@@ -103,7 +103,7 @@ PropertyTable PropertyTable::Build(const rdf::EncodedGraph& graph,
     // Column names carry the predicate's lexical form, so persisted
     // tables are fully self-describing and can be reopened against a
     // fresh dictionary.
-    std::string name(graph.dictionary().LookupId(predicates[c]).value());
+    std::string name(graph.dictionary().MustLookupId(predicates[c]));
     (void)schema.AddField(Field{
         std::move(name),
         is_list[c] ? ColumnKind::kIdList : ColumnKind::kId});

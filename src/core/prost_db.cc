@@ -1,5 +1,6 @@
 #include "core/prost_db.h"
 
+#include "analysis/plan_checker.h"
 #include "columnar/lexical_format.h"
 
 #include "common/io.h"
@@ -18,8 +19,7 @@ uint64_t EstimateNTriplesBytes(const rdf::EncodedGraph& graph) {
   const rdf::Dictionary& dictionary = graph.dictionary();
   std::vector<uint32_t> lengths(dictionary.size() + 1, 0);
   for (rdf::TermId id = 1; id <= dictionary.size(); ++id) {
-    lengths[id] =
-        static_cast<uint32_t>(dictionary.LookupId(id).value().size());
+    lengths[id] = static_cast<uint32_t>(dictionary.MustLookupId(id).size());
   }
   uint64_t bytes = 0;
   for (const rdf::EncodedTriple& t : graph.triples()) {
@@ -127,7 +127,26 @@ Result<JoinTree> ProstDb::Plan(const sparql::Query& query) const {
   translator_options.use_reverse_property_table =
       options_.use_reverse_property_table;
   translator_options.enable_stats_ordering = options_.enable_stats_ordering;
-  return Translate(query, stats_, graph_->dictionary(), translator_options);
+  PROST_ASSIGN_OR_RETURN(
+      JoinTree tree,
+      Translate(query, stats_, graph_->dictionary(), translator_options));
+#if defined(PROST_PARANOID_CHECKS) || !defined(NDEBUG)
+  constexpr bool kForceVerify = true;
+#else
+  constexpr bool kForceVerify = false;
+#endif
+  if (kForceVerify || options_.verify_plans) {
+    analysis::PlanContext context;
+    context.vp = &vp_;
+    context.property_table = options_.use_property_table ? &pt_ : nullptr;
+    context.reverse_property_table =
+        options_.use_reverse_property_table ? &reverse_pt_ : nullptr;
+    context.stats = &stats_;
+    context.dictionary = &graph_->dictionary();
+    context.cluster = &options_.cluster;
+    PROST_RETURN_IF_ERROR(analysis::CheckPlan(tree, query, context));
+  }
+  return tree;
 }
 
 Result<QueryResult> ProstDb::Execute(const sparql::Query& query) const {
@@ -281,7 +300,10 @@ Result<std::unique_ptr<ProstDb>> ProstDb::OpenFrom(const std::string& dir,
           columnar::LexicalColumnSizeEstimate(part.column(0), term_lengths) +
           columnar::LexicalColumnSizeEstimate(part.column(1), term_lengths));
       for (rdf::TermId id : part.column(0).ids()) subjects.insert(id);
-      for (rdf::TermId id : part.column(1).ids()) objects.insert(id);
+      for (rdf::TermId id : part.column(1).ids()) {
+        objects.insert(id);
+        if (dictionary.IsLiteralId(id)) ++stats.literal_objects;
+      }
       table.partitions.push_back(std::move(part));
     }
     stats.triple_count = table.total_rows;

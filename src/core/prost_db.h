@@ -41,6 +41,12 @@ class ProstDb {
     /// §5 future work: collect pairwise subject-overlap statistics at
     /// load (extra loading cost) for sharper Join Tree estimates.
     bool collect_precise_statistics = false;
+    /// Statically verify every Join Tree (analysis::CheckPlan) between
+    /// translation and execution: schema resolution, join-key presence
+    /// and type agreement, statistics/storage consistency. Opt-out is
+    /// honored only in plain release builds — debug and sanitizer builds
+    /// (PROST_PARANOID_CHECKS) always verify.
+    bool verify_plans = true;
     engine::JoinOptions join;
   };
 

@@ -25,6 +25,21 @@ Result<std::string_view> Dictionary::LookupId(TermId id) const {
   return std::string_view(lexicals_[id - 1]);
 }
 
+std::string_view Dictionary::MustLookupId(TermId id) const {
+  if (id == kNullTermId || id > lexicals_.size()) {
+    internal_status::AbortWithMessage(
+        "Dictionary::MustLookupId on unknown term id " + std::to_string(id));
+  }
+  return std::string_view(lexicals_[id - 1]);
+}
+
+bool Dictionary::IsLiteralId(TermId id) const {
+  if (IsVirtualIntegerId(id)) return true;
+  if (id == kNullTermId || id > lexicals_.size()) return false;
+  const std::string& lexical = lexicals_[id - 1];
+  return !lexical.empty() && lexical[0] == '"';
+}
+
 Result<Term> Dictionary::DecodeTerm(TermId id) const {
   PROST_ASSIGN_OR_RETURN(std::string_view lexical, LookupId(id));
   return ParseTerm(lexical);

@@ -48,6 +48,16 @@ class Dictionary {
   /// Returns the lexical form for `id`; error for out-of-range or null id.
   Result<std::string_view> LookupId(TermId id) const;
 
+  /// Like LookupId, for ids the caller *knows* are interned (e.g. ids read
+  /// back out of this dictionary's own tables). Aborts with a diagnostic
+  /// on an out-of-range id — a programming error, not a runtime condition.
+  std::string_view MustLookupId(TermId id) const;
+
+  /// True when `id` denotes an RDF literal: either a virtual integer id or
+  /// an interned term whose canonical lexical form starts with '"'.
+  /// Out-of-range ids are not literals.
+  bool IsLiteralId(TermId id) const;
+
   /// Decodes `id` back into a structured Term.
   Result<Term> DecodeTerm(TermId id) const;
 

@@ -33,6 +33,7 @@ std::map<TermId, PredicateStats> EncodedGraph::ComputePredicateStats() const {
     for (const EncodedTriple* t : group) {
       subjects.insert(t->subject);
       objects.insert(t->object);
+      if (dictionary_.IsLiteralId(t->object)) ++s.literal_objects;
     }
     s.distinct_subjects = subjects.size();
     s.distinct_objects = objects.size();

@@ -21,10 +21,24 @@ struct PredicateStats {
   uint64_t triple_count = 0;
   uint64_t distinct_subjects = 0;
   uint64_t distinct_objects = 0;
+  /// Triples whose object is a literal (including virtual integers). With
+  /// `triple_count` this classifies the predicate's object domain, the
+  /// schema signal the plan checker uses for join-key type agreement
+  /// (S2RDF-style: a literal-valued predicate can never join a subject
+  /// position).
+  uint64_t literal_objects = 0;
 
   /// True when at least one subject has more than one object value — the
   /// multi-valued case that forces list columns in the Property Table.
   bool is_multi_valued() const { return triple_count > distinct_subjects; }
+
+  /// Object-domain classification; meaningless when triple_count == 0.
+  bool objects_all_literals() const {
+    return triple_count > 0 && literal_objects == triple_count;
+  }
+  bool objects_all_entities() const {
+    return triple_count > 0 && literal_objects == 0;
+  }
 
   bool operator==(const PredicateStats& other) const = default;
 };

@@ -447,7 +447,8 @@ std::string ToNTriplesText(const WatDivDataset& dataset) {
   std::string out;
   for (size_t i = 0; i < dataset.graph.size(); ++i) {
     // DecodeTriple cannot fail for triples produced by the generator.
-    out += dataset.graph.DecodeTriple(i).value().ToNTriples();
+    Result<rdf::Triple> triple = dataset.graph.DecodeTriple(i);
+    out += std::move(triple).value().ToNTriples();
     out.push_back('\n');
   }
   return out;

@@ -165,6 +165,29 @@ TEST(EncodingTest, BitPackedFullWidthValues) {
   EXPECT_EQ(decoded, ids);
 }
 
+TEST(EncodingTest, DeltaFullWidthValuesRoundTrip) {
+  // Regression: consecutive ids straddling 2^63 (virtual integer ids set
+  // the top bit) used to signed-overflow in the delta codec on both the
+  // encode and decode side. Deltas wrap modulo 2^64 and must round-trip.
+  IdVector ids = {12657228522535264308ull,  // the original UBSan repro pair
+                  4353188321398943952ull,
+                  ~0ull,
+                  0,
+                  1ull << 63,
+                  (1ull << 63) + 5,
+                  1};
+  ByteWriter writer;
+  EncodeIdsWith(ids, Encoding::kDeltaVarint, writer);
+  EXPECT_EQ(writer.size(), EncodedSize(ids, Encoding::kDeltaVarint));
+  ByteWriter tagged;
+  tagged.PutU8(static_cast<uint8_t>(Encoding::kDeltaVarint));
+  tagged.PutRaw(writer.buffer().data(), writer.size());
+  ByteReader reader(tagged.buffer());
+  IdVector decoded;
+  ASSERT_TRUE(DecodeIds(reader, ids.size(), &decoded).ok());
+  EXPECT_EQ(decoded, ids);
+}
+
 TEST(EncodingTest, BitPackedTruncationIsCorruption) {
   IdVector ids(100, 5);
   ByteWriter writer;

@@ -3,8 +3,8 @@
 
 #include <gtest/gtest.h>
 
-#include "sparql/algebra.h"
 #include "common/rng.h"
+#include "sparql/algebra.h"
 #include "sparql/parser.h"
 
 namespace prost::sparql {

@@ -1,0 +1,205 @@
+#!/usr/bin/env python3
+"""Repository lint, registered as the `tools.lint` ctest.
+
+Checks, each with a short rule id used in diagnostics:
+
+  value-on-temporary   `).value()` in src/: calling Result::value() on a
+                       temporary means the result can never have been
+                       checked with ok() first. Receivers that are named
+                       variables (`result.value()`) are fine, as is the
+                       explicit `std::move(result).value()` consume of an
+                       already-checked result.
+  raw-new              `new` outside std::unique_ptr<T>(new T...) (used
+                       for classes with private constructors) and leaky
+                       `static T* x = new T...` singletons. Everything
+                       else should use std::make_unique / containers.
+  std-endl             std::endl flushes; use '\n'.
+  missing-override     gtest virtual hooks (SetUp/TearDown) must be
+                       marked `override`; `virtual` on a member already
+                       marked `override` is redundant.
+  include-order        within each contiguous #include block, <angle>
+                       includes come before "quote" includes and both
+                       groups are sorted (the first block of a .cc may
+                       start with its own header).
+
+Exit status 0 when clean, 1 with one "path:line: [rule] message" per
+violation otherwise.
+"""
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+CPP_SUFFIXES = {".h", ".cc", ".cpp"}
+ALL_DIRS = ["src", "tests", "bench", "examples"]
+
+
+def code_lines(text):
+    """Yields (line_number, line) with comments and string/char literals
+    blanked out, so lexical rules do not fire inside them."""
+    out = []
+    in_block_comment = False
+    for number, line in enumerate(text.splitlines(), start=1):
+        result = []
+        i = 0
+        while i < len(line):
+            if in_block_comment:
+                end = line.find("*/", i)
+                if end < 0:
+                    i = len(line)
+                else:
+                    in_block_comment = False
+                    i = end + 2
+                continue
+            two = line[i : i + 2]
+            if two == "/*":
+                in_block_comment = True
+                i += 2
+            elif two == "//":
+                break
+            elif line[i] in "\"'":
+                quote = line[i]
+                i += 1
+                while i < len(line):
+                    if line[i] == "\\":
+                        i += 2
+                    elif line[i] == quote:
+                        i += 1
+                        break
+                    else:
+                        i += 1
+                result.append(quote + quote)
+            else:
+                result.append(line[i])
+                i += 1
+        out.append((number, "".join(result)))
+    return out
+
+
+VALUE_ON_TEMPORARY = re.compile(r"\)\s*\.\s*value\(\)")
+MOVED_VALUE = re.compile(r"std::move\s*\([^()]*\)\s*\.\s*value\(\)")
+RAW_NEW = re.compile(r"\bnew\b\s*[\w:<(]")
+SMART_POINTER_NEW = re.compile(
+    r"(?:std::)?(?:unique_ptr|shared_ptr)\s*<[^;]*>\s*[({][^;]*\bnew\b"
+)
+STATIC_SINGLETON_NEW = re.compile(r"\bstatic\b[^;=]*=\s*new\b")
+GTEST_HOOK = re.compile(r"\bvoid\s+(SetUp|TearDown)\s*\(\s*\)")
+REDUNDANT_VIRTUAL = re.compile(r"\bvirtual\b[^;{]*\boverride\b")
+INCLUDE = re.compile(r'^\s*#\s*include\s*(<[^>]+>|"[^"]+")')
+
+
+def lint_lexical(path, lines, failures, check_value_rule):
+    previous = ""
+    for number, line in lines:
+        # A smart-pointer constructor call often wraps, leaving `new` at
+        # the start of a continuation line; judge raw-new against the
+        # joined pair.
+        joined = previous + " " + line
+        previous = line
+        if check_value_rule and VALUE_ON_TEMPORARY.search(line):
+            stripped = MOVED_VALUE.sub("", line)
+            if VALUE_ON_TEMPORARY.search(stripped):
+                failures.append(
+                    f"{path}:{number}: [value-on-temporary] Result::value() "
+                    "on a temporary can never have been checked; bind the "
+                    "result first or use a Must* accessor"
+                )
+        if RAW_NEW.search(line):
+            if not SMART_POINTER_NEW.search(joined) and not (
+                STATIC_SINGLETON_NEW.search(joined)
+            ):
+                failures.append(
+                    f"{path}:{number}: [raw-new] raw `new` outside "
+                    "std::unique_ptr construction or a static singleton; "
+                    "use std::make_unique or a container"
+                )
+        if "std::endl" in line:
+            failures.append(
+                f"{path}:{number}: [std-endl] std::endl forces a flush; "
+                "use '\\n'"
+            )
+        if GTEST_HOOK.search(line) and "override" not in line:
+            failures.append(
+                f"{path}:{number}: [missing-override] gtest hook must be "
+                "marked override"
+            )
+        if REDUNDANT_VIRTUAL.search(line):
+            failures.append(
+                f"{path}:{number}: [missing-override] `virtual` is "
+                "redundant on a member marked override"
+            )
+
+
+def lint_include_order(path, text, failures):
+    blocks = []
+    current = []
+    for number, line in enumerate(text.splitlines(), start=1):
+        match = INCLUDE.match(line)
+        if match:
+            current.append((number, match.group(1)))
+        elif line.strip() == "":
+            if current:
+                blocks.append(current)
+                current = []
+        else:
+            # #ifdef guards, macros or code interrupt the include region;
+            # close the block but keep scanning for later ones.
+            if current:
+                blocks.append(current)
+                current = []
+    if current:
+        blocks.append(current)
+    own_header_block = path.suffix != ".h"
+    for block in blocks:
+        if own_header_block:
+            own_header_block = False
+            if len(block) == 1:
+                continue  # The conventional lone own-header include.
+        angles = [(n, i) for n, i in block if i.startswith("<")]
+        quotes = [(n, i) for n, i in block if i.startswith('"')]
+        if angles and quotes and angles[0][0] > quotes[0][0]:
+            failures.append(
+                f"{path}:{angles[0][0]}: [include-order] <system> includes "
+                "belong before \"project\" includes within a block"
+            )
+            continue
+        for group in (angles, quotes):
+            names = [i for _, i in group]
+            if names != sorted(names):
+                failures.append(
+                    f"{path}:{group[0][0]}: [include-order] includes in "
+                    "this block are not sorted"
+                )
+                break
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--root", default=".", help="repository root")
+    args = parser.parse_args()
+    root = Path(args.root)
+
+    failures = []
+    for directory in ALL_DIRS:
+        for path in sorted((root / directory).rglob("*")):
+            if path.suffix not in CPP_SUFFIXES:
+                continue
+            text = path.read_text(encoding="utf-8")
+            relative = path.relative_to(root)
+            lines = code_lines(text)
+            lint_lexical(relative, lines, failures,
+                         check_value_rule=directory == "src")
+            lint_include_order(relative, text, failures)
+
+    for failure in failures:
+        print(failure)
+    if failures:
+        print(f"lint: {len(failures)} violation(s)")
+        return 1
+    print("lint: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
