@@ -5,9 +5,13 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+
 #include "cluster/cost_model.h"
 #include "columnar/encoding.h"
 #include "common/rng.h"
+#include "common/thread_pool.h"
+#include "common/timer.h"
 #include "core/property_table.h"
 #include "core/statistics.h"
 #include "core/vp_store.h"
@@ -192,6 +196,95 @@ void BM_VpScan(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_VpScan);
+
+// ---------------------------------------------------------------------
+// Thread-count sweep for the morsel-driven parallel operators. Each
+// benchmark runs at 1/2/4/8 threads over identical inputs and reports a
+// `speedup_vs_serial` counter against a cached serial baseline, so one
+// run shows per-thread scaling directly. (On a single-core machine the
+// counter hovers near 1; scaling shows on real multi-core hardware.)
+
+/// Minimum-of-3 wall time of `fn` in milliseconds.
+template <typename Fn>
+double BestOfThreeMs(const Fn& fn) {
+  double best = 1e300;
+  for (int i = 0; i < 3; ++i) {
+    WallTimer timer;
+    fn();
+    best = std::min(best, timer.ElapsedMillis());
+  }
+  return best;
+}
+
+void BM_ParallelHashJoin(benchmark::State& state) {
+  const uint32_t threads = static_cast<uint32_t>(state.range(0));
+  const size_t rows = 1 << 16;
+  engine::Relation left = MakeRelation({"a", "b"}, rows, rows / 2, 1);
+  engine::Relation right = MakeRelation({"b", "c"}, rows / 4, rows / 2, 2);
+  cluster::ClusterConfig config;
+  engine::JoinOptions options;
+  // Broadcast: exercises the partitioned build + parallel probe path.
+  options.broadcast_threshold_bytes = ~0ull >> 1;
+
+  auto run_once = [&](const engine::ExecContext* exec) {
+    cluster::CostModel cost(config);
+    cost.BeginStage("bench");
+    auto joined = engine::HashJoin(left, right, options, cost, exec);
+    cost.EndStage();
+    if (!joined.ok()) state.SkipWithError("join failed");
+    benchmark::DoNotOptimize(joined->relation.TotalRows());
+  };
+  static double serial_ms = BestOfThreeMs([&] { run_once(nullptr); });
+
+  ThreadPool pool(threads);
+  engine::ExecContext exec(&pool, 4096);
+  double total_ms = 0;
+  for (auto _ : state) {
+    WallTimer timer;
+    run_once(&exec);
+    total_ms += timer.ElapsedMillis();
+  }
+  state.SetItemsProcessed(state.iterations() * rows);
+  state.counters["threads"] = threads;
+  if (state.iterations() > 0 && total_ms > 0) {
+    state.counters["speedup_vs_serial"] =
+        serial_ms / (total_ms / static_cast<double>(state.iterations()));
+  }
+}
+BENCHMARK(BM_ParallelHashJoin)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->UseRealTime();
+
+void BM_ParallelVpScan(benchmark::State& state) {
+  const uint32_t threads = static_cast<uint32_t>(state.range(0));
+  ScanFixture& f = Fixture();
+  cluster::ClusterConfig config;
+  auto run_once = [&](const engine::ExecContext* exec) {
+    cluster::CostModel cost(config);
+    cost.BeginStage("scan");
+    auto relation = f.vp.Scan(f.likes, core::PatternTerm::Var("s"),
+                              core::PatternTerm::Var("o"), cost, exec);
+    cost.EndStage();
+    if (!relation.ok()) state.SkipWithError("scan failed");
+    benchmark::DoNotOptimize(relation->TotalRows());
+  };
+  static double serial_ms = BestOfThreeMs([&] { run_once(nullptr); });
+
+  ThreadPool pool(threads);
+  engine::ExecContext exec(&pool, 1024);
+  double total_ms = 0;
+  for (auto _ : state) {
+    WallTimer timer;
+    run_once(&exec);
+    total_ms += timer.ElapsedMillis();
+  }
+  state.counters["threads"] = threads;
+  if (state.iterations() > 0 && total_ms > 0) {
+    state.counters["speedup_vs_serial"] =
+        serial_ms / (total_ms / static_cast<double>(state.iterations()));
+  }
+}
+BENCHMARK(BM_ParallelVpScan)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->UseRealTime();
 
 void BM_PropertyTableStarScan(benchmark::State& state) {
   ScanFixture& f = Fixture();

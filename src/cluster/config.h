@@ -16,6 +16,14 @@ struct ClusterConfig {
   /// Number of worker machines (the paper's master does no work).
   uint32_t num_workers = 9;
 
+  /// Cores per worker machine (§4.1: 6-core Xeon E5-2420). The *cost
+  /// model* already folds core counts into the per-worker throughput
+  /// rates below; this knob instead feeds the real executor — it is the
+  /// default intra-query thread count when ExecOptions::num_threads is 0.
+  /// Not rescaled by ScaleToDataset (it describes a machine, not a
+  /// workload) and never affects simulated time.
+  uint32_t cores_per_worker = 6;
+
   /// Sequential scan throughput per worker, bytes/second. Columnar reads
   /// from HDFS with OS page cache; 300 MB/s is typical for the hardware.
   double scan_bytes_per_sec = 300.0 * 1024 * 1024;

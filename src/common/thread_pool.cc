@@ -1,0 +1,112 @@
+#include "common/thread_pool.h"
+
+namespace prost {
+
+ThreadPool::ThreadPool(uint32_t num_threads)
+    : num_threads_(num_threads == 0 ? 1 : num_threads) {
+  shards_.reserve(num_threads_);
+  for (uint32_t p = 0; p < num_threads_; ++p) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+  threads_.reserve(num_threads_ - 1);
+  for (uint32_t p = 1; p < num_threads_; ++p) {
+    threads_.emplace_back([this, p] { WorkerLoop(p); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& thread : threads_) thread.join();
+}
+
+void ThreadPool::ParallelFor(size_t num_tasks,
+                             const std::function<void(size_t)>& fn) {
+  if (num_tasks == 0) return;
+  if (num_threads_ <= 1 || num_tasks == 1) {
+    for (size_t i = 0; i < num_tasks; ++i) fn(i);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    // The previous region fully quiesced before ParallelFor returned, so
+    // no worker touches the shards here. Contiguous blocks: participant 0
+    // (the caller) gets the lowest indices.
+    size_t block = (num_tasks + num_threads_ - 1) / num_threads_;
+    for (uint32_t p = 0; p < num_threads_; ++p) {
+      size_t begin = p * block;
+      size_t end = begin + block < num_tasks ? begin + block : num_tasks;
+      shards_[p]->tasks.clear();
+      for (size_t i = begin; i < end; ++i) shards_[p]->tasks.push_back(i);
+    }
+    fn_ = &fn;
+    remaining_.store(num_tasks, std::memory_order_relaxed);
+    ++generation_;
+  }
+  work_cv_.notify_all();
+  RunParticipant(0, fn);
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [this] {
+    return remaining_.load(std::memory_order_acquire) == 0 &&
+           active_workers_ == 0;
+  });
+  fn_ = nullptr;
+}
+
+void ThreadPool::WorkerLoop(uint32_t participant) {
+  uint64_t seen_generation = 0;
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    work_cv_.wait(lock, [&] {
+      return shutdown_ || generation_ != seen_generation;
+    });
+    if (shutdown_) return;
+    seen_generation = generation_;
+    const std::function<void(size_t)>& fn = *fn_;
+    ++active_workers_;
+    lock.unlock();
+    RunParticipant(participant, fn);
+    lock.lock();
+    if (--active_workers_ == 0) done_cv_.notify_all();
+  }
+}
+
+void ThreadPool::RunParticipant(uint32_t participant,
+                                const std::function<void(size_t)>& fn) {
+  size_t task = 0;
+  while (NextTask(participant, &task)) {
+    fn(task);
+    if (remaining_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      // Last task overall: wake the caller (it may be waiting already).
+      std::lock_guard<std::mutex> lock(mu_);
+      done_cv_.notify_all();
+    }
+  }
+}
+
+bool ThreadPool::NextTask(uint32_t participant, size_t* task) {
+  Shard& own = *shards_[participant];
+  {
+    std::lock_guard<std::mutex> lock(own.mu);
+    if (!own.tasks.empty()) {
+      *task = own.tasks.front();
+      own.tasks.pop_front();
+      return true;
+    }
+  }
+  for (uint32_t offset = 1; offset < num_threads_; ++offset) {
+    Shard& victim = *shards_[(participant + offset) % num_threads_];
+    std::lock_guard<std::mutex> lock(victim.mu);
+    if (!victim.tasks.empty()) {
+      *task = victim.tasks.back();
+      victim.tasks.pop_back();
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace prost

@@ -1,0 +1,82 @@
+#ifndef PROST_COMMON_THREAD_POOL_H_
+#define PROST_COMMON_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace prost {
+
+/// Work-stealing thread pool behind the morsel-driven parallel operators.
+///
+/// The pool owns `num_threads - 1` OS threads; the caller of ParallelFor
+/// participates as the remaining worker, so `num_threads` is the total
+/// parallelism. Tasks are dense indices: ParallelFor splits [0, num_tasks)
+/// into contiguous shards, one deque per participant. A participant pops
+/// from the front of its own shard (ascending indices, cache-friendly for
+/// morsels over adjacent rows) and steals from the *back* of the first
+/// non-empty victim once its own shard runs dry, so stragglers shed their
+/// coldest work first.
+///
+/// Scheduling never affects results: tasks are index-addressed, write to
+/// caller-provided slots, and the caller merges slots in index order —
+/// that merge order is the determinism contract of every parallel
+/// operator built on top.
+///
+/// ParallelFor is synchronous and not reentrant: one parallel region at a
+/// time per pool, and task bodies must not call back into the pool.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads - 1` workers. `num_threads == 1` (or 0) spawns
+  /// nothing; ParallelFor then runs inline on the caller.
+  explicit ThreadPool(uint32_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  uint32_t num_threads() const { return num_threads_; }
+
+  /// Runs fn(i) exactly once for every i in [0, num_tasks), distributing
+  /// across all participants with stealing. Blocks until every task has
+  /// finished. `fn` must be safe to call concurrently from different
+  /// threads on different indices and must not throw.
+  void ParallelFor(size_t num_tasks, const std::function<void(size_t)>& fn);
+
+ private:
+  /// One participant's shard of the current region's task indices.
+  struct Shard {
+    std::mutex mu;
+    std::deque<size_t> tasks;
+  };
+
+  void WorkerLoop(uint32_t participant);
+  /// Drains tasks (own shard first, then stealing) until none are left.
+  void RunParticipant(uint32_t participant,
+                      const std::function<void(size_t)>& fn);
+  bool NextTask(uint32_t participant, size_t* task);
+
+  const uint32_t num_threads_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::vector<std::thread> threads_;
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;  // Workers wait here between regions.
+  std::condition_variable done_cv_;  // ParallelFor waits here for quiesce.
+  uint64_t generation_ = 0;          // Bumped per region, under mu_.
+  bool shutdown_ = false;
+  const std::function<void(size_t)>* fn_ = nullptr;  // Current region's fn.
+  std::atomic<size_t> remaining_{0};  // Tasks not yet completed.
+  uint32_t active_workers_ = 0;       // Pool threads inside RunParticipant.
+};
+
+}  // namespace prost
+
+#endif  // PROST_COMMON_THREAD_POOL_H_

@@ -21,11 +21,12 @@ namespace {
 Result<engine::Relation> ScanNode(const JoinTreeNode& node, const VpStore& vp,
                                   const PropertyTable* property_table,
                                   const PropertyTable* reverse_property_table,
-                                  cluster::CostModel& cost) {
+                                  cluster::CostModel& cost,
+                                  const engine::ExecContext* exec) {
   switch (node.kind) {
     case NodeKind::kVerticalPartitioning:
       return vp.Scan(node.patterns[0].predicate, node.patterns[0].subject,
-                     node.patterns[0].object, cost);
+                     node.patterns[0].object, cost, exec);
     case NodeKind::kPropertyTable: {
       if (property_table == nullptr) {
         return Status::Internal("join tree has a PT node but no PT");
@@ -35,7 +36,8 @@ Result<engine::Relation> ScanNode(const JoinTreeNode& node, const VpStore& vp,
       for (const NodePattern& p : node.patterns) {
         patterns.push_back({p.predicate, p.object});
       }
-      return property_table->Scan(node.patterns[0].subject, patterns, cost);
+      return property_table->Scan(node.patterns[0].subject, patterns, cost,
+                                  exec);
     }
     case NodeKind::kReversePropertyTable: {
       if (reverse_property_table == nullptr) {
@@ -47,7 +49,7 @@ Result<engine::Relation> ScanNode(const JoinTreeNode& node, const VpStore& vp,
         patterns.push_back({p.predicate, p.subject});
       }
       return reverse_property_table->Scan(node.patterns[0].object, patterns,
-                                          cost);
+                                          cost, exec);
     }
   }
   return Status::Internal("unknown node kind");
@@ -60,7 +62,8 @@ Result<QueryResult> ExecuteJoinTree(
     const PropertyTable* property_table,
     const PropertyTable* reverse_property_table,
     const engine::JoinOptions& join_options,
-    const rdf::Dictionary& dictionary, cluster::CostModel& cost) {
+    const rdf::Dictionary& dictionary, cluster::CostModel& cost,
+    const engine::ExecContext* exec) {
   if (tree.nodes.empty()) {
     return Status::InvalidArgument("empty join tree");
   }
@@ -81,7 +84,7 @@ Result<QueryResult> ExecuteJoinTree(
   for (size_t i = 0; i < tree.nodes.size(); ++i) {
     Result<engine::Relation> scanned =
         ScanNode(tree.nodes[i], vp, property_table, reverse_property_table,
-                 cost);
+                 cost, exec);
     if (!scanned.ok()) {
       cost.EndStage();
       return scanned.status();
@@ -93,7 +96,8 @@ Result<QueryResult> ExecuteJoinTree(
     }
     PROST_ASSIGN_OR_RETURN(
         engine::JoinResult joined,
-        engine::HashJoin(accumulated, scanned.value(), join_options, cost));
+        engine::HashJoin(accumulated, scanned.value(), join_options, cost,
+                         exec));
     result.join_strategies.push_back(joined.strategy);
     accumulated = std::move(joined.relation);
     PROST_VALIDATE_RELATION(accumulated);
@@ -101,9 +105,9 @@ Result<QueryResult> ExecuteJoinTree(
 
   // FILTERs and solution modifiers, pipelined into the open stage
   // (DISTINCT inserts its own boundary inside the operator).
-  PROST_ASSIGN_OR_RETURN(accumulated,
-                         ApplyFiltersAndModifiers(std::move(accumulated),
-                                                  query, dictionary, cost));
+  PROST_ASSIGN_OR_RETURN(
+      accumulated, ApplyFiltersAndModifiers(std::move(accumulated), query,
+                                            dictionary, cost, exec));
   PROST_VALIDATE_RELATION(accumulated);
   cost.EndStage();
 

@@ -45,12 +45,17 @@ struct QueryResult {
 /// `property_table` / `reverse_property_table` may be null when the tree
 /// contains no node of that kind. The cost model must be freshly reset;
 /// on return it carries the query's simulated time.
+///
+/// `exec` (nullable) selects the morsel-driven parallel operator paths;
+/// the result relation is bit-identical to a serial run and the simulated
+/// time is unchanged — parallelism affects wall-clock only.
 Result<QueryResult> ExecuteJoinTree(
     const JoinTree& tree, const sparql::Query& query, const VpStore& vp,
     const PropertyTable* property_table,
     const PropertyTable* reverse_property_table,
     const engine::JoinOptions& join_options,
-    const rdf::Dictionary& dictionary, cluster::CostModel& cost);
+    const rdf::Dictionary& dictionary, cluster::CostModel& cost,
+    const engine::ExecContext* exec = nullptr);
 
 }  // namespace prost::core
 

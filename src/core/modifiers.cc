@@ -146,7 +146,8 @@ Result<Relation> ApplyOneFilter(const Relation& input,
 Result<Relation> ApplyFiltersAndModifiers(Relation relation,
                                           const sparql::Query& query,
                                           const rdf::Dictionary& dictionary,
-                                          cluster::CostModel& cost) {
+                                          cluster::CostModel& cost,
+                                          const engine::ExecContext* exec) {
   KeyCache keys(dictionary);
 
   // FILTER constraints, pipelined (no stage boundaries of their own).
@@ -231,7 +232,8 @@ Result<Relation> ApplyFiltersAndModifiers(Relation relation,
   // Projection preserves per-chunk row order (ordered results live in one
   // chunk).
   PROST_ASSIGN_OR_RETURN(
-      relation, engine::Project(relation, query.EffectiveProjection(), cost));
+      relation,
+      engine::Project(relation, query.EffectiveProjection(), cost, exec));
   if (query.distinct) {
     if (ordered) {
       // Order-preserving dedupe on the driver; the engine's distributed

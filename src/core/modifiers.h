@@ -3,6 +3,7 @@
 
 #include "cluster/cost_model.h"
 #include "common/status.h"
+#include "engine/exec_context.h"
 #include "engine/relation.h"
 #include "rdf/dictionary.h"
 #include "sparql/algebra.h"
@@ -23,9 +24,15 @@ namespace prost::core {
 ///
 /// ORDER BY materializes the result on the driver (like Spark's collect)
 /// into chunk 0, preserving row order for consumers.
+///
+/// `exec` (nullable) parallelizes the projection only. FILTER evaluation
+/// shares a memoizing dictionary cache (not thread-safe), the sort is
+/// already a driver-side stable_sort, and DISTINCT/OFFSET/LIMIT are
+/// order-sensitive slices — those stay serial by design.
 Result<engine::Relation> ApplyFiltersAndModifiers(
     engine::Relation relation, const sparql::Query& query,
-    const rdf::Dictionary& dictionary, cluster::CostModel& cost);
+    const rdf::Dictionary& dictionary, cluster::CostModel& cost,
+    const engine::ExecContext* exec = nullptr);
 
 }  // namespace prost::core
 

@@ -188,7 +188,7 @@ Result<PropertyTable> PropertyTable::Assemble(
 
 Result<Relation> PropertyTable::Scan(
     const PatternTerm& key, const std::vector<ColumnPattern>& patterns,
-    cluster::CostModel& cost) const {
+    cluster::CostModel& cost, const engine::ExecContext* exec) const {
   if (patterns.empty()) {
     return Status::InvalidArgument("property table scan needs patterns");
   }
@@ -230,10 +230,10 @@ Result<Relation> PropertyTable::Scan(
     }
   }
 
+  // Cost model first, entirely on the calling thread: columnar pruning
+  // charges the key column plus each touched column once per partition.
   uint64_t planner_bytes = 0;
   for (uint32_t w = 0; w < num_workers_; ++w) {
-    const StoredTable& part = partitions_[w];
-    // Columnar pruning: charge the key column plus touched columns once.
     uint64_t scan_bytes = column_bytes_[w][0];
     std::vector<int> charged;
     for (int c : pattern_column) {
@@ -245,11 +245,19 @@ Result<Relation> PropertyTable::Scan(
     }
     planner_bytes += scan_bytes;
     cost.ChargeScan(w, scan_bytes);
-    if (!possible) {
-      cost.ChargeCpuRows(w, part.num_rows());
-      continue;
-    }
+    if (!possible) cost.ChargeCpuRows(w, partitions_[w].num_rows());
+  }
+  if (!possible) {
+    if (key.is_variable) output.set_hash_partitioned_by(0);
+    output.set_planner_bytes(planner_bytes);
+    return output;
+  }
 
+  // Scans partition `w` into its output chunk, returning emitted rows.
+  // Each partition writes only its own chunk, so partitions are
+  // independent tasks and parallel output is bit-identical to serial.
+  auto scan_partition = [&](uint32_t w) -> uint64_t {
+    const StoredTable& part = partitions_[w];
     const IdVector& row_keys = part.column(0).ids();
     RelationChunk& out = output.mutable_chunks()[w];
     uint64_t emitted = 0;
@@ -320,7 +328,21 @@ Result<Relation> PropertyTable::Scan(
         ++emitted;
       }
     }
-    cost.ChargeCpuRows(w, part.num_rows() + emitted);
+    return emitted;
+  };
+
+  std::vector<uint64_t> emitted(num_workers_, 0);
+  if (engine::IsParallel(exec)) {
+    exec->pool()->ParallelFor(num_workers_, [&](size_t w) {
+      emitted[w] = scan_partition(static_cast<uint32_t>(w));
+    });
+  } else {
+    for (uint32_t w = 0; w < num_workers_; ++w) {
+      emitted[w] = scan_partition(w);
+    }
+  }
+  for (uint32_t w = 0; w < num_workers_; ++w) {
+    cost.ChargeCpuRows(w, partitions_[w].num_rows() + emitted[w]);
   }
   if (key.is_variable) output.set_hash_partitioned_by(0);
   // The planner sees the touched columns' size (Parquet column pruning is

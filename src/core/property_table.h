@@ -10,6 +10,7 @@
 #include "common/status.h"
 #include "core/pattern_term.h"
 #include "core/statistics.h"
+#include "engine/exec_context.h"
 #include "engine/relation.h"
 #include "rdf/graph.h"
 
@@ -64,10 +65,14 @@ class PropertyTable {
   /// bound column. Variables repeated across patterns (including the key
   /// variable) are joined within the row. Charges only the touched
   /// columns' bytes to `cost` — the columnar pruning that makes the PT
-  /// cheap to scan despite its width.
+  /// cheap to scan despite its width. A parallel `exec` scans partitions
+  /// concurrently (each writes its own output chunk, so output is
+  /// bit-identical to serial); cost charges stay on the calling thread.
   Result<engine::Relation> Scan(const PatternTerm& key,
                                 const std::vector<ColumnPattern>& patterns,
-                                cluster::CostModel& cost) const;
+                                cluster::CostModel& cost,
+                                const engine::ExecContext* exec = nullptr)
+      const;
 
   uint32_t num_workers() const { return num_workers_; }
   uint64_t num_rows() const { return num_rows_; }

@@ -36,11 +36,19 @@ Result<std::unique_ptr<ProstDb>> ProstDb::LoadFromGraph(
       std::make_shared<const rdf::EncodedGraph>(std::move(graph)), options);
 }
 
+void ProstDb::InitThreadPool() {
+  uint32_t threads = options_.exec.num_threads == 0
+                         ? options_.cluster.cores_per_worker
+                         : options_.exec.num_threads;
+  if (threads > 1) pool_ = std::make_unique<ThreadPool>(threads);
+}
+
 Result<std::unique_ptr<ProstDb>> ProstDb::LoadFromSharedGraph(
     std::shared_ptr<const rdf::EncodedGraph> graph, const Options& options) {
   WallTimer timer;
   auto db = std::unique_ptr<ProstDb>(new ProstDb());
   db->options_ = options;
+  db->InitThreadPool();
   db->graph_ = std::move(graph);
 
   const uint64_t triples = db->graph_->size();
@@ -152,10 +160,11 @@ Result<JoinTree> ProstDb::Plan(const sparql::Query& query) const {
 Result<QueryResult> ProstDb::Execute(const sparql::Query& query) const {
   PROST_ASSIGN_OR_RETURN(JoinTree tree, Plan(query));
   cluster::CostModel cost(options_.cluster);
+  engine::ExecContext exec(pool_.get(), options_.exec.morsel_rows);
   return ExecuteJoinTree(
       tree, query, vp_, options_.use_property_table ? &pt_ : nullptr,
       options_.use_reverse_property_table ? &reverse_pt_ : nullptr,
-      options_.join, graph_->dictionary(), cost);
+      options_.join, graph_->dictionary(), cost, &exec);
 }
 
 Result<QueryResult> ProstDb::ExecuteSparql(std::string_view sparql) const {
@@ -315,6 +324,7 @@ Result<std::unique_ptr<ProstDb>> ProstDb::OpenFrom(const std::string& dir,
 
   auto db = std::unique_ptr<ProstDb>(new ProstDb());
   db->options_ = options;
+  db->InitThreadPool();
   db->stats_ = DatasetStatistics::FromPerPredicate(std::move(per_predicate));
   db->vp_ = VpStore::Assemble(workers, std::move(tables));
   if (options.use_property_table) {

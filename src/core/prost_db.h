@@ -8,6 +8,7 @@
 
 #include "cluster/config.h"
 #include "common/status.h"
+#include "common/thread_pool.h"
 #include "core/executor.h"
 #include "core/property_table.h"
 #include "core/statistics.h"
@@ -48,6 +49,11 @@ class ProstDb {
     /// (PROST_PARANOID_CHECKS) always verify.
     bool verify_plans = true;
     engine::JoinOptions join;
+    /// Real-executor parallelism (morsel-driven operators). The default
+    /// (num_threads = 1) runs the serial paths; num_threads = 0 uses
+    /// cluster.cores_per_worker. Results are bit-identical across thread
+    /// counts and simulated times are unchanged.
+    engine::ExecOptions exec;
   };
 
   /// Loads from an already-encoded graph. The graph is deduplicated, the
@@ -104,7 +110,11 @@ class ProstDb {
  private:
   ProstDb() = default;
 
+  /// Creates pool_ when the resolved thread count asks for parallelism.
+  void InitThreadPool();
+
   Options options_;
+  std::unique_ptr<ThreadPool> pool_;
   std::shared_ptr<const rdf::EncodedGraph> graph_;
   DatasetStatistics stats_;
   VpStore vp_;

@@ -1,5 +1,7 @@
 #include "core/vp_store.h"
 
+#include <algorithm>
+
 #include "columnar/lexical_format.h"
 #include "common/hash.h"
 #include "common/io.h"
@@ -77,15 +79,18 @@ const VpStore::PredicateTable* VpStore::Find(rdf::TermId predicate) const {
 Result<Relation> VpStore::Scan(rdf::TermId predicate,
                                const PatternTerm& subject,
                                const PatternTerm& object,
-                               cluster::CostModel& cost) const {
-  return ScanTable(Find(predicate), subject, object, num_workers_, cost);
+                               cluster::CostModel& cost,
+                               const engine::ExecContext* exec) const {
+  return ScanTable(Find(predicate), subject, object, num_workers_, cost,
+                   exec);
 }
 
 Result<Relation> VpStore::ScanTable(const PredicateTable* table,
                                     const PatternTerm& subject,
                                     const PatternTerm& object,
                                     uint32_t num_workers,
-                                    cluster::CostModel& cost) {
+                                    cluster::CostModel& cost,
+                                    const engine::ExecContext* exec) {
   // Output columns: subject variable first, then object variable (when
   // distinct). `?x p ?x` yields a single column with s==o enforced.
   std::vector<std::string> names;
@@ -110,14 +115,16 @@ Result<Relation> VpStore::ScanTable(const PredicateTable* table,
   for (uint64_t bytes : table->partition_bytes) planner_bytes += bytes;
   output.set_planner_bytes(planner_bytes);
 
-  for (uint32_t w = 0; w < num_workers; ++w) {
+  // Emits matching rows from partition `w`'s rows [begin, end) into
+  // `out` — the one scan kernel both the serial and the morsel-parallel
+  // path run. Returns the number of rows emitted.
+  auto scan_range = [&](uint32_t w, size_t begin, size_t end,
+                        RelationChunk& out) -> uint64_t {
     const StoredTable& part = table->partitions[w];
-    cost.ChargeScan(w, table->partition_bytes[w]);
     const IdVector& subjects = part.column(0).ids();
     const IdVector& objects = part.column(1).ids();
-    RelationChunk& out = output.mutable_chunks()[w];
     uint64_t emitted = 0;
-    for (size_t r = 0; r < subjects.size(); ++r) {
+    for (size_t r = begin; r < end; ++r) {
       if (!subject.is_variable && subjects[r] != subject.id) continue;
       if (!object.is_variable && objects[r] != object.id) continue;
       if (same_var && subjects[r] != objects[r]) continue;
@@ -128,7 +135,56 @@ Result<Relation> VpStore::ScanTable(const PredicateTable* table,
       }
       ++emitted;
     }
-    cost.ChargeCpuRows(w, subjects.size() + emitted);
+    return emitted;
+  };
+
+  std::vector<uint64_t> emitted(num_workers, 0);
+  if (engine::IsParallel(exec)) {
+    // Morsel-parallel scan: split every partition into morsels, run all
+    // (partition, morsel) tasks on the pool, then merge morsel outputs
+    // back per partition in morsel order — the serial row order.
+    struct ScanMorsel {
+      uint32_t worker;
+      size_t begin;
+      size_t end;
+    };
+    std::vector<ScanMorsel> morsels;
+    for (uint32_t w = 0; w < num_workers; ++w) {
+      size_t rows = table->partitions[w].column(0).ids().size();
+      for (size_t begin = 0; begin < rows; begin += exec->morsel_rows()) {
+        morsels.push_back(
+            {w, begin, std::min(rows, begin + exec->morsel_rows())});
+      }
+    }
+    std::vector<RelationChunk> outs(morsels.size());
+    std::vector<uint64_t> morsel_emitted(morsels.size(), 0);
+    exec->pool()->ParallelFor(morsels.size(), [&](size_t m) {
+      outs[m].columns.resize(names.size());
+      morsel_emitted[m] =
+          scan_range(morsels[m].worker, morsels[m].begin, morsels[m].end,
+                     outs[m]);
+    });
+    for (size_t m = 0; m < morsels.size(); ++m) {
+      emitted[morsels[m].worker] += morsel_emitted[m];
+      RelationChunk& out = output.mutable_chunks()[morsels[m].worker];
+      for (size_t c = 0; c < out.columns.size(); ++c) {
+        out.columns[c].insert(out.columns[c].end(),
+                              outs[m].columns[c].begin(),
+                              outs[m].columns[c].end());
+      }
+    }
+  } else {
+    for (uint32_t w = 0; w < num_workers; ++w) {
+      size_t rows = table->partitions[w].column(0).ids().size();
+      emitted[w] = scan_range(w, 0, rows, output.mutable_chunks()[w]);
+    }
+  }
+  // Cost charges happen on the calling thread either way — the simulated
+  // cluster clock is independent of real executor parallelism.
+  for (uint32_t w = 0; w < num_workers; ++w) {
+    cost.ChargeScan(w, table->partition_bytes[w]);
+    cost.ChargeCpuRows(
+        w, table->partitions[w].column(0).ids().size() + emitted[w]);
   }
   // VP partitions are subject-hash placed, so a variable subject keeps
   // that co-location in the output.

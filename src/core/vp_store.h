@@ -9,6 +9,7 @@
 #include "columnar/table.h"
 #include "common/status.h"
 #include "core/pattern_term.h"
+#include "engine/exec_context.h"
 #include "engine/relation.h"
 #include "rdf/graph.h"
 
@@ -51,20 +52,24 @@ class VpStore {
   /// producing a distributed relation over the pattern's variables.
   /// Charges scan bytes and CPU rows to `cost` (inside the caller's
   /// stage). Unknown predicates and impossible constants produce an empty
-  /// relation with the right columns.
+  /// relation with the right columns. A parallel `exec` scans partition
+  /// morsels concurrently, merged in morsel order (output bit-identical
+  /// to serial); all cost charges stay on the calling thread.
   Result<engine::Relation> Scan(rdf::TermId predicate,
                                 const PatternTerm& subject,
                                 const PatternTerm& object,
-                                cluster::CostModel& cost) const;
+                                cluster::CostModel& cost,
+                                const engine::ExecContext* exec = nullptr)
+      const;
 
   /// Same evaluation over an arbitrary (s, o) PredicateTable — also used
   /// for S2RDF's ExtVP reductions, which share the VP layout. A null
   /// `table` stands for an absent predicate (empty answer, no scan).
-  static Result<engine::Relation> ScanTable(const PredicateTable* table,
-                                            const PatternTerm& subject,
-                                            const PatternTerm& object,
-                                            uint32_t num_workers,
-                                            cluster::CostModel& cost);
+  static Result<engine::Relation> ScanTable(
+      const PredicateTable* table, const PatternTerm& subject,
+      const PatternTerm& object, uint32_t num_workers,
+      cluster::CostModel& cost,
+      const engine::ExecContext* exec = nullptr);
 
   /// Builds a PredicateTable directly from (subject, object) pairs,
   /// subject-hash partitioned (S2RDF ExtVP construction). `term_lengths`

@@ -1,0 +1,65 @@
+#ifndef PROST_ENGINE_EXEC_CONTEXT_H_
+#define PROST_ENGINE_EXEC_CONTEXT_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/thread_pool.h"
+
+namespace prost::engine {
+
+/// Rows per morsel when a parallel operator splits a chunk. Small enough
+/// that a 9-chunk relation yields many independent tasks, big enough that
+/// per-task scheduling cost (one deque pop) is noise.
+inline constexpr uint32_t kDefaultMorselRows = 8192;
+
+/// Executor knobs, threaded from ProstDb::Options down to the operators.
+struct ExecOptions {
+  /// Intra-worker parallelism of the real C++ executor. 1 (the default)
+  /// takes the serial operator paths unchanged; 0 means "use
+  /// ClusterConfig::cores_per_worker" (the paper's 6-core workers). This
+  /// knob changes wall-clock only — the simulated cluster clock already
+  /// models worker parallelism and is charged identically either way.
+  uint32_t num_threads = 1;
+
+  /// Rows per morsel for parallel scans, filters, and join probes.
+  /// 0 means kDefaultMorselRows.
+  uint32_t morsel_rows = kDefaultMorselRows;
+};
+
+/// Per-execution view handed to operators: a (possibly absent) thread
+/// pool plus the morsel geometry. A default-constructed context — or one
+/// over a single-threaded pool — selects the serial paths.
+class ExecContext {
+ public:
+  ExecContext() = default;
+  explicit ExecContext(ThreadPool* pool,
+                       uint32_t morsel_rows = kDefaultMorselRows)
+      : pool_(pool),
+        morsel_rows_(morsel_rows == 0 ? kDefaultMorselRows : morsel_rows) {}
+
+  ThreadPool* pool() const { return pool_; }
+  uint32_t num_threads() const {
+    return pool_ != nullptr ? pool_->num_threads() : 1;
+  }
+  bool parallel() const { return num_threads() > 1; }
+  uint32_t morsel_rows() const { return morsel_rows_; }
+
+  size_t NumMorsels(size_t rows) const {
+    return (rows + morsel_rows_ - 1) / morsel_rows_;
+  }
+
+ private:
+  ThreadPool* pool_ = nullptr;
+  uint32_t morsel_rows_ = kDefaultMorselRows;
+};
+
+/// True when `exec` selects the parallel operator paths. Operators take a
+/// nullable pointer so every existing call site keeps its meaning.
+inline bool IsParallel(const ExecContext* exec) {
+  return exec != nullptr && exec->parallel();
+}
+
+}  // namespace prost::engine
+
+#endif  // PROST_ENGINE_EXEC_CONTEXT_H_

@@ -71,26 +71,91 @@ OutputLayout MakeOutputLayout(const Relation& build, const Relation& probe,
   return layout;
 }
 
-/// Joins one build chunk against one probe chunk into `out`.
-/// Returns the number of emitted rows.
-uint64_t JoinChunks(const RelationChunk& build,
+/// Build-side hash index for one chunk: key hash → build rows holding that
+/// hash, in ascending row order. The ascending order is the determinism
+/// contract — every join path (serial, chunk-parallel, partitioned) emits
+/// a probe row's matches in this order, so output is ordered by
+/// (probe row, build row) regardless of thread count.
+using BuildIndex = std::unordered_map<uint64_t, std::vector<uint32_t>>;
+
+BuildIndex BuildChunkIndex(const RelationChunk& build,
+                           const std::vector<int>& keys) {
+  BuildIndex index;
+  index.reserve(build.num_rows());
+  for (size_t r = 0; r < build.num_rows(); ++r) {
+    index[KeyHash(build, keys, r)].push_back(static_cast<uint32_t>(r));
+  }
+  return index;
+}
+
+/// The build side hash-partitioned into per-thread partitions, each with
+/// its own BuildIndex (built concurrently). A probe row's hash selects
+/// exactly one partition, so lookups stay single-table.
+struct PartitionedIndex {
+  uint32_t fanout = 1;
+  std::vector<uint64_t> row_hashes;  // KeyHash per build row.
+  std::vector<BuildIndex> parts;
+
+  const std::vector<uint32_t>* Lookup(uint64_t hash) const {
+    const BuildIndex& index = parts[hash % fanout];
+    auto it = index.find(hash);
+    return it == index.end() ? nullptr : &it->second;
+  }
+};
+
+PartitionedIndex BuildPartitionedIndex(const RelationChunk& build,
+                                       const std::vector<int>& keys,
+                                       const ExecContext& exec) {
+  PartitionedIndex pidx;
+  const size_t rows = build.num_rows();
+  pidx.fanout = exec.num_threads();
+  pidx.row_hashes.resize(rows);
+  const size_t num_morsels = exec.NumMorsels(rows);
+  // Phase 1, parallel over build morsels: hash every row and bucket row
+  // indices by partition, each morsel into its own buffers.
+  std::vector<std::vector<uint32_t>> buckets(num_morsels * pidx.fanout);
+  exec.pool()->ParallelFor(num_morsels, [&](size_t m) {
+    size_t begin = m * exec.morsel_rows();
+    size_t end = std::min(rows, begin + exec.morsel_rows());
+    for (size_t r = begin; r < end; ++r) {
+      uint64_t h = KeyHash(build, keys, r);
+      pidx.row_hashes[r] = h;
+      buckets[m * pidx.fanout + h % pidx.fanout].push_back(
+          static_cast<uint32_t>(r));
+    }
+  });
+  // Phase 2, parallel over partitions: each partition inserts its rows in
+  // morsel order — i.e. ascending build-row order — so hash cells carry
+  // rows ascending, matching BuildChunkIndex exactly.
+  pidx.parts.resize(pidx.fanout);
+  exec.pool()->ParallelFor(pidx.fanout, [&](size_t p) {
+    BuildIndex index;
+    for (size_t m = 0; m < num_morsels; ++m) {
+      for (uint32_t r : buckets[m * pidx.fanout + p]) {
+        index[pidx.row_hashes[r]].push_back(r);
+      }
+    }
+    pidx.parts[p] = std::move(index);
+  });
+  return pidx;
+}
+
+/// Probes rows [begin, end) of `probe` against `lookup` (hash → ascending
+/// build rows), appending matches to `out`. Returns emitted rows.
+template <typename Lookup>
+uint64_t ProbeRange(const RelationChunk& build,
                     const std::vector<int>& build_keys,
                     const RelationChunk& probe,
                     const std::vector<int>& probe_keys,
-                    const std::vector<int>& probe_extra_cols,
-                    RelationChunk& out) {
-  std::unordered_multimap<uint64_t, size_t> table;
-  table.reserve(build.num_rows());
-  for (size_t r = 0; r < build.num_rows(); ++r) {
-    table.emplace(KeyHash(build, build_keys, r), r);
-  }
+                    const std::vector<int>& probe_extra_cols, size_t begin,
+                    size_t end, const Lookup& lookup, RelationChunk& out) {
   uint64_t emitted = 0;
-  size_t build_width = build.columns.size();
-  for (size_t pr = 0; pr < probe.num_rows(); ++pr) {
+  const size_t build_width = build.columns.size();
+  for (size_t pr = begin; pr < end; ++pr) {
     uint64_t h = KeyHash(probe, probe_keys, pr);
-    auto [begin, end] = table.equal_range(h);
-    for (auto it = begin; it != end; ++it) {
-      size_t br = it->second;
+    const std::vector<uint32_t>* rows = lookup(h);
+    if (rows == nullptr) continue;
+    for (uint32_t br : *rows) {
       if (!KeysEqual(build, build_keys, br, probe, probe_keys, pr)) continue;
       for (size_t c = 0; c < build_width; ++c) {
         out.columns[c].push_back(build.columns[c][br]);
@@ -101,6 +166,86 @@ uint64_t JoinChunks(const RelationChunk& build,
       }
       ++emitted;
     }
+  }
+  return emitted;
+}
+
+/// Serial join of one build chunk against one probe chunk into `out`.
+uint64_t JoinChunks(const RelationChunk& build,
+                    const std::vector<int>& build_keys,
+                    const RelationChunk& probe,
+                    const std::vector<int>& probe_keys,
+                    const std::vector<int>& probe_extra_cols,
+                    RelationChunk& out) {
+  BuildIndex index = BuildChunkIndex(build, build_keys);
+  auto lookup = [&](uint64_t h) -> const std::vector<uint32_t>* {
+    auto it = index.find(h);
+    return it == index.end() ? nullptr : &it->second;
+  };
+  return ProbeRange(build, build_keys, probe, probe_keys, probe_extra_cols,
+                    0, probe.num_rows(), lookup, out);
+}
+
+/// One parallel task's slice of a chunked relation.
+struct Morsel {
+  uint32_t chunk = 0;
+  size_t begin = 0;
+  size_t end = 0;
+};
+
+/// Splits every chunk into morsels, emitted in (chunk, begin) order — the
+/// order parallel operators merge task outputs back in.
+std::vector<Morsel> PlanMorsels(const Relation& relation,
+                                const ExecContext& exec) {
+  std::vector<Morsel> morsels;
+  for (uint32_t w = 0; w < relation.num_chunks(); ++w) {
+    size_t rows = relation.chunks()[w].num_rows();
+    for (size_t begin = 0; begin < rows; begin += exec.morsel_rows()) {
+      morsels.push_back(
+          {w, begin, std::min(rows, begin + exec.morsel_rows())});
+    }
+  }
+  return morsels;
+}
+
+void AppendColumns(RelationChunk& dst, const RelationChunk& src) {
+  for (size_t c = 0; c < dst.columns.size(); ++c) {
+    dst.columns[c].insert(dst.columns[c].end(), src.columns[c].begin(),
+                          src.columns[c].end());
+  }
+}
+
+/// Morsel-parallel probe of `probe_rel` against per-chunk build sides.
+/// `build_of(chunk)` yields the build chunk to join chunk `chunk` with;
+/// `lookup_of(chunk, hash)` its index lookup. Morsel outputs merge back
+/// in morsel order, so each output chunk is ordered by (probe row, build
+/// row) — identical to the serial path. Returns per-chunk emitted counts
+/// for cost charging (done by the caller, outside the parallel region).
+template <typename BuildOf, typename LookupOf>
+std::vector<uint64_t> ParallelProbe(const Relation& probe_rel,
+                                    const std::vector<int>& probe_keys,
+                                    const std::vector<int>& probe_extra_cols,
+                                    const std::vector<int>& build_keys,
+                                    const BuildOf& build_of,
+                                    const LookupOf& lookup_of,
+                                    const ExecContext& exec,
+                                    Relation& output) {
+  std::vector<Morsel> morsels = PlanMorsels(probe_rel, exec);
+  std::vector<RelationChunk> outs(morsels.size());
+  const size_t width = output.num_columns();
+  exec.pool()->ParallelFor(morsels.size(), [&](size_t m) {
+    const Morsel& morsel = morsels[m];
+    outs[m].columns.resize(width);
+    const RelationChunk& build = build_of(morsel.chunk);
+    auto lookup = [&](uint64_t h) { return lookup_of(morsel.chunk, h); };
+    ProbeRange(build, build_keys, probe_rel.chunks()[morsel.chunk],
+               probe_keys, probe_extra_cols, morsel.begin, morsel.end,
+               lookup, outs[m]);
+  });
+  std::vector<uint64_t> emitted(probe_rel.num_chunks(), 0);
+  for (size_t m = 0; m < morsels.size(); ++m) {
+    emitted[morsels[m].chunk] += outs[m].num_rows();
+    AppendColumns(output.mutable_chunks()[morsels[m].chunk], outs[m]);
   }
   return emitted;
 }
@@ -154,21 +299,54 @@ RelationChunk GatherAll(const Relation& relation) {
 
 Relation RepartitionByColumn(const Relation& input, int column_index,
                              uint32_t num_workers,
-                             cluster::CostModel& cost) {
+                             cluster::CostModel& cost,
+                             const ExecContext* exec) {
   if (input.hash_partitioned_by() == column_index &&
       input.num_chunks() == num_workers) {
     return input;  // Already placed correctly; free.
   }
   cost.ChargeShuffle(input.EstimatedBytes(cost.config()));
   Relation output(input.column_names(), num_workers);
-  for (const RelationChunk& chunk : input.chunks()) {
-    for (size_t r = 0; r < chunk.num_rows(); ++r) {
-      uint32_t target = static_cast<uint32_t>(
-          Mix64(chunk.columns[static_cast<size_t>(column_index)][r]) %
-          num_workers);
+  if (IsParallel(exec)) {
+    // Phase 1, parallel over morsels: bucket row indices by target.
+    std::vector<Morsel> morsels = PlanMorsels(input, *exec);
+    std::vector<std::vector<uint32_t>> buckets(morsels.size() * num_workers);
+    exec->pool()->ParallelFor(morsels.size(), [&](size_t m) {
+      const Morsel& morsel = morsels[m];
+      const IdVector& keys =
+          input.chunks()[morsel.chunk]
+              .columns[static_cast<size_t>(column_index)];
+      for (size_t r = morsel.begin; r < morsel.end; ++r) {
+        uint32_t target =
+            static_cast<uint32_t>(Mix64(keys[r]) % num_workers);
+        buckets[m * num_workers + target].push_back(
+            static_cast<uint32_t>(r));
+      }
+    });
+    // Phase 2, parallel over targets: assemble each target chunk in
+    // morsel order — (source chunk, source row) order, as in the serial
+    // loop below.
+    exec->pool()->ParallelFor(num_workers, [&](size_t target) {
       RelationChunk& out = output.mutable_chunks()[target];
-      for (size_t c = 0; c < chunk.columns.size(); ++c) {
-        out.columns[c].push_back(chunk.columns[c][r]);
+      for (size_t m = 0; m < morsels.size(); ++m) {
+        const RelationChunk& chunk = input.chunks()[morsels[m].chunk];
+        for (uint32_t r : buckets[m * num_workers + target]) {
+          for (size_t c = 0; c < chunk.columns.size(); ++c) {
+            out.columns[c].push_back(chunk.columns[c][r]);
+          }
+        }
+      }
+    });
+  } else {
+    for (const RelationChunk& chunk : input.chunks()) {
+      for (size_t r = 0; r < chunk.num_rows(); ++r) {
+        uint32_t target = static_cast<uint32_t>(
+            Mix64(chunk.columns[static_cast<size_t>(column_index)][r]) %
+            num_workers);
+        RelationChunk& out = output.mutable_chunks()[target];
+        for (size_t c = 0; c < chunk.columns.size(); ++c) {
+          out.columns[c].push_back(chunk.columns[c][r]);
+        }
       }
     }
   }
@@ -178,7 +356,8 @@ Relation RepartitionByColumn(const Relation& input, int column_index,
 
 Result<JoinResult> HashJoin(const Relation& left, const Relation& right,
                             const JoinOptions& options,
-                            cluster::CostModel& cost) {
+                            cluster::CostModel& cost,
+                            const ExecContext* exec) {
   SharedColumns shared = FindSharedColumns(left, right);
   if (shared.left.empty()) {
     return Status::InvalidArgument(
@@ -213,15 +392,31 @@ Result<JoinResult> HashJoin(const Relation& left, const Relation& right,
     RelationChunk small_all = GatherAll(small);
 
     Relation output(layout.names, big.num_chunks());
-    for (uint32_t w = 0; w < big.num_chunks(); ++w) {
-      const RelationChunk& big_chunk = big.chunks()[w];
-      uint64_t emitted =
-          JoinChunks(small_all, small_big.left, big_chunk, small_big.right,
-                     layout.probe_extra_cols, output.mutable_chunks()[w]);
-      // Every worker builds over the full broadcast relation and probes
-      // its local slice of the big side.
-      cost.ChargeCpuRows(w, small_all.num_rows() + big_chunk.num_rows() +
-                                emitted);
+    if (IsParallel(exec)) {
+      // Partitioned build of the broadcast side (once, shared by every
+      // probe chunk), then morsel-parallel probe across all chunks.
+      PartitionedIndex pidx =
+          BuildPartitionedIndex(small_all, small_big.left, *exec);
+      std::vector<uint64_t> emitted = ParallelProbe(
+          big, small_big.right, layout.probe_extra_cols, small_big.left,
+          [&](uint32_t) -> const RelationChunk& { return small_all; },
+          [&](uint32_t, uint64_t h) { return pidx.Lookup(h); }, *exec,
+          output);
+      for (uint32_t w = 0; w < big.num_chunks(); ++w) {
+        cost.ChargeCpuRows(w, small_all.num_rows() +
+                                  big.chunks()[w].num_rows() + emitted[w]);
+      }
+    } else {
+      for (uint32_t w = 0; w < big.num_chunks(); ++w) {
+        const RelationChunk& big_chunk = big.chunks()[w];
+        uint64_t emitted =
+            JoinChunks(small_all, small_big.left, big_chunk, small_big.right,
+                       layout.probe_extra_cols, output.mutable_chunks()[w]);
+        // Every worker builds over the full broadcast relation and probes
+        // its local slice of the big side.
+        cost.ChargeCpuRows(w, small_all.num_rows() + big_chunk.num_rows() +
+                                  emitted);
+      }
     }
 
     // The big side's placement is preserved, so its partitioning column
@@ -245,34 +440,60 @@ Result<JoinResult> HashJoin(const Relation& left, const Relation& right,
   // open the post-shuffle stage, and leave it open for downstream work.
   cost.EndStage();
   cost.BeginStage("shuffle_join");
-  Relation left_parts = options.reuse_partitioning
-                            ? RepartitionByColumn(left, shared.left[0],
-                                                  num_workers, cost)
-                            : [&] {
-                                Relation copy = left;
-                                copy.set_hash_partitioned_by(-1);
-                                return RepartitionByColumn(copy, shared.left[0],
-                                                           num_workers, cost);
-                              }();
-  Relation right_parts = options.reuse_partitioning
-                             ? RepartitionByColumn(right, shared.right[0],
-                                                   num_workers, cost)
-                             : [&] {
-                                 Relation copy = right;
-                                 copy.set_hash_partitioned_by(-1);
-                                 return RepartitionByColumn(
-                                     copy, shared.right[0], num_workers, cost);
-                               }();
+  Relation left_parts =
+      options.reuse_partitioning
+          ? RepartitionByColumn(left, shared.left[0], num_workers, cost,
+                                exec)
+          : [&] {
+              Relation copy = left;
+              copy.set_hash_partitioned_by(-1);
+              return RepartitionByColumn(copy, shared.left[0], num_workers,
+                                         cost, exec);
+            }();
+  Relation right_parts =
+      options.reuse_partitioning
+          ? RepartitionByColumn(right, shared.right[0], num_workers, cost,
+                                exec)
+          : [&] {
+              Relation copy = right;
+              copy.set_hash_partitioned_by(-1);
+              return RepartitionByColumn(copy, shared.right[0], num_workers,
+                                         cost, exec);
+            }();
 
   OutputLayout layout = MakeOutputLayout(left_parts, right_parts, shared);
   Relation output(layout.names, num_workers);
-  for (uint32_t w = 0; w < num_workers; ++w) {
-    const RelationChunk& l = left_parts.chunks()[w];
-    const RelationChunk& r = right_parts.chunks()[w];
-    uint64_t emitted = JoinChunks(l, shared.left, r, shared.right,
-                                  layout.probe_extra_cols,
-                                  output.mutable_chunks()[w]);
-    cost.ChargeCpuRows(w, l.num_rows() + r.num_rows() + emitted);
+  if (IsParallel(exec)) {
+    // Worker partitions build concurrently (each is one co-located hash
+    // table), then probe morsels run across all partitions at once.
+    std::vector<BuildIndex> indexes(num_workers);
+    exec->pool()->ParallelFor(num_workers, [&](size_t w) {
+      indexes[w] = BuildChunkIndex(left_parts.chunks()[w], shared.left);
+    });
+    std::vector<uint64_t> emitted = ParallelProbe(
+        right_parts, shared.right, layout.probe_extra_cols, shared.left,
+        [&](uint32_t w) -> const RelationChunk& {
+          return left_parts.chunks()[w];
+        },
+        [&](uint32_t w, uint64_t h) -> const std::vector<uint32_t>* {
+          auto it = indexes[w].find(h);
+          return it == indexes[w].end() ? nullptr : &it->second;
+        },
+        *exec, output);
+    for (uint32_t w = 0; w < num_workers; ++w) {
+      cost.ChargeCpuRows(w, left_parts.chunks()[w].num_rows() +
+                                right_parts.chunks()[w].num_rows() +
+                                emitted[w]);
+    }
+  } else {
+    for (uint32_t w = 0; w < num_workers; ++w) {
+      const RelationChunk& l = left_parts.chunks()[w];
+      const RelationChunk& r = right_parts.chunks()[w];
+      uint64_t emitted = JoinChunks(l, shared.left, r, shared.right,
+                                    layout.probe_extra_cols,
+                                    output.mutable_chunks()[w]);
+      cost.ChargeCpuRows(w, l.num_rows() + r.num_rows() + emitted);
+    }
   }
   output.set_hash_partitioned_by(shared.left[0]);
   output.set_planner_bytes(Relation::kUnknownPlannerBytes);
@@ -280,7 +501,8 @@ Result<JoinResult> HashJoin(const Relation& left, const Relation& right,
 }
 
 Result<Relation> Filter(const Relation& input, const std::string& column_name,
-                        TermId value, cluster::CostModel& cost) {
+                        TermId value, cluster::CostModel& cost,
+                        const ExecContext* exec) {
   int column = input.ColumnIndex(column_name);
   if (column < 0) {
     return Status::InvalidArgument("filter on unknown column " + column_name);
@@ -290,6 +512,29 @@ Result<Relation> Filter(const Relation& input, const std::string& column_name,
   // Spark 2.1 static planning: filters do not discount sizeInBytes.
   if (input.planner_bytes_set()) {
     output.set_planner_bytes(input.PlannerBytes(cost.config()));
+  }
+  if (IsParallel(exec)) {
+    std::vector<Morsel> morsels = PlanMorsels(input, *exec);
+    std::vector<RelationChunk> outs(morsels.size());
+    exec->pool()->ParallelFor(morsels.size(), [&](size_t m) {
+      const Morsel& morsel = morsels[m];
+      const RelationChunk& chunk = input.chunks()[morsel.chunk];
+      RelationChunk& out = outs[m];
+      out.columns.resize(chunk.columns.size());
+      for (size_t r = morsel.begin; r < morsel.end; ++r) {
+        if (chunk.columns[static_cast<size_t>(column)][r] != value) continue;
+        for (size_t c = 0; c < chunk.columns.size(); ++c) {
+          out.columns[c].push_back(chunk.columns[c][r]);
+        }
+      }
+    });
+    for (size_t m = 0; m < morsels.size(); ++m) {
+      AppendColumns(output.mutable_chunks()[morsels[m].chunk], outs[m]);
+    }
+    for (uint32_t w = 0; w < input.num_chunks(); ++w) {
+      cost.ChargeCpuRows(w, input.chunks()[w].num_rows());
+    }
+    return output;
   }
   for (uint32_t w = 0; w < input.num_chunks(); ++w) {
     const RelationChunk& chunk = input.chunks()[w];
@@ -307,7 +552,8 @@ Result<Relation> Filter(const Relation& input, const std::string& column_name,
 
 Result<Relation> Project(const Relation& input,
                          const std::vector<std::string>& column_names,
-                         cluster::CostModel& cost) {
+                         cluster::CostModel& cost,
+                         const ExecContext* exec) {
   std::vector<int> indices;
   indices.reserve(column_names.size());
   std::unordered_set<std::string> seen;
@@ -322,13 +568,27 @@ Result<Relation> Project(const Relation& input,
     indices.push_back(index);
   }
   Relation output(column_names, input.num_chunks());
-  for (uint32_t w = 0; w < input.num_chunks(); ++w) {
-    const RelationChunk& chunk = input.chunks()[w];
-    RelationChunk& out = output.mutable_chunks()[w];
-    for (size_t c = 0; c < indices.size(); ++c) {
-      out.columns[c] = chunk.columns[static_cast<size_t>(indices[c])];
+  if (IsParallel(exec)) {
+    // Whole-column copies: one task per chunk is the right granularity.
+    exec->pool()->ParallelFor(input.num_chunks(), [&](size_t w) {
+      const RelationChunk& chunk = input.chunks()[w];
+      RelationChunk& out = output.mutable_chunks()[w];
+      for (size_t c = 0; c < indices.size(); ++c) {
+        out.columns[c] = chunk.columns[static_cast<size_t>(indices[c])];
+      }
+    });
+    for (uint32_t w = 0; w < input.num_chunks(); ++w) {
+      cost.ChargeCpuRows(w, input.chunks()[w].num_rows());
     }
-    cost.ChargeCpuRows(w, chunk.num_rows());
+  } else {
+    for (uint32_t w = 0; w < input.num_chunks(); ++w) {
+      const RelationChunk& chunk = input.chunks()[w];
+      RelationChunk& out = output.mutable_chunks()[w];
+      for (size_t c = 0; c < indices.size(); ++c) {
+        out.columns[c] = chunk.columns[static_cast<size_t>(indices[c])];
+      }
+      cost.ChargeCpuRows(w, chunk.num_rows());
+    }
   }
   // Projection keeps rows in place; partition column survives if selected.
   if (input.hash_partitioned_by() >= 0) {

@@ -6,6 +6,7 @@
 
 #include "cluster/cost_model.h"
 #include "common/status.h"
+#include "engine/exec_context.h"
 #include "engine/relation.h"
 
 namespace prost::engine {
@@ -55,19 +56,31 @@ struct JoinResult {
 /// *shuffle* join closes the open stage (the map side ends there), opens
 /// a new one carrying the shuffle transfer and the build/probe work, and
 /// leaves it open for downstream operators.
+///
+/// Output order is deterministic regardless of `exec`: within each output
+/// chunk, rows are ordered by (probe row, build row). A parallel `exec`
+/// runs a partitioned hash join — the build side is hash-partitioned into
+/// per-thread partitions built concurrently, and probe morsels run in
+/// parallel, merged back in morsel order — producing a relation
+/// bit-identical to the serial path's.
 Result<JoinResult> HashJoin(const Relation& left, const Relation& right,
                             const JoinOptions& options,
-                            cluster::CostModel& cost);
+                            cluster::CostModel& cost,
+                            const ExecContext* exec = nullptr);
 
-/// Keeps rows where column `column_name` equals `value`.
+/// Keeps rows where column `column_name` equals `value`. Parallel `exec`
+/// filters morsels concurrently and merges them in morsel order (output
+/// bit-identical to serial).
 Result<Relation> Filter(const Relation& input, const std::string& column_name,
-                        TermId value, cluster::CostModel& cost);
+                        TermId value, cluster::CostModel& cost,
+                        const ExecContext* exec = nullptr);
 
 /// Keeps only `column_names`, in that order. Duplicate and unknown names
-/// are errors.
+/// are errors. Parallel `exec` copies chunks concurrently.
 Result<Relation> Project(const Relation& input,
                          const std::vector<std::string>& column_names,
-                         cluster::CostModel& cost);
+                         cluster::CostModel& cost,
+                         const ExecContext* exec = nullptr);
 
 /// Removes duplicate rows globally (shuffles by row hash, then dedupes
 /// per worker).
@@ -82,9 +95,13 @@ Result<Relation> Union(const Relation& a, const Relation& b);
 
 /// Re-distributes `input` so rows with equal values in `column_index` land
 /// on the same worker. Charges shuffle bytes unless already partitioned.
+/// Parallel `exec` buckets morsels concurrently, then assembles target
+/// chunks concurrently; row order per target chunk matches the serial
+/// path (source chunk order, then source row order).
 Relation RepartitionByColumn(const Relation& input, int column_index,
                              uint32_t num_workers,
-                             cluster::CostModel& cost);
+                             cluster::CostModel& cost,
+                             const ExecContext* exec = nullptr);
 
 }  // namespace prost::engine
 

@@ -4,10 +4,12 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
 #include <filesystem>
 #include <map>
 #include <set>
+#include <vector>
 
 #include "common/compression.h"
 #include "common/hash.h"
@@ -16,6 +18,7 @@
 #include "common/rng.h"
 #include "common/status.h"
 #include "common/str_util.h"
+#include "common/thread_pool.h"
 
 namespace prost {
 namespace {
@@ -412,6 +415,71 @@ TEST(LoggingTest, LevelRoundTrip) {
   SetLogLevel(LogLevel::kError);
   EXPECT_EQ(GetLogLevel(), LogLevel::kError);
   SetLogLevel(original);
+}
+
+// ----------------------------------------------------------- ThreadPool
+
+TEST(ThreadPoolTest, SingleThreadRunsInline) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.num_threads(), 1u);
+  std::vector<int> hits(10, 0);
+  pool.ParallelFor(hits.size(), [&](size_t i) { hits[i]++; });
+  for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(ThreadPoolTest, ZeroThreadsClampsToOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_threads(), 1u);
+}
+
+TEST(ThreadPoolTest, EveryTaskRunsExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr size_t kTasks = 10000;
+  std::vector<std::atomic<int>> hits(kTasks);
+  pool.ParallelFor(kTasks, [&](size_t i) {
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (size_t i = 0; i < kTasks; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "task " << i;
+  }
+}
+
+TEST(ThreadPoolTest, MoreThreadsThanTasks) {
+  ThreadPool pool(8);
+  std::vector<std::atomic<int>> hits(3);
+  pool.ParallelFor(hits.size(), [&](size_t i) {
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (size_t i = 0; i < hits.size(); ++i) EXPECT_EQ(hits[i].load(), 1);
+}
+
+TEST(ThreadPoolTest, ZeroTasksIsANoop) {
+  ThreadPool pool(4);
+  pool.ParallelFor(0, [&](size_t) { FAIL() << "fn must not run"; });
+}
+
+TEST(ThreadPoolTest, BackToBackRegionsStayIsolated) {
+  // Regression guard for the quiesce protocol: a region's tasks must all
+  // land before the next region refills the shards.
+  ThreadPool pool(4);
+  for (int round = 0; round < 50; ++round) {
+    std::atomic<size_t> sum{0};
+    size_t n = 1 + static_cast<size_t>(round) * 7 % 97;
+    pool.ParallelFor(n, [&](size_t i) {
+      sum.fetch_add(i + 1, std::memory_order_relaxed);
+    });
+    EXPECT_EQ(sum.load(), n * (n + 1) / 2) << "round " << round;
+  }
+}
+
+TEST(ThreadPoolTest, ParallelSumMatchesSerial) {
+  ThreadPool pool(4);
+  constexpr size_t kTasks = 1000;
+  std::vector<uint64_t> out(kTasks, 0);
+  pool.ParallelFor(kTasks, [&](size_t i) {
+    out[i] = Mix64(i);  // Each task writes only its own slot.
+  });
+  for (size_t i = 0; i < kTasks; ++i) EXPECT_EQ(out[i], Mix64(i));
 }
 
 }  // namespace

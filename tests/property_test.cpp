@@ -2,7 +2,8 @@
 // connected BGP queries (with optional constants, repeated variables,
 // filters and DISTINCT), and require all six system configurations to
 // return exactly the brute-force reference answer. This sweeps plan
-// shapes the hand-written tests never reach.
+// shapes the hand-written tests never reach. The generators live in
+// random_workload.h, shared with the parallel-executor differential test.
 
 #include <gtest/gtest.h>
 
@@ -13,6 +14,7 @@
 #include "common/rng.h"
 #include "common/str_util.h"
 #include "core/prost_db.h"
+#include "random_workload.h"
 #include "reference_evaluator.h"
 #include "sparql/parser.h"
 
@@ -20,105 +22,8 @@ namespace prost {
 namespace {
 
 using rdf::Term;
-
-/// A random graph over a small vocabulary so joins actually connect:
-/// `entities` subjects/objects, `predicates` predicates, some literal
-/// objects.
-rdf::EncodedGraph RandomGraph(Rng& rng, size_t triples, size_t entities,
-                              size_t predicates) {
-  rdf::EncodedGraph graph;
-  for (size_t i = 0; i < triples; ++i) {
-    std::string s = StrFormat("http://e/%llu",
-                              static_cast<unsigned long long>(
-                                  rng.NextBounded(entities)));
-    std::string p = StrFormat("http://p/%llu",
-                              static_cast<unsigned long long>(
-                                  rng.NextBounded(predicates)));
-    Term object =
-        rng.NextBernoulli(0.3)
-            ? Term::TypedLiteral(
-                  std::to_string(rng.NextBounded(20)),
-                  "http://www.w3.org/2001/XMLSchema#integer")
-            : Term::Iri(StrFormat("http://e/%llu",
-                                  static_cast<unsigned long long>(
-                                      rng.NextBounded(entities))));
-    graph.Add({Term::Iri(s), Term::Iri(p), std::move(object)});
-  }
-  graph.SortAndDedupe();
-  return graph;
-}
-
-/// A random connected BGP: each pattern after the first reuses one
-/// already-bound variable in subject or object position.
-sparql::Query RandomQuery(Rng& rng, const rdf::EncodedGraph& graph,
-                          size_t num_patterns, size_t predicates) {
-  sparql::Query query;
-  std::vector<std::string> bound = {"v0"};
-  size_t next_var = 1;
-  auto fresh_var = [&] {
-    std::string name = StrFormat("v%zu", next_var++);
-    bound.push_back(name);
-    return name;
-  };
-  auto random_bound = [&] { return bound[rng.NextBounded(bound.size())]; };
-  auto random_entity_id = [&]() -> rdf::TermId {
-    // A term id that exists in the data, for non-vacuous constants.
-    if (graph.size() == 0) return rdf::kNullTermId;
-    const auto& t = graph.triples()[rng.NextBounded(graph.size())];
-    return rng.NextBernoulli(0.5) ? t.subject : t.object;
-  };
-
-  for (size_t i = 0; i < num_patterns; ++i) {
-    sparql::TriplePattern pattern;
-    pattern.predicate = Term::Iri(StrFormat(
-        "http://p/%llu",
-        static_cast<unsigned long long>(rng.NextBounded(predicates))));
-    bool reuse_in_subject = i == 0 || rng.NextBernoulli(0.5);
-    // Subject position.
-    if (i > 0 && reuse_in_subject) {
-      pattern.subject = Term::Variable(random_bound());
-    } else if (i == 0 || rng.NextBernoulli(0.85)) {
-      pattern.subject = Term::Variable(fresh_var());
-    } else {
-      auto decoded = graph.dictionary().DecodeTerm(random_entity_id());
-      pattern.subject = decoded.ok() && !decoded->is_literal()
-                            ? *decoded
-                            : Term::Variable(fresh_var());
-    }
-    // Object position.
-    if (i > 0 && !reuse_in_subject) {
-      pattern.object = Term::Variable(random_bound());
-    } else if (rng.NextBernoulli(0.75)) {
-      pattern.object = Term::Variable(fresh_var());
-    } else {
-      auto decoded = graph.dictionary().DecodeTerm(random_entity_id());
-      pattern.object =
-          decoded.ok() ? *decoded : Term::Variable(fresh_var());
-    }
-    query.bgp.patterns.push_back(std::move(pattern));
-  }
-
-  // Occasional FILTER over some bound variable.
-  if (rng.NextBernoulli(0.4)) {
-    sparql::FilterConstraint filter;
-    filter.variable = random_bound();
-    filter.op = static_cast<sparql::CompareOp>(rng.NextBounded(6));
-    if (rng.NextBernoulli(0.3) && bound.size() > 1) {
-      filter.rhs_is_variable = true;
-      filter.rhs_variable = random_bound();
-    } else if (rng.NextBernoulli(0.5)) {
-      filter.rhs_term = Term::TypedLiteral(
-          std::to_string(rng.NextBounded(20)),
-          "http://www.w3.org/2001/XMLSchema#integer");
-    } else {
-      auto decoded = graph.dictionary().DecodeTerm(random_entity_id());
-      filter.rhs_term = decoded.ok() ? *decoded : Term::Literal("x");
-    }
-    query.filters.push_back(std::move(filter));
-  }
-  query.distinct = rng.NextBernoulli(0.3);
-  return query;
-}
+using testing::RandomGraph;
+using testing::RandomQuery;
 
 class RandomizedEquivalenceTest : public ::testing::TestWithParam<int> {};
 
