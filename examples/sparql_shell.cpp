@@ -6,6 +6,7 @@
 //   ./build/examples/sparql_shell --watdiv 50000
 //   ./build/examples/sparql_shell --persist mydb data.nt   (load + save)
 //   ./build/examples/sparql_shell --open mydb              (reopen)
+//   ./build/examples/sparql_shell --threads 4 data.nt      (parallel exec)
 
 #include <cstdio>
 #include <cstring>
@@ -24,6 +25,13 @@ int main(int argc, char** argv) {
   core::ProstDb::Options options;
   Result<std::unique_ptr<core::ProstDb>> db = Status::InvalidArgument("");
   std::string persist_dir;
+  if (argc >= 3 && std::strcmp(argv[1], "--threads") == 0) {
+    // 1 = serial (default), 0 = cores_per_worker, N > 1 = pool of N.
+    options.exec.num_threads =
+        static_cast<uint32_t>(std::strtoul(argv[2], nullptr, 10));
+    argv += 2;
+    argc -= 2;
+  }
   if (argc >= 3 && std::strcmp(argv[1], "--persist") == 0) {
     persist_dir = argv[2];
     argv += 2;
@@ -48,7 +56,7 @@ int main(int argc, char** argv) {
     db = core::ProstDb::LoadFromNTriples(text, options);
   } else {
     std::fprintf(stderr,
-                 "usage: %s [--persist dir] (<file.nt> | --watdiv [n]) | --open dir\n",
+                 "usage: %s [--threads n] [--persist dir] (<file.nt> | --watdiv [n]) | --open dir\n",
                  argv[0]);
     return 1;
   }

@@ -65,6 +65,13 @@ void ThreadPool::WorkerLoop(uint32_t participant) {
     });
     if (shutdown_) return;
     seen_generation = generation_;
+    if (fn_ == nullptr) {
+      // The caller drained every task and retired this region before we
+      // woke (possible whenever num_tasks is small): nothing to run, and
+      // dereferencing fn_ would be use-after-clear. Re-wait for the next
+      // generation.
+      continue;
+    }
     const std::function<void(size_t)>& fn = *fn_;
     ++active_workers_;
     lock.unlock();

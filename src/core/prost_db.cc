@@ -160,6 +160,11 @@ Result<JoinTree> ProstDb::Plan(const sparql::Query& query) const {
 Result<QueryResult> ProstDb::Execute(const sparql::Query& query) const {
   PROST_ASSIGN_OR_RETURN(JoinTree tree, Plan(query));
   cluster::CostModel cost(options_.cluster);
+  // The shared pool runs one parallel region at a time, so pool-backed
+  // executions must not overlap. Serial-configured dbs (no pool) keep
+  // lock-free concurrent Execute.
+  std::unique_lock<std::mutex> pool_lock;
+  if (pool_) pool_lock = std::unique_lock<std::mutex>(exec_mu_);
   engine::ExecContext exec(pool_.get(), options_.exec.morsel_rows);
   return ExecuteJoinTree(
       tree, query, vp_, options_.use_property_table ? &pt_ : nullptr,

@@ -2,6 +2,7 @@
 #define PROST_CORE_PROST_DB_H_
 
 #include <memory>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -84,6 +85,9 @@ class ProstDb {
   Result<JoinTree> Plan(const sparql::Query& query) const;
 
   /// Executes a parsed query. Each call runs on a fresh simulated clock.
+  /// Safe to call concurrently: with a parallel executor (resolved
+  /// num_threads > 1) concurrent calls serialize on the shared thread
+  /// pool; with num_threads == 1 they run fully concurrently as before.
   Result<QueryResult> Execute(const sparql::Query& query) const;
 
   /// Parses and executes a SPARQL string.
@@ -115,6 +119,9 @@ class ProstDb {
 
   Options options_;
   std::unique_ptr<ThreadPool> pool_;
+  /// Serializes pool-backed Execute calls: the pool supports one
+  /// parallel region at a time and is unsynchronized across callers.
+  mutable std::mutex exec_mu_;
   std::shared_ptr<const rdf::EncodedGraph> graph_;
   DatasetStatistics stats_;
   VpStore vp_;

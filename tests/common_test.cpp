@@ -472,6 +472,41 @@ TEST(ThreadPoolTest, BackToBackRegionsStayIsolated) {
   }
 }
 
+TEST(ThreadPoolTest, TinyRegionsRetiredBeforeWorkersWake) {
+  // Regression: with far more threads than tasks, the caller can drain
+  // every task and retire the region before any pool worker wakes. A
+  // late-waking worker must skip the retired region (fn_ is cleared)
+  // instead of dereferencing it. Recreating the pool each round keeps
+  // workers cold so the late-wake window stays hot.
+  for (int round = 0; round < 200; ++round) {
+    ThreadPool pool(8);
+    std::atomic<int> hits{0};
+    pool.ParallelFor(2, [&](size_t) {
+      hits.fetch_add(1, std::memory_order_relaxed);
+    });
+    EXPECT_EQ(hits.load(), 2) << "round " << round;
+  }
+}
+
+TEST(ThreadPoolTest, TinyThenLargeRegionsStayCorrect) {
+  // A worker that missed a tiny (already-retired) region must still
+  // latch the next generation and run the following region's tasks.
+  ThreadPool pool(8);
+  for (int round = 0; round < 100; ++round) {
+    std::atomic<int> tiny_hits{0};
+    pool.ParallelFor(2, [&](size_t) {
+      tiny_hits.fetch_add(1, std::memory_order_relaxed);
+    });
+    EXPECT_EQ(tiny_hits.load(), 2) << "round " << round;
+    constexpr size_t kTasks = 64;
+    std::atomic<size_t> sum{0};
+    pool.ParallelFor(kTasks, [&](size_t i) {
+      sum.fetch_add(i + 1, std::memory_order_relaxed);
+    });
+    EXPECT_EQ(sum.load(), kTasks * (kTasks + 1) / 2) << "round " << round;
+  }
+}
+
 TEST(ThreadPoolTest, ParallelSumMatchesSerial) {
   ThreadPool pool(4);
   constexpr size_t kTasks = 1000;

@@ -20,6 +20,7 @@
 
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/rng.h"
@@ -136,6 +137,57 @@ TEST_P(ParallelDifferentialTest, ParallelMatchesSerialAndReference) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ParallelDifferentialTest,
                          ::testing::Range(0, 6));
+
+TEST(ParallelExecConcurrencyTest, ConcurrentExecuteSharesOnePoolSafely) {
+  // Execute() is const and safe to call concurrently; on a
+  // parallel-configured db every call shares the one thread pool, so
+  // executions serialize internally instead of racing on it. Hammer a
+  // single db from several threads and check each result bit-for-bit
+  // against the serial engine.
+  Rng rng(4242);
+  auto graph = std::make_shared<const rdf::EncodedGraph>(
+      testing::RandomGraph(rng, 400, 30, 5));
+  auto parallel = MakeDb(graph, 4, kTinyMorselRows);
+  ASSERT_NE(parallel, nullptr);
+  auto serial = MakeDb(graph, 1, kTinyMorselRows);
+  ASSERT_NE(serial, nullptr);
+
+  std::vector<sparql::Query> queries;
+  while (queries.size() < 4) {
+    sparql::Query query =
+        testing::RandomQuery(rng, *graph, 1 + rng.NextBounded(3), 5);
+    if (sparql::ValidateQuery(query).ok()) queries.push_back(std::move(query));
+  }
+  std::vector<core::QueryResult> expected;
+  for (const sparql::Query& query : queries) {
+    auto result = serial->Execute(query);
+    ASSERT_TRUE(result.ok()) << result.status();
+    expected.push_back(std::move(result).value());
+  }
+
+  constexpr int kCallers = 4;
+  constexpr int kIterations = 8;
+  std::vector<std::thread> callers;
+  callers.reserve(kCallers);
+  for (int t = 0; t < kCallers; ++t) {
+    callers.emplace_back([&, t] {
+      for (int iter = 0; iter < kIterations; ++iter) {
+        size_t q = static_cast<size_t>(t + iter) % queries.size();
+        auto result = parallel->Execute(queries[q]);
+        ASSERT_TRUE(result.ok())
+            << "caller " << t << " iter " << iter << ": " << result.status();
+        ExpectBitIdentical(result->relation, expected[q].relation,
+                           "caller " + std::to_string(t) + " iter " +
+                               std::to_string(iter) + " query " +
+                               std::to_string(q));
+        EXPECT_DOUBLE_EQ(result->simulated_millis,
+                         expected[q].simulated_millis)
+            << "caller " << t << " query " << q;
+      }
+    });
+  }
+  for (std::thread& caller : callers) caller.join();
+}
 
 TEST(ParallelExecConfigTest, ZeroThreadsUsesCoresPerWorker) {
   Rng rng(991);
