@@ -5,14 +5,25 @@
 // (C) and Snowflake (F) queries; Linear (L) queries are close to equal,
 // because their patterns mostly have distinct subjects and translate to
 // VP nodes either way.
+//
+// Pass --json <path> to additionally emit per-query machine-readable
+// results (the BENCH_fig2.json trajectory file).
 
 #include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
 
 #include "bench_util.h"
 #include "common/str_util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace prost;
+  std::string json_path;
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) json_path = argv[i + 1];
+  }
   bench::BenchWorkload workload = bench::BuildWorkload();
   cluster::ClusterConfig cluster = bench::ScaledCluster(workload);
 
@@ -22,10 +33,18 @@ int main() {
     std::fprintf(stderr, "FATAL: system build failed\n");
     return 1;
   }
-  std::map<std::string, double> vp_ms =
-      bench::RunQuerySet(**vp_only, workload);
-  std::map<std::string, double> mixed_ms =
-      bench::RunQuerySet(**mixed, workload);
+  bench::SystemRun vp_run = bench::RunQuerySetDetailed(**vp_only, workload);
+  vp_run.system = "PRoST (VP only)";
+  bench::SystemRun mixed_run = bench::RunQuerySetDetailed(**mixed, workload);
+  mixed_run.system = "PRoST (VP + PT)";
+  std::map<std::string, double> vp_ms;
+  std::map<std::string, double> mixed_ms;
+  for (const bench::QueryRun& q : vp_run.queries) {
+    vp_ms[q.query_id] = q.simulated_millis;
+  }
+  for (const bench::QueryRun& q : mixed_run.queries) {
+    mixed_ms[q.query_id] = q.simulated_millis;
+  }
 
   std::printf("\nFigure 2: query time, VP only vs mixed strategy (ms, simulated)\n");
   bench::PrintRule(56);
@@ -50,5 +69,9 @@ int main() {
   }
   std::printf(
       "\nExpected shape (paper): mixed clearly faster on S/C/F, ~equal on L.\n");
+  if (!json_path.empty()) {
+    bench::WriteBenchJson(json_path, "fig2_vp_vs_mixed", workload,
+                          {vp_run, mixed_run});
+  }
   return 0;
 }

@@ -6,6 +6,8 @@
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <cstdio>
+#include <cstring>
 
 #include "cluster/cost_model.h"
 #include "columnar/encoding.h"
@@ -17,6 +19,7 @@
 #include "core/vp_store.h"
 #include "engine/operators.h"
 #include "kvstore/kv_store.h"
+#include "obs/trace.h"
 #include "rdf/dictionary.h"
 #include "watdiv/generator.h"
 #include "watdiv/schema.h"
@@ -305,6 +308,83 @@ void BM_PropertyTableStarScan(benchmark::State& state) {
 }
 BENCHMARK(BM_PropertyTableStarScan);
 
+// ---------------------------------------------------------------------
+// `--profiling_overhead_check`: asserts that executing with profiling
+// *off* (a null QueryProfile) is not measurably slower than the same
+// execution with a profile attached. A true before/after-the-subsystem
+// comparison needs two binaries; within one binary, the profiling-off
+// path differs from pre-instrumentation code only by null checks, so
+// "off <= on * 1.02" bounds that overhead: if even the fully
+// instrumented run is within 2%, the null path is too. Uses the
+// BM_ParallelHashJoin workload on the shuffle path (the one that opens
+// exchange spans inside the join).
+
+int RunProfilingOverheadCheck() {
+  const size_t rows = 1 << 16;
+  engine::Relation left = MakeRelation({"a", "b"}, rows, rows / 2, 1);
+  engine::Relation right = MakeRelation({"b", "c"}, rows / 4, rows / 2, 2);
+  cluster::ClusterConfig config;
+  engine::JoinOptions options;
+  options.broadcast_threshold_bytes = 0;  // Force the shuffle path.
+  ThreadPool pool(4);
+
+  auto join_once = [&](const engine::ExecContext& exec) {
+    cluster::CostModel cost(config);
+    cost.BeginStage("bench");
+    auto joined = engine::HashJoin(left, right, options, cost, &exec);
+    cost.EndStage();
+    if (!joined.ok()) {
+      std::fprintf(stderr, "FATAL: join failed: %s\n",
+                   joined.status().ToString().c_str());
+      std::exit(2);
+    }
+    benchmark::DoNotOptimize(joined->relation.TotalRows());
+  };
+  auto off_ms = [&] {
+    engine::ExecContext exec(&pool, 4096);
+    return BestOfThreeMs([&] { join_once(exec); });
+  };
+  auto on_ms = [&] {
+    return BestOfThreeMs([&] {
+      obs::QueryProfile profile;
+      engine::ExecContext exec(&pool, 4096, &profile);
+      join_once(exec);
+    });
+  };
+
+  off_ms();  // Warm up allocators and the thread pool.
+  constexpr int kAttempts = 5;
+  double off = 0;
+  double on = 0;
+  for (int attempt = 0; attempt < kAttempts; ++attempt) {
+    off = off_ms();
+    on = on_ms();
+    std::printf("profiling overhead attempt %d: off=%.3fms on=%.3fms\n",
+                attempt + 1, off, on);
+    if (off <= on * 1.02) {
+      std::printf("PASS: profiling-off within 2%% (off/on = %.4f)\n",
+                  off / on);
+      return 0;
+    }
+  }
+  std::fprintf(stderr,
+               "FAIL: profiling-off slower than profiled run by > 2%% "
+               "(off=%.3fms on=%.3fms) after %d attempts\n",
+               off, on, kAttempts);
+  return 1;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--profiling_overhead_check") == 0) {
+      return RunProfilingOverheadCheck();
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

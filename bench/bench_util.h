@@ -18,7 +18,9 @@
 #include <vector>
 
 #include "baselines/system.h"
+#include "common/io.h"
 #include "common/str_util.h"
+#include "common/timer.h"
 #include "rdf/graph.h"
 #include "sparql/parser.h"
 #include "watdiv/generator.h"
@@ -85,22 +87,110 @@ inline cluster::ClusterConfig ScaledCluster(const BenchWorkload& workload) {
   return cluster;
 }
 
-/// Runs all 20 queries on `system`, returning simulated millis per query
-/// id. Exits on error (benches are regeneration scripts, not libraries).
-inline std::map<std::string, double> RunQuerySet(
-    const baselines::RdfSystem& system, const BenchWorkload& workload) {
-  std::map<std::string, double> millis;
+/// One query's measurements: simulated time plus the cost-model counters
+/// explaining it, and the harness's real wall time for the call.
+struct QueryRun {
+  std::string query_id;
+  char query_class = '?';
+  double simulated_millis = 0;
+  double wall_millis = 0;
+  uint64_t result_rows = 0;
+  cluster::ExecutionCounters counters;
+};
+
+/// All 20 queries on one system, in workload order.
+struct SystemRun {
+  std::string system;
+  std::vector<QueryRun> queries;
+};
+
+/// Runs all 20 queries on `system` with full per-query detail. Exits on
+/// error (benches are regeneration scripts, not libraries).
+inline SystemRun RunQuerySetDetailed(const baselines::RdfSystem& system,
+                                     const BenchWorkload& workload) {
+  SystemRun run;
+  run.system = system.name();
   for (size_t i = 0; i < workload.queries.size(); ++i) {
-    auto result = system.Execute(workload.parsed[i]);
+    QueryRun qr;
+    qr.query_id = workload.queries[i].id;
+    qr.query_class = workload.queries[i].query_class;
+    Result<core::QueryResult> result = Status::Internal("not run");
+    {
+      ScopedTimer timer(&qr.wall_millis);
+      result = system.Execute(workload.parsed[i]);
+    }
     if (!result.ok()) {
       std::fprintf(stderr, "[bench] FATAL: %s on %s: %s\n",
                    workload.queries[i].id.c_str(), system.name().c_str(),
                    result.status().ToString().c_str());
       std::exit(1);
     }
-    millis[workload.queries[i].id] = result->simulated_millis;
+    qr.simulated_millis = result->simulated_millis;
+    qr.result_rows = result->relation.TotalRows();
+    qr.counters = result->counters;
+    run.queries.push_back(std::move(qr));
+  }
+  return run;
+}
+
+/// Runs all 20 queries on `system`, returning simulated millis per query
+/// id (the shape most benches aggregate from).
+inline std::map<std::string, double> RunQuerySet(
+    const baselines::RdfSystem& system, const BenchWorkload& workload) {
+  std::map<std::string, double> millis;
+  for (const QueryRun& qr : RunQuerySetDetailed(system, workload).queries) {
+    millis[qr.query_id] = qr.simulated_millis;
   }
   return millis;
+}
+
+/// Writes per-query results for several systems as a BENCH_*.json file:
+/// {"benchmark": ..., "triples": N, "seed": N, "systems": [{"system": ...,
+/// "queries": [{"query": ..., "class": ..., "simulated_millis": ...,
+/// "rows": ..., "bytes_scanned": ..., ...}]}]}. Machine-readable feed for
+/// the BENCH_*.json trajectory.
+inline void WriteBenchJson(const std::string& path,
+                           const std::string& benchmark,
+                           const BenchWorkload& workload,
+                           const std::vector<SystemRun>& runs) {
+  std::string out = "{\n";
+  out += StrFormat("  \"benchmark\": \"%s\",\n", benchmark.c_str());
+  out += StrFormat("  \"triples\": %llu,\n",
+                   static_cast<unsigned long long>(workload.graph->size()));
+  out += StrFormat("  \"seed\": %llu,\n",
+                   static_cast<unsigned long long>(BenchSeed()));
+  out += "  \"systems\": [";
+  for (size_t s = 0; s < runs.size(); ++s) {
+    out += s == 0 ? "\n" : ",\n";
+    out += StrFormat("    {\"system\": \"%s\", \"queries\": [",
+                     runs[s].system.c_str());
+    for (size_t i = 0; i < runs[s].queries.size(); ++i) {
+      const QueryRun& q = runs[s].queries[i];
+      out += i == 0 ? "\n" : ",\n";
+      out += StrFormat(
+          "      {\"query\": \"%s\", \"class\": \"%c\", "
+          "\"simulated_millis\": %.6f, \"wall_millis\": %.3f, "
+          "\"rows\": %llu, \"bytes_scanned\": %llu, "
+          "\"bytes_shuffled\": %llu, \"bytes_broadcast\": %llu, "
+          "\"rows_processed\": %llu, \"stages\": %llu}",
+          q.query_id.c_str(), q.query_class, q.simulated_millis,
+          q.wall_millis, static_cast<unsigned long long>(q.result_rows),
+          static_cast<unsigned long long>(q.counters.bytes_scanned),
+          static_cast<unsigned long long>(q.counters.bytes_shuffled),
+          static_cast<unsigned long long>(q.counters.bytes_broadcast),
+          static_cast<unsigned long long>(q.counters.rows_processed),
+          static_cast<unsigned long long>(q.counters.stages));
+    }
+    out += "\n    ]}";
+  }
+  out += "\n  ]\n}\n";
+  Status written = WriteStringToFile(path, out);
+  if (!written.ok()) {
+    std::fprintf(stderr, "[bench] FATAL: writing %s: %s\n", path.c_str(),
+                 written.ToString().c_str());
+    std::exit(1);
+  }
+  std::fprintf(stderr, "[bench] wrote %s\n", path.c_str());
 }
 
 /// Average per query class ('C','F','L','S').

@@ -1,12 +1,16 @@
 // Interactive SPARQL shell over PRoST: load an N-Triples file (or a
 // generated WatDiv dataset), then type queries. Terminate each query with
-// an empty line. Commands: .explain toggles plan printing, .quit exits.
+// an empty line. Commands: .explain toggles plan printing, .analyze
+// toggles EXPLAIN ANALYZE, .metrics dumps query metrics, .quit exits.
 //
 //   ./build/examples/sparql_shell data.nt
 //   ./build/examples/sparql_shell --watdiv 50000
 //   ./build/examples/sparql_shell --persist mydb data.nt   (load + save)
 //   ./build/examples/sparql_shell --open mydb              (reopen)
 //   ./build/examples/sparql_shell --threads 4 data.nt      (parallel exec)
+//   ./build/examples/sparql_shell --explain data.nt        (plan only)
+//   ./build/examples/sparql_shell --explain-analyze data.nt
+//   ./build/examples/sparql_shell --metrics-json data.nt   (JSON at exit)
 
 #include <cstdio>
 #include <cstring>
@@ -16,8 +20,41 @@
 #include "common/io.h"
 #include "common/str_util.h"
 #include "core/prost_db.h"
+#include "obs/report.h"
+#include "obs/trace.h"
 #include "sparql/parser.h"
 #include "watdiv/generator.h"
+
+namespace {
+
+/// EXPLAIN: the translator's Join Tree plus the §3.3 statistics that
+/// produced its node ordering.
+void PrintPlanWithRationale(const prost::core::ProstDb& db,
+                            const prost::core::JoinTree& tree) {
+  std::printf("%s", tree.ToString().c_str());
+  std::printf(
+      "ordering rationale (ascending cardinality estimate; "
+      "largest node is the root):\n");
+  for (size_t i = 0; i < tree.nodes.size(); ++i) {
+    const prost::core::JoinTreeNode& node = tree.nodes[i];
+    std::printf("  node %zu: %s  [%s, est %.1f]\n", i, node.Label().c_str(),
+                prost::core::NodeKindToString(node.kind),
+                node.estimated_cardinality);
+    for (const prost::core::NodePattern& pattern : node.patterns) {
+      prost::rdf::PredicateStats stats =
+          db.statistics().ForPredicate(pattern.predicate);
+      std::printf(
+          "    %s: triples=%llu distinct_subjects=%llu "
+          "distinct_objects=%llu\n",
+          pattern.source.predicate.ToNTriples().c_str(),
+          static_cast<unsigned long long>(stats.triple_count),
+          static_cast<unsigned long long>(stats.distinct_subjects),
+          static_cast<unsigned long long>(stats.distinct_objects));
+    }
+  }
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace prost;
@@ -25,17 +62,36 @@ int main(int argc, char** argv) {
   core::ProstDb::Options options;
   Result<std::unique_ptr<core::ProstDb>> db = Status::InvalidArgument("");
   std::string persist_dir;
-  if (argc >= 3 && std::strcmp(argv[1], "--threads") == 0) {
-    // 1 = serial (default), 0 = cores_per_worker, N > 1 = pool of N.
-    options.exec.num_threads =
-        static_cast<uint32_t>(std::strtoul(argv[2], nullptr, 10));
-    argv += 2;
-    argc -= 2;
-  }
-  if (argc >= 3 && std::strcmp(argv[1], "--persist") == 0) {
-    persist_dir = argv[2];
-    argv += 2;
-    argc -= 2;
+  bool explain = false;        // Plan printing (also the plan-only flag).
+  bool plan_only = false;      // --explain: never execute.
+  bool analyze = false;        // --explain-analyze / .analyze.
+  bool metrics_json = false;   // --metrics-json: dump registry at exit.
+  while (argc >= 2) {
+    if (argc >= 3 && std::strcmp(argv[1], "--threads") == 0) {
+      // 1 = serial (default), 0 = cores_per_worker, N > 1 = pool of N.
+      options.exec.num_threads =
+          static_cast<uint32_t>(std::strtoul(argv[2], nullptr, 10));
+      argv += 2;
+      argc -= 2;
+    } else if (argc >= 3 && std::strcmp(argv[1], "--persist") == 0) {
+      persist_dir = argv[2];
+      argv += 2;
+      argc -= 2;
+    } else if (std::strcmp(argv[1], "--explain") == 0) {
+      explain = plan_only = true;
+      argv += 1;
+      argc -= 1;
+    } else if (std::strcmp(argv[1], "--explain-analyze") == 0) {
+      analyze = true;
+      argv += 1;
+      argc -= 1;
+    } else if (std::strcmp(argv[1], "--metrics-json") == 0) {
+      metrics_json = true;
+      argv += 1;
+      argc -= 1;
+    } else {
+      break;
+    }
   }
   if (argc >= 3 && std::strcmp(argv[1], "--open") == 0) {
     db = core::ProstDb::OpenFrom(argv[2], options);
@@ -56,7 +112,9 @@ int main(int argc, char** argv) {
     db = core::ProstDb::LoadFromNTriples(text, options);
   } else {
     std::fprintf(stderr,
-                 "usage: %s [--threads n] [--persist dir] (<file.nt> | --watdiv [n]) | --open dir\n",
+                 "usage: %s [--threads n] [--persist dir] [--explain] "
+                 "[--explain-analyze] [--metrics-json] "
+                 "(<file.nt> | --watdiv [n]) | --open dir\n",
                  argv[0]);
     return 1;
   }
@@ -77,11 +135,11 @@ int main(int argc, char** argv) {
   }
   std::printf(
       "Loaded %llu triples (%zu predicates). Enter a SPARQL query followed\n"
-      "by an empty line; '.explain' toggles plans; '.quit' exits.\n",
+      "by an empty line; '.explain' toggles plans; '.analyze' toggles\n"
+      "EXPLAIN ANALYZE; '.metrics' dumps metrics; '.quit' exits.\n",
       static_cast<unsigned long long>((*db)->load_report().input_triples),
       (*db)->statistics().num_predicates());
 
-  bool explain = false;
   std::string buffer;
   std::string line;
   while (true) {
@@ -93,6 +151,15 @@ int main(int argc, char** argv) {
     if (buffer.empty() && trimmed == ".explain") {
       explain = !explain;
       std::printf("explain %s\n", explain ? "on" : "off");
+      continue;
+    }
+    if (buffer.empty() && trimmed == ".analyze") {
+      analyze = !analyze;
+      std::printf("explain analyze %s\n", analyze ? "on" : "off");
+      continue;
+    }
+    if (buffer.empty() && trimmed == ".metrics") {
+      std::printf("%s", (*db)->metrics().Snapshot().ToJson().c_str());
       continue;
     }
     if (!trimmed.empty()) {
@@ -111,13 +178,24 @@ int main(int argc, char** argv) {
     }
     if (explain) {
       auto tree = (*db)->Plan(*query);
-      if (tree.ok()) std::printf("%s", tree->ToString().c_str());
+      if (!tree.ok()) {
+        std::printf("plan error: %s\n", tree.status().ToString().c_str());
+        continue;
+      }
+      PrintPlanWithRationale(**db, *tree);
+      if (plan_only) continue;
     }
-    auto result = (*db)->Execute(*query);
+    obs::QueryProfile profile;
+    auto result = (*db)->Execute(*query, analyze ? &profile : nullptr);
     if (!result.ok()) {
       std::printf("execution error: %s\n",
                   result.status().ToString().c_str());
       continue;
+    }
+    if (analyze) {
+      obs::ReportOptions report_options;
+      report_options.include_wall = true;
+      std::printf("%s", obs::ExplainAnalyze(profile, report_options).c_str());
     }
     auto rows = (*db)->DecodeRows(result->relation);
     if (!rows.ok()) {
@@ -139,6 +217,9 @@ int main(int argc, char** argv) {
     }
     std::printf("%zu rows, %.0f ms simulated cluster time\n", rows->size(),
                 result->simulated_millis);
+  }
+  if (metrics_json) {
+    std::printf("%s", (*db)->metrics().Snapshot().ToJson().c_str());
   }
   return 0;
 }

@@ -64,6 +64,9 @@ Result<std::unique_ptr<RdfSystem>> RyaSystem::Load(
         IndexKey(Layout::kOsp, t.object, t.subject, t.predicate), "");
   }
   system->store_.BulkLoad(std::move(entries));
+  system->metrics_.counter("rya.index.entries")
+      .Add(system->store_.num_entries());
+  system->metrics_.counter("rya.index.layouts").Add(3);
 
   // Loading simulation: parse pass + one Accumulo ingest (batch write +
   // sort) per index layout, each ~35% of a full pass.

@@ -9,6 +9,7 @@
 #include "cluster/config.h"
 #include "core/statistics.h"
 #include "kvstore/kv_store.h"
+#include "obs/metrics.h"
 
 namespace prost::baselines {
 
@@ -32,7 +33,8 @@ class RyaSystem : public RdfSystem {
   }
   Result<uint64_t> PersistTo(const std::string& dir) const override;
 
-  size_t num_index_entries() const { return store_.num_entries(); }
+  /// Load-side observability: rya.index.entries / rya.index.layouts.
+  const obs::MetricsRegistry* metrics() const override { return &metrics_; }
 
  private:
   /// Index layouts; the byte prefixes every key in the shared store.
@@ -51,6 +53,7 @@ class RyaSystem : public RdfSystem {
   core::DatasetStatistics stats_;
   core::LoadReport load_report_;
   kvstore::SortedKvStore store_;
+  obs::MetricsRegistry metrics_;
 };
 
 }  // namespace prost::baselines

@@ -48,6 +48,16 @@ Result<std::unique_ptr<RdfSystem>> S2RdfSystem::Load(
   // three correlation directions. This is the O(|P|²) precomputation that
   // dominates S2RDF's loading time in Table 1.
   std::vector<uint32_t> term_lengths = g.dictionary().TermLengths();
+  obs::Counter& tables_stored =
+      system->metrics_.counter("s2rdf.extvp.tables_stored");
+  obs::Counter& rows_stored =
+      system->metrics_.counter("s2rdf.extvp.rows_stored");
+  obs::Counter& rejected_selectivity =
+      system->metrics_.counter("s2rdf.extvp.rejected_selectivity");
+  obs::Counter& rejected_empty =
+      system->metrics_.counter("s2rdf.extvp.rejected_empty");
+  obs::Histogram& selectivity_hist = system->metrics_.histogram(
+      "s2rdf.extvp.selectivity", {0.1, 0.25, 0.5, 0.75, 0.95, 1.0});
   uint64_t semi_join_work = 0;
   for (const auto& [p, p_data] : data) {
     for (const auto& [q, q_data] : data) {
@@ -64,8 +74,14 @@ Result<std::unique_ptr<RdfSystem>> S2RdfSystem::Load(
         semi_join_work += p_data.rows.size() + reduced.size();
         double selectivity = static_cast<double>(reduced.size()) /
                              static_cast<double>(p_data.rows.size());
-        if (!reduced.empty() && selectivity <= kSelectivityThreshold) {
-          system->total_extvp_rows_ += reduced.size();
+        selectivity_hist.Observe(selectivity);
+        if (reduced.empty()) {
+          rejected_empty.Increment();
+        } else if (selectivity > kSelectivityThreshold) {
+          rejected_selectivity.Increment();
+        } else {
+          tables_stored.Increment();
+          rows_stored.Add(reduced.size());
           system->extvp_.emplace(
               ExtVpKey{corr, p, q},
               VpStore::BuildTable(reduced, workers, term_lengths));

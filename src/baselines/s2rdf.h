@@ -10,6 +10,7 @@
 #include "cluster/config.h"
 #include "core/statistics.h"
 #include "core/vp_store.h"
+#include "obs/metrics.h"
 
 namespace prost::baselines {
 
@@ -49,10 +50,10 @@ class S2RdfSystem : public RdfSystem {
   }
   Result<uint64_t> PersistTo(const std::string& dir) const override;
 
-  /// Number of stored ExtVP tables and their total rows (observability
-  /// for tests and the loading bench).
-  size_t num_extvp_tables() const { return extvp_.size(); }
-  uint64_t total_extvp_rows() const { return total_extvp_rows_; }
+  /// ExtVP observability: s2rdf.extvp.tables_stored / rows_stored /
+  /// rejected_selectivity / rejected_empty counters plus the
+  /// s2rdf.extvp.selectivity histogram over candidate reductions.
+  const obs::MetricsRegistry* metrics() const override { return &metrics_; }
 
  private:
   using ExtVpKey = std::tuple<Correlation, rdf::TermId, rdf::TermId>;
@@ -71,7 +72,7 @@ class S2RdfSystem : public RdfSystem {
   core::DatasetStatistics stats_;
   core::LoadReport load_report_;
   std::map<ExtVpKey, core::VpStore::PredicateTable> extvp_;
-  uint64_t total_extvp_rows_ = 0;
+  obs::MetricsRegistry metrics_;
 };
 
 }  // namespace prost::baselines

@@ -64,6 +64,9 @@ Result<std::unique_ptr<RdfSystem>> SparqlGxSystem::Load(
   for (const auto& [predicate, bytes] : system->text_bytes_) {
     for (uint64_t b : bytes) storage += b;
   }
+  system->metrics_.counter("sparqlgx.vp.predicates")
+      .Add(system->text_bytes_.size());
+  system->metrics_.counter("sparqlgx.vp.text_bytes").Add(storage);
   system->load_report_.storage_bytes = storage;
   system->load_report_.real_load_millis = timer.ElapsedMillis();
   return std::unique_ptr<RdfSystem>(std::move(system));

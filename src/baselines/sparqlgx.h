@@ -11,6 +11,7 @@
 #include "core/statistics.h"
 #include "core/translator.h"
 #include "core/vp_store.h"
+#include "obs/metrics.h"
 
 namespace prost::baselines {
 
@@ -36,6 +37,9 @@ class SparqlGxSystem : public RdfSystem {
   }
   Result<uint64_t> PersistTo(const std::string& dir) const override;
 
+  /// Load-side observability: sparqlgx.vp.predicates / text_bytes.
+  const obs::MetricsRegistry* metrics() const override { return &metrics_; }
+
  private:
   SparqlGxSystem() = default;
 
@@ -55,6 +59,7 @@ class SparqlGxSystem : public RdfSystem {
   /// Text bytes of each predicate's VP file per partition (scan charges
   /// and persisted size).
   std::map<rdf::TermId, std::vector<uint64_t>> text_bytes_;
+  obs::MetricsRegistry metrics_;
 };
 
 }  // namespace prost::baselines

@@ -9,6 +9,7 @@
 #include "common/status.h"
 #include "core/executor.h"
 #include "core/prost_db.h"
+#include "obs/metrics.h"
 #include "rdf/graph.h"
 #include "sparql/algebra.h"
 
@@ -33,6 +34,10 @@ class RdfSystem {
   /// Persists the system's database under `dir` and returns the bytes
   /// written (the "Size" column of Table 1).
   virtual Result<uint64_t> PersistTo(const std::string& dir) const = 0;
+
+  /// Load- and query-side observability counters, or null when a system
+  /// records none. Names are system-prefixed (e.g. s2rdf.extvp.tables).
+  virtual const obs::MetricsRegistry* metrics() const { return nullptr; }
 };
 
 using SharedGraph = std::shared_ptr<const rdf::EncodedGraph>;

@@ -91,6 +91,16 @@ void CostModel::EndStage() {
   in_stage_ = false;
 }
 
+double CostModel::AccountedMillis() const {
+  double pending_sec = 0;
+  if (in_stage_) {
+    pending_sec =
+        *std::max_element(worker_busy_sec_.begin(), worker_busy_sec_.end()) +
+        stage_transfer_sec_;
+  }
+  return (elapsed_sec_ + pending_sec) * 1000.0;
+}
+
 void CostModel::ChargeQueryOverhead() {
   elapsed_sec_ += config_.query_overhead_sec;
 }

@@ -73,6 +73,17 @@ class CostModel {
 
   double ElapsedMillis() const { return elapsed_sec_ * 1000.0; }
   double ElapsedSeconds() const { return elapsed_sec_; }
+
+  /// Simulated milliseconds *including* the open stage's pending
+  /// contribution (current straggler busy time + transfer time). The
+  /// clock itself only advances at EndStage — by the max over workers —
+  /// so per-operator attribution can't sum individual charges; instead,
+  /// observability takes deltas of this monotone "accounted" clock,
+  /// giving each operator its marginal contribution to the straggler
+  /// path. Deltas telescope: they sum exactly to ElapsedMillis() once
+  /// all stages are closed. Monotone because EndStage folds at least the
+  /// pending amount into elapsed_sec_ before BeginStage zeroes it.
+  double AccountedMillis() const;
   const ExecutionCounters& counters() const { return counters_; }
 
   /// Resets the clock and the counters.

@@ -26,6 +26,34 @@ class WallTimer {
   Clock::time_point start_;
 };
 
+/// RAII stopwatch: adds the scope's elapsed wall milliseconds to `*sink`
+/// on destruction. Deduplicates the start/stop/accumulate boilerplate in
+/// benchmark loops and span instrumentation.
+///
+///   double millis = 0;
+///   { ScopedTimer t(&millis); work(); }
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(double* sink_millis) : sink_(sink_millis) {}
+  ~ScopedTimer() {
+    if (sink_ != nullptr) *sink_ += timer_.ElapsedMillis();
+  }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  /// Detaches and reports early; the destructor becomes a no-op.
+  double StopMillis() {
+    double elapsed = timer_.ElapsedMillis();
+    if (sink_ != nullptr) *sink_ += elapsed;
+    sink_ = nullptr;
+    return elapsed;
+  }
+
+ private:
+  WallTimer timer_;
+  double* sink_;
+};
+
 }  // namespace prost
 
 #endif  // PROST_COMMON_TIMER_H_

@@ -2,6 +2,7 @@
 
 #include "analysis/plan_checker.h"
 #include "core/modifiers.h"
+#include "obs/trace.h"
 
 // Paranoid self-checks at operator boundaries: always on in debug builds,
 // and in release builds when the tree is compiled with sanitizers
@@ -55,6 +56,26 @@ Result<engine::Relation> ScanNode(const JoinTreeNode& node, const VpStore& vp,
   return Status::Internal("unknown node kind");
 }
 
+/// Input row count of a join-tree leaf: the stored table it scans.
+uint64_t NodeInputRows(const JoinTreeNode& node, const VpStore& vp,
+                       const PropertyTable* property_table,
+                       const PropertyTable* reverse_property_table) {
+  switch (node.kind) {
+    case NodeKind::kVerticalPartitioning: {
+      const VpStore::PredicateTable* table =
+          vp.Find(node.patterns[0].predicate);
+      return table != nullptr ? table->total_rows : 0;
+    }
+    case NodeKind::kPropertyTable:
+      return property_table != nullptr ? property_table->num_rows() : 0;
+    case NodeKind::kReversePropertyTable:
+      return reverse_property_table != nullptr
+                 ? reverse_property_table->num_rows()
+                 : 0;
+  }
+  return 0;
+}
+
 }  // namespace
 
 Result<QueryResult> ExecuteJoinTree(
@@ -74,6 +95,11 @@ Result<QueryResult> ExecuteJoinTree(
   PROST_RETURN_IF_ERROR(analysis::CheckPlanStructure(tree, query));
 #endif
   QueryResult result;
+  obs::QueryProfile* profile = engine::ProfileOf(exec);
+  // The root span brackets every charge (it opens before the query
+  // overhead), so summing exclusive span charges reproduces
+  // simulated_millis.
+  obs::OperatorSpan query_span(profile, cost, obs::SpanKind::kQuery, "");
   cost.ChargeQueryOverhead();
 
   // One pipeline stage stays open across scans and broadcast joins;
@@ -82,9 +108,19 @@ Result<QueryResult> ExecuteJoinTree(
   cost.BeginStage("pipeline");
   engine::Relation accumulated;
   for (size_t i = 0; i < tree.nodes.size(); ++i) {
-    Result<engine::Relation> scanned =
-        ScanNode(tree.nodes[i], vp, property_table, reverse_property_table,
-                 cost, exec);
+    const JoinTreeNode& node = tree.nodes[i];
+    Result<engine::Relation> scanned = [&] {
+      obs::OperatorSpan scan_span(profile, cost, obs::SpanKind::kScan,
+                                  node.Label());
+      scan_span.SetDetail(NodeKindToString(node.kind));
+      scan_span.SetEstimatedRows(node.estimated_cardinality);
+      scan_span.SetRowsIn(NodeInputRows(node, vp, property_table,
+                                        reverse_property_table));
+      Result<engine::Relation> r = ScanNode(
+          node, vp, property_table, reverse_property_table, cost, exec);
+      if (r.ok()) scan_span.SetRowsOut(r->TotalRows());
+      return r;
+    }();
     if (!scanned.ok()) {
       cost.EndStage();
       return scanned.status();
@@ -94,10 +130,17 @@ Result<QueryResult> ExecuteJoinTree(
       accumulated = std::move(scanned).value();
       continue;
     }
+    obs::OperatorSpan join_span(profile, cost, obs::SpanKind::kJoin,
+                                node.Label());
+    join_span.SetRowsIn(accumulated.TotalRows() + scanned->TotalRows());
     PROST_ASSIGN_OR_RETURN(
         engine::JoinResult joined,
         engine::HashJoin(accumulated, scanned.value(), join_options, cost,
                          exec));
+    join_span.SetDetail(joined.strategy == engine::JoinStrategy::kBroadcast
+                            ? "broadcast"
+                            : "shuffle");
+    join_span.SetRowsOut(joined.relation.TotalRows());
     result.join_strategies.push_back(joined.strategy);
     accumulated = std::move(joined.relation);
     PROST_VALIDATE_RELATION(accumulated);
@@ -114,6 +157,11 @@ Result<QueryResult> ExecuteJoinTree(
   result.relation = std::move(accumulated);
   result.simulated_millis = cost.ElapsedMillis();
   result.counters = cost.counters();
+  query_span.SetRowsOut(result.relation.TotalRows());
+  query_span.Close();
+  if (profile != nullptr) {
+    profile->Finish(result.simulated_millis, result.counters);
+  }
   return result;
 }
 

@@ -7,6 +7,7 @@
 #include <unordered_set>
 
 #include "engine/operators.h"
+#include "obs/trace.h"
 
 namespace prost::core {
 namespace {
@@ -149,11 +150,20 @@ Result<Relation> ApplyFiltersAndModifiers(Relation relation,
                                           cluster::CostModel& cost,
                                           const engine::ExecContext* exec) {
   KeyCache keys(dictionary);
+  obs::QueryProfile* profile = engine::ProfileOf(exec);
+  obs::OperatorSpan modifiers_span(profile, cost, obs::SpanKind::kModifiers,
+                                   "");
+  modifiers_span.SetRowsIn(relation.TotalRows());
 
   // FILTER constraints, pipelined (no stage boundaries of their own).
   for (const sparql::FilterConstraint& filter : query.filters) {
+    obs::OperatorSpan filter_span(profile, cost, obs::SpanKind::kFilter,
+                                  "?" + filter.variable);
+    filter_span.SetDetail("FILTER");
+    filter_span.SetRowsIn(relation.TotalRows());
     PROST_ASSIGN_OR_RETURN(relation,
                            ApplyOneFilter(relation, filter, keys, cost));
+    filter_span.SetRowsOut(relation.TotalRows());
   }
 
   // COUNT aggregates collapse the (filtered) solutions to a single row
@@ -161,6 +171,10 @@ Result<Relation> ApplyFiltersAndModifiers(Relation relation,
   // trivial slice of one row.
   if (query.count.has_value()) {
     const sparql::CountAggregate& count = *query.count;
+    obs::OperatorSpan agg_span(profile, cost, obs::SpanKind::kAggregate,
+                               count.alias);
+    agg_span.SetDetail(count.distinct ? "COUNT DISTINCT" : "COUNT");
+    agg_span.SetRowsIn(relation.TotalRows());
     uint64_t n = 0;
     if (count.variable.empty()) {
       n = relation.TotalRows();
@@ -187,6 +201,9 @@ Result<Relation> ApplyFiltersAndModifiers(Relation relation,
     Relation aggregated({count.alias}, relation.num_chunks());
     aggregated.mutable_chunks()[0].columns[0].push_back(
         rdf::VirtualIntegerId(n));
+    uint64_t out_rows = query.offset > 0 ? 0 : 1;
+    agg_span.SetRowsOut(out_rows);
+    modifiers_span.SetRowsOut(out_rows);
     if (query.offset > 0) return Relation({count.alias},
                                           relation.num_chunks());
     return aggregated;
@@ -196,6 +213,9 @@ Result<Relation> ApplyFiltersAndModifiers(Relation relation,
   // may be dropped by the projection that follows).
   const bool ordered = !query.order_by.empty();
   if (ordered) {
+    obs::OperatorSpan sort_span(profile, cost, obs::SpanKind::kOrderBy, "");
+    sort_span.SetRowsIn(relation.TotalRows());
+    sort_span.SetRowsOut(relation.TotalRows());
     // Driver-side sort, like Spark's collect for ordered results.
     std::vector<int> key_columns;
     key_columns.reserve(query.order_by.size());
@@ -236,6 +256,10 @@ Result<Relation> ApplyFiltersAndModifiers(Relation relation,
       engine::Project(relation, query.EffectiveProjection(), cost, exec));
   if (query.distinct) {
     if (ordered) {
+      obs::OperatorSpan dedupe_span(profile, cost, obs::SpanKind::kDistinct,
+                                    "");
+      dedupe_span.SetDetail("order-preserving");
+      dedupe_span.SetRowsIn(relation.TotalRows());
       // Order-preserving dedupe on the driver; the engine's distributed
       // DISTINCT would destroy the ordering.
       std::vector<Row> rows = relation.CollectRows();
@@ -253,8 +277,10 @@ Result<Relation> ApplyFiltersAndModifiers(Relation relation,
         }
       }
       relation = std::move(deduped);
+      dedupe_span.SetRowsOut(relation.TotalRows());
     } else {
-      PROST_ASSIGN_OR_RETURN(relation, engine::Distinct(relation, cost));
+      PROST_ASSIGN_OR_RETURN(relation,
+                             engine::Distinct(relation, cost, exec));
     }
   }
 
@@ -274,6 +300,7 @@ Result<Relation> ApplyFiltersAndModifiers(Relation relation,
   if (query.limit > 0) {
     relation = engine::Limit(relation, query.limit);
   }
+  modifiers_span.SetRowsOut(relation.TotalRows());
   return relation;
 }
 

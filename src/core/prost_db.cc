@@ -158,6 +158,11 @@ Result<JoinTree> ProstDb::Plan(const sparql::Query& query) const {
 }
 
 Result<QueryResult> ProstDb::Execute(const sparql::Query& query) const {
+  return Execute(query, nullptr);
+}
+
+Result<QueryResult> ProstDb::Execute(const sparql::Query& query,
+                                     obs::QueryProfile* profile) const {
   PROST_ASSIGN_OR_RETURN(JoinTree tree, Plan(query));
   cluster::CostModel cost(options_.cluster);
   // The shared pool runs one parallel region at a time, so pool-backed
@@ -165,11 +170,22 @@ Result<QueryResult> ProstDb::Execute(const sparql::Query& query) const {
   // lock-free concurrent Execute.
   std::unique_lock<std::mutex> pool_lock;
   if (pool_) pool_lock = std::unique_lock<std::mutex>(exec_mu_);
-  engine::ExecContext exec(pool_.get(), options_.exec.morsel_rows);
-  return ExecuteJoinTree(
+  engine::ExecContext exec(pool_.get(), options_.exec.morsel_rows, profile);
+  Result<QueryResult> result = ExecuteJoinTree(
       tree, query, vp_, options_.use_property_table ? &pt_ : nullptr,
       options_.use_reverse_property_table ? &reverse_pt_ : nullptr,
       options_.join, graph_->dictionary(), cost, &exec);
+  if (result.ok()) {
+    metrics_.counter("query.executed").Increment();
+    metrics_.counter("query.rows").Add(result->relation.TotalRows());
+    metrics_
+        .histogram("query.simulated_ms",
+                   {1, 10, 100, 1000, 10000, 100000})
+        .Observe(result->simulated_millis);
+  } else {
+    metrics_.counter("query.failed").Increment();
+  }
+  return result;
 }
 
 Result<QueryResult> ProstDb::ExecuteSparql(std::string_view sparql) const {

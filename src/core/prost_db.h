@@ -16,6 +16,8 @@
 #include "core/translator.h"
 #include "core/vp_store.h"
 #include "engine/operators.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "rdf/graph.h"
 #include "sparql/algebra.h"
 
@@ -90,6 +92,12 @@ class ProstDb {
   /// pool; with num_threads == 1 they run fully concurrently as before.
   Result<QueryResult> Execute(const sparql::Query& query) const;
 
+  /// Same, recording an operator-level trace into `profile` (may be
+  /// null — identical to the overload above, with zero profiling cost).
+  /// The profile must outlive the call and belongs to one execution.
+  Result<QueryResult> Execute(const sparql::Query& query,
+                              obs::QueryProfile* profile) const;
+
   /// Parses and executes a SPARQL string.
   Result<QueryResult> ExecuteSparql(std::string_view sparql) const;
 
@@ -110,6 +118,9 @@ class ProstDb {
   const PropertyTable* property_table() const {
     return options_.use_property_table ? &pt_ : nullptr;
   }
+  /// Lifetime query metrics (query.executed / query.rows / query.failed
+  /// counters, query.simulated_ms histogram). Thread-safe.
+  const obs::MetricsRegistry& metrics() const { return metrics_; }
 
  private:
   ProstDb() = default;
@@ -128,6 +139,8 @@ class ProstDb {
   PropertyTable pt_;
   PropertyTable reverse_pt_;
   LoadReport load_report_;
+  /// Mutable: Execute() is const but counts every query it runs.
+  mutable obs::MetricsRegistry metrics_;
 };
 
 /// Estimated N-Triples text size of a graph (sum of lexical lengths plus

@@ -6,6 +6,10 @@
 
 #include "common/thread_pool.h"
 
+namespace prost::obs {
+class QueryProfile;
+}  // namespace prost::obs
+
 namespace prost::engine {
 
 /// Rows per morsel when a parallel operator splits a chunk. Small enough
@@ -34,11 +38,18 @@ class ExecContext {
  public:
   ExecContext() = default;
   explicit ExecContext(ThreadPool* pool,
-                       uint32_t morsel_rows = kDefaultMorselRows)
+                       uint32_t morsel_rows = kDefaultMorselRows,
+                       obs::QueryProfile* profile = nullptr)
       : pool_(pool),
-        morsel_rows_(morsel_rows == 0 ? kDefaultMorselRows : morsel_rows) {}
+        morsel_rows_(morsel_rows == 0 ? kDefaultMorselRows : morsel_rows),
+        profile_(profile) {}
 
   ThreadPool* pool() const { return pool_; }
+
+  /// Observability sink, or null when profiling is off. Spans are opened
+  /// and closed on the coordinating thread only (the same contract the
+  /// CostModel already imposes on Charge* calls).
+  obs::QueryProfile* profile() const { return profile_; }
   uint32_t num_threads() const {
     return pool_ != nullptr ? pool_->num_threads() : 1;
   }
@@ -52,12 +63,18 @@ class ExecContext {
  private:
   ThreadPool* pool_ = nullptr;
   uint32_t morsel_rows_ = kDefaultMorselRows;
+  obs::QueryProfile* profile_ = nullptr;
 };
 
 /// True when `exec` selects the parallel operator paths. Operators take a
 /// nullable pointer so every existing call site keeps its meaning.
 inline bool IsParallel(const ExecContext* exec) {
   return exec != nullptr && exec->parallel();
+}
+
+/// The profiling sink carried by `exec`, or null (profiling off).
+inline obs::QueryProfile* ProfileOf(const ExecContext* exec) {
+  return exec != nullptr ? exec->profile() : nullptr;
 }
 
 }  // namespace prost::engine

@@ -6,6 +6,7 @@
 
 #include "common/hash.h"
 #include "common/str_util.h"
+#include "obs/trace.h"
 
 namespace prost::engine {
 namespace {
@@ -303,8 +304,13 @@ Relation RepartitionByColumn(const Relation& input, int column_index,
                              const ExecContext* exec) {
   if (input.hash_partitioned_by() == column_index &&
       input.num_chunks() == num_workers) {
-    return input;  // Already placed correctly; free.
+    return input;  // Already placed correctly; free — no span either.
   }
+  obs::OperatorSpan span(
+      ProfileOf(exec), cost, obs::SpanKind::kExchange,
+      input.column_names()[static_cast<size_t>(column_index)]);
+  span.SetRowsIn(input.TotalRows());
+  span.SetRowsOut(input.TotalRows());
   cost.ChargeShuffle(input.EstimatedBytes(cost.config()));
   Relation output(input.column_names(), num_workers);
   if (IsParallel(exec)) {
@@ -507,6 +513,9 @@ Result<Relation> Filter(const Relation& input, const std::string& column_name,
   if (column < 0) {
     return Status::InvalidArgument("filter on unknown column " + column_name);
   }
+  obs::OperatorSpan span(ProfileOf(exec), cost, obs::SpanKind::kFilter,
+                         column_name);
+  span.SetRowsIn(input.TotalRows());
   Relation output(input.column_names(), input.num_chunks());
   output.set_hash_partitioned_by(input.hash_partitioned_by());
   // Spark 2.1 static planning: filters do not discount sizeInBytes.
@@ -534,6 +543,7 @@ Result<Relation> Filter(const Relation& input, const std::string& column_name,
     for (uint32_t w = 0; w < input.num_chunks(); ++w) {
       cost.ChargeCpuRows(w, input.chunks()[w].num_rows());
     }
+    span.SetRowsOut(output.TotalRows());
     return output;
   }
   for (uint32_t w = 0; w < input.num_chunks(); ++w) {
@@ -547,6 +557,7 @@ Result<Relation> Filter(const Relation& input, const std::string& column_name,
     }
     cost.ChargeCpuRows(w, chunk.num_rows());
   }
+  span.SetRowsOut(output.TotalRows());
   return output;
 }
 
@@ -567,6 +578,10 @@ Result<Relation> Project(const Relation& input,
     }
     indices.push_back(index);
   }
+  obs::OperatorSpan span(ProfileOf(exec), cost, obs::SpanKind::kProject,
+                         StrJoin(column_names, ","));
+  span.SetRowsIn(input.TotalRows());
+  span.SetRowsOut(input.TotalRows());
   Relation output(column_names, input.num_chunks());
   if (IsParallel(exec)) {
     // Whole-column copies: one task per chunk is the right granularity.
@@ -602,7 +617,10 @@ Result<Relation> Project(const Relation& input,
   return output;
 }
 
-Result<Relation> Distinct(const Relation& input, cluster::CostModel& cost) {
+Result<Relation> Distinct(const Relation& input, cluster::CostModel& cost,
+                          const ExecContext* exec) {
+  obs::OperatorSpan span(ProfileOf(exec), cost, obs::SpanKind::kDistinct, "");
+  span.SetRowsIn(input.TotalRows());
   // Stage boundary, like a shuffle join: close the caller's pipeline
   // stage, run the distinct exchange in a new one, leave it open.
   cost.EndStage();
@@ -644,6 +662,7 @@ Result<Relation> Distinct(const Relation& input, cluster::CostModel& cost) {
     cost.ChargeCpuRows(w, chunk.num_rows());
   }
   output.set_planner_bytes(Relation::kUnknownPlannerBytes);
+  span.SetRowsOut(output.TotalRows());
   return output;
 }
 

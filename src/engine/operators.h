@@ -83,8 +83,9 @@ Result<Relation> Project(const Relation& input,
                          const ExecContext* exec = nullptr);
 
 /// Removes duplicate rows globally (shuffles by row hash, then dedupes
-/// per worker).
-Result<Relation> Distinct(const Relation& input, cluster::CostModel& cost);
+/// per worker). `exec` is only consulted for its profiling sink.
+Result<Relation> Distinct(const Relation& input, cluster::CostModel& cost,
+                          const ExecContext* exec = nullptr);
 
 /// Keeps at most `limit` rows (driver-side truncation after collect; the
 /// paper's WatDiv queries do not push limits down).

@@ -1,0 +1,139 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/str_util.h"
+
+namespace prost::obs {
+namespace {
+
+/// JSON-renders a double without trailing-zero noise; histogram bounds
+/// and gauge values are human-chosen numbers, not bit patterns.
+std::string JsonNumber(double value) {
+  if (std::floor(value) == value && std::fabs(value) < 1e15) {
+    return StrFormat("%.0f", value);
+  }
+  return StrFormat("%.6g", value);
+}
+
+}  // namespace
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)),
+      buckets_(
+          std::make_unique<std::atomic<uint64_t>[]>(bounds_.size() + 1)) {
+  for (size_t i = 0; i <= bounds_.size(); ++i) buckets_[i].store(0);
+}
+
+void Histogram::Observe(double value) {
+  size_t bucket =
+      std::upper_bound(bounds_.begin(), bounds_.end(), value) - bounds_.begin();
+  // upper_bound gives the first bound strictly greater; inclusive upper
+  // bounds mean a value equal to bounds_[i] belongs in bucket i.
+  if (bucket > 0 && bounds_[bucket - 1] == value) --bucket;
+  buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_micros_.fetch_add(static_cast<int64_t>(value * 1e6),
+                        std::memory_order_relaxed);
+}
+
+uint64_t MetricsSnapshot::counter(const std::string& name) const {
+  auto it = counters.find(name);
+  return it == counters.end() ? 0 : it->second;
+}
+
+double MetricsSnapshot::gauge(const std::string& name) const {
+  auto it = gauges.find(name);
+  return it == gauges.end() ? 0.0 : it->second;
+}
+
+std::string MetricsSnapshot::ToJson() const {
+  std::string out = "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, value] : counters) {
+    out += StrFormat("%s\n    \"%s\": %llu", first ? "" : ",", name.c_str(),
+                     static_cast<unsigned long long>(value));
+    first = false;
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"gauges\": {";
+  first = true;
+  for (const auto& [name, value] : gauges) {
+    out += StrFormat("%s\n    \"%s\": %s", first ? "" : ",", name.c_str(),
+                     JsonNumber(value).c_str());
+    first = false;
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"histograms\": {";
+  first = true;
+  for (const auto& [name, data] : histograms) {
+    out += StrFormat("%s\n    \"%s\": {\"count\": %llu, \"sum\": %s, ",
+                     first ? "" : ",", name.c_str(),
+                     static_cast<unsigned long long>(data.count),
+                     JsonNumber(data.sum).c_str());
+    out += "\"bounds\": [";
+    for (size_t i = 0; i < data.bounds.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += JsonNumber(data.bounds[i]);
+    }
+    out += "], \"buckets\": [";
+    for (size_t i = 0; i < data.bucket_counts.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += StrFormat("%llu",
+                       static_cast<unsigned long long>(data.bucket_counts[i]));
+    }
+    out += "]}";
+    first = false;
+  }
+  out += first ? "}\n" : "\n  }\n";
+  out += "}\n";
+  return out;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>(std::move(bounds));
+  return *slot;
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot snapshot;
+  for (const auto& [name, counter] : counters_) {
+    snapshot.counters[name] = counter->value();
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    snapshot.gauges[name] = gauge->value();
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    MetricsSnapshot::HistogramData data;
+    data.bounds = histogram->bounds();
+    data.bucket_counts.resize(data.bounds.size() + 1);
+    for (size_t i = 0; i < data.bucket_counts.size(); ++i) {
+      data.bucket_counts[i] = histogram->bucket_count(i);
+    }
+    data.count = histogram->count();
+    data.sum = histogram->sum();
+    snapshot.histograms[name] = std::move(data);
+  }
+  return snapshot;
+}
+
+}  // namespace prost::obs

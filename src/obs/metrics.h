@@ -1,0 +1,113 @@
+#ifndef PROST_OBS_METRICS_H_
+#define PROST_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace prost::obs {
+
+/// A monotonically increasing counter. Increments are single relaxed
+/// atomic adds — cheap enough for per-query (not per-row) hot paths.
+class Counter {
+ public:
+  void Increment() { Add(1); }
+  void Add(uint64_t delta) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// A last-write-wins instantaneous value (table counts, sizes, ratios).
+class Gauge {
+ public:
+  void Set(double value) { value_.store(value, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// A fixed-bucket histogram: `bounds` are inclusive upper bounds of the
+/// first N buckets, plus an implicit +inf bucket. Observations are two
+/// relaxed atomic adds (bucket count and sum-scaled-by-1e6).
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  void Observe(double value);
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const {
+    return static_cast<double>(sum_micros_.load(std::memory_order_relaxed)) /
+           1e6;
+  }
+  const std::vector<double>& bounds() const { return bounds_; }
+  /// Count in bucket `i` (i == bounds().size() is the overflow bucket).
+  uint64_t bucket_count(size_t i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::vector<double> bounds_;
+  std::unique_ptr<std::atomic<uint64_t>[]> buckets_;
+  std::atomic<uint64_t> count_{0};
+  /// Sum kept in integer micro-units so concurrent adds stay exact.
+  std::atomic<int64_t> sum_micros_{0};
+};
+
+/// Point-in-time copy of a registry, safe to inspect, diff, and export
+/// while the live registry keeps counting.
+struct MetricsSnapshot {
+  struct HistogramData {
+    std::vector<double> bounds;
+    std::vector<uint64_t> bucket_counts;  // bounds.size() + 1 entries.
+    uint64_t count = 0;
+    double sum = 0;
+  };
+
+  std::map<std::string, uint64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, HistogramData> histograms;
+
+  uint64_t counter(const std::string& name) const;
+  double gauge(const std::string& name) const;
+
+  /// Stable JSON rendering: {"counters": {...}, "gauges": {...},
+  /// "histograms": {...}} with keys in sorted order.
+  std::string ToJson() const;
+};
+
+/// A named-metric registry. Registration (first `counter(name)` call)
+/// takes a mutex; returned handles are stable for the registry's lifetime
+/// and lock-free to update, so hot paths hoist the lookup. Thread-safe
+/// throughout.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  /// `bounds` is used on first registration only (must be sorted
+  /// ascending); later calls with the same name ignore it.
+  Histogram& histogram(const std::string& name, std::vector<double> bounds);
+
+  MetricsSnapshot Snapshot() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace prost::obs
+
+#endif  // PROST_OBS_METRICS_H_

@@ -1,0 +1,35 @@
+#ifndef PROST_OBS_REPORT_H_
+#define PROST_OBS_REPORT_H_
+
+#include <string>
+
+#include "obs/trace.h"
+
+namespace prost::obs {
+
+struct ReportOptions {
+  /// Wall-clock time varies with machine load and thread count, unlike
+  /// the simulated charges, which are deterministic. Off by default so
+  /// the text tree is stable enough for golden tests; JSON always
+  /// includes wall time.
+  bool include_wall = false;
+};
+
+/// Renders the span tree as a textual EXPLAIN ANALYZE:
+///
+///   EXPLAIN ANALYZE  (simulated 42.500 ms, 2 stages)
+///   query  charge=0.500ms
+///   └─ scan VP(follows)  rows=977  est=980.0  charge=12.250ms ...
+///
+/// Each line shows rows in/out, estimated-vs-actual cardinality,
+/// the exclusive CostModel charge, and bytes touched.
+std::string ExplainAnalyze(const QueryProfile& profile,
+                           const ReportOptions& options = {});
+
+/// Renders the span tree plus totals as JSON (machine-readable form of
+/// the same report; includes wall_millis).
+std::string ProfileJson(const QueryProfile& profile);
+
+}  // namespace prost::obs
+
+#endif  // PROST_OBS_REPORT_H_

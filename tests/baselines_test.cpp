@@ -6,6 +6,7 @@
 #include "baselines/s2rdf.h"
 #include "baselines/system.h"
 #include "common/io.h"
+#include "obs/metrics.h"
 #include "rdf/graph.h"
 #include "sparql/parser.h"
 
@@ -155,14 +156,21 @@ TEST(S2RdfTest, ExtVpReductionsAreCorrectSemiJoins) {
   cluster::ClusterConfig cluster;
   auto system = S2RdfSystem::Load(graph, cluster);
   ASSERT_TRUE(system.ok());
-  auto* s2rdf = static_cast<S2RdfSystem*>(system->get());
-  EXPECT_GT(s2rdf->num_extvp_tables(), 0u);
-  EXPECT_GT(s2rdf->total_extvp_rows(), 0u);
+  ASSERT_NE((*system)->metrics(), nullptr);
+  obs::MetricsSnapshot metrics = (*system)->metrics()->Snapshot();
+  EXPECT_GT(metrics.counter("s2rdf.extvp.tables_stored"), 0u);
+  EXPECT_GT(metrics.counter("s2rdf.extvp.rows_stored"), 0u);
   // Every stored reduction is a subset of its base VP table, so queries
   // stay correct — verified behaviourally: the likes ⋈ label result above
   // equals PRoST's. Here we check the bookkeeping is consistent.
-  EXPECT_LT(s2rdf->total_extvp_rows(),
+  EXPECT_LT(metrics.counter("s2rdf.extvp.rows_stored"),
             graph->size() * 3 * graph->size());
+  // Every candidate reduction was classified exactly once.
+  const auto& hist = metrics.histograms.at("s2rdf.extvp.selectivity");
+  EXPECT_EQ(hist.count, metrics.counter("s2rdf.extvp.tables_stored") +
+                            metrics.counter("s2rdf.extvp.rejected_empty") +
+                            metrics.counter(
+                                "s2rdf.extvp.rejected_selectivity"));
 }
 
 TEST(MakeAllSystemsTest, OrderAndNames) {

@@ -1,0 +1,383 @@
+// Tests for the observability subsystem: the metrics registry, the
+// query-profile span tree, and the EXPLAIN ANALYZE / JSON reports.
+//
+// The central invariant under test: exclusive span charges partition the
+// CostModel's accounted clock, so summing them over any profile
+// reproduces the query's simulated_millis — per operator attribution
+// with nothing double-counted and nothing dropped.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <regex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cluster/cost_model.h"
+#include "core/prost_db.h"
+#include "obs/metrics.h"
+#include "obs/report.h"
+#include "obs/trace.h"
+#include "sparql/parser.h"
+#include "watdiv/generator.h"
+#include "watdiv/queries.h"
+
+namespace prost {
+namespace {
+
+// ---------------------------------------------------------------------
+// Metrics registry.
+
+TEST(MetricsTest, CounterGaugeBasics) {
+  obs::MetricsRegistry registry;
+  obs::Counter& counter = registry.counter("queries");
+  counter.Increment();
+  counter.Add(4);
+  EXPECT_EQ(counter.value(), 5u);
+  // Registration is idempotent: same name, same handle.
+  EXPECT_EQ(&registry.counter("queries"), &counter);
+
+  registry.gauge("ratio").Set(0.75);
+  EXPECT_DOUBLE_EQ(registry.gauge("ratio").value(), 0.75);
+
+  obs::MetricsSnapshot snapshot = registry.Snapshot();
+  EXPECT_EQ(snapshot.counter("queries"), 5u);
+  EXPECT_DOUBLE_EQ(snapshot.gauge("ratio"), 0.75);
+  // Missing names read as zero, not as errors.
+  EXPECT_EQ(snapshot.counter("no-such"), 0u);
+  EXPECT_DOUBLE_EQ(snapshot.gauge("no-such"), 0.0);
+}
+
+TEST(MetricsTest, HistogramBucketsAreInclusiveUpperBounds) {
+  obs::MetricsRegistry registry;
+  obs::Histogram& hist = registry.histogram("h", {1.0, 2.0, 4.0});
+  hist.Observe(0.5);    // bucket 0
+  hist.Observe(1.0);    // bucket 0 (inclusive upper bound)
+  hist.Observe(1.5);    // bucket 1
+  hist.Observe(4.0);    // bucket 2 (inclusive upper bound)
+  hist.Observe(100.0);  // overflow bucket
+  EXPECT_EQ(hist.count(), 5u);
+  EXPECT_DOUBLE_EQ(hist.sum(), 107.0);  // exact: sum kept in micro-units
+  EXPECT_EQ(hist.bucket_count(0), 2u);
+  EXPECT_EQ(hist.bucket_count(1), 1u);
+  EXPECT_EQ(hist.bucket_count(2), 1u);
+  EXPECT_EQ(hist.bucket_count(3), 1u);
+
+  obs::MetricsSnapshot snapshot = registry.Snapshot();
+  const auto& data = snapshot.histograms.at("h");
+  EXPECT_EQ(data.count, 5u);
+  EXPECT_EQ(data.bucket_counts,
+            (std::vector<uint64_t>{2, 1, 1, 1}));
+}
+
+TEST(MetricsTest, ConcurrentUpdatesAreExact) {
+  obs::MetricsRegistry registry;
+  // Pre-register so the threads exercise the lock-free update path and
+  // the (mutex-guarded) lookup path concurrently.
+  registry.counter("hits");
+  constexpr int kThreads = 8;
+  constexpr int kIterations = 10000;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&registry] {
+      obs::Counter& hits = registry.counter("hits");
+      obs::Histogram& lat = registry.histogram("lat", {1.0, 10.0});
+      for (int i = 0; i < kIterations; ++i) {
+        hits.Increment();
+        lat.Observe(0.5);
+      }
+    });
+  }
+  for (std::thread& worker : workers) worker.join();
+  obs::MetricsSnapshot snapshot = registry.Snapshot();
+  EXPECT_EQ(snapshot.counter("hits"),
+            static_cast<uint64_t>(kThreads) * kIterations);
+  const auto& lat = snapshot.histograms.at("lat");
+  EXPECT_EQ(lat.count, static_cast<uint64_t>(kThreads) * kIterations);
+  EXPECT_DOUBLE_EQ(lat.sum, kThreads * kIterations * 0.5);
+}
+
+TEST(MetricsTest, SnapshotJsonIsStable) {
+  obs::MetricsRegistry registry;
+  registry.counter("b.count").Add(2);
+  registry.counter("a.count").Add(1);
+  registry.gauge("g").Set(1.5);
+  registry.histogram("h", {1.0}).Observe(0.5);
+  std::string json = registry.Snapshot().ToJson();
+  // Sorted keys, all three sections present.
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  EXPECT_LT(json.find("a.count"), json.find("b.count"));
+  // Stable: rendering twice gives the same bytes.
+  EXPECT_EQ(json, registry.Snapshot().ToJson());
+}
+
+// ---------------------------------------------------------------------
+// QueryProfile: exclusive-charge segmentation.
+
+TEST(QueryProfileTest, ExclusiveChargesPartitionTheClock) {
+  // Drive the profile with hand-picked accounted-clock values:
+  //   root opens at 0, scan spans [10, 30], join spans [30, 45] with a
+  //   nested exchange [32, 40], root closes at 50.
+  obs::QueryProfile profile;
+  int32_t root = profile.OpenSpan(obs::SpanKind::kQuery, "q", 0.0);
+  int32_t scan = profile.OpenSpan(obs::SpanKind::kScan, "scan", 10.0);
+  profile.CloseSpan(scan, 30.0);
+  int32_t join = profile.OpenSpan(obs::SpanKind::kJoin, "join", 30.0);
+  int32_t exchange = profile.OpenSpan(obs::SpanKind::kExchange, "x", 32.0);
+  profile.CloseSpan(exchange, 40.0);
+  profile.CloseSpan(join, 45.0);
+  profile.CloseSpan(root, 50.0);
+  profile.Finish(50.0, cluster::ExecutionCounters{});
+
+  ASSERT_EQ(profile.spans().size(), 4u);
+  const obs::Span& r = profile.spans()[static_cast<size_t>(root)];
+  const obs::Span& s = profile.spans()[static_cast<size_t>(scan)];
+  const obs::Span& j = profile.spans()[static_cast<size_t>(join)];
+  const obs::Span& x = profile.spans()[static_cast<size_t>(exchange)];
+
+  // Tree shape.
+  EXPECT_EQ(r.parent, -1);
+  EXPECT_EQ(s.parent, root);
+  EXPECT_EQ(j.parent, root);
+  EXPECT_EQ(x.parent, join);
+  EXPECT_EQ(r.children, (std::vector<int32_t>{scan, join}));
+  EXPECT_EQ(j.children, (std::vector<int32_t>{exchange}));
+
+  // Exclusive charges: the clock advance while each span was innermost.
+  EXPECT_DOUBLE_EQ(r.charge_millis, 15.0);  // [0,10] + [45,50]
+  EXPECT_DOUBLE_EQ(s.charge_millis, 20.0);  // [10,30]
+  EXPECT_DOUBLE_EQ(j.charge_millis, 7.0);   // [30,32] + [40,45]
+  EXPECT_DOUBLE_EQ(x.charge_millis, 8.0);   // [32,40]
+
+  // Inclusive rollups.
+  EXPECT_DOUBLE_EQ(x.total_charge_millis, 8.0);
+  EXPECT_DOUBLE_EQ(j.total_charge_millis, 15.0);
+  EXPECT_DOUBLE_EQ(r.total_charge_millis, 50.0);
+
+  // The partition property: exclusive charges sum to the whole clock.
+  EXPECT_DOUBLE_EQ(profile.TotalChargedMillis(), 50.0);
+  EXPECT_TRUE(profile.finished());
+  EXPECT_DOUBLE_EQ(profile.simulated_millis(), 50.0);
+}
+
+TEST(OperatorSpanTest, AttributesCostModelDeltas) {
+  cluster::ClusterConfig config;
+  cluster::CostModel cost(config);
+  obs::QueryProfile profile;
+  {
+    obs::OperatorSpan query_span(&profile, cost, obs::SpanKind::kQuery, "");
+    cost.BeginStage("s");
+    {
+      obs::OperatorSpan scan(&profile, cost, obs::SpanKind::kScan, "scan");
+      scan.SetRowsOut(100);
+      cost.ChargeScan(0, 1 << 20);
+    }
+    {
+      obs::OperatorSpan shuffle(&profile, cost, obs::SpanKind::kExchange,
+                                "x");
+      cost.ChargeShuffle(1 << 16);
+    }
+    cost.EndStage();
+  }
+  profile.Finish(cost.ElapsedMillis(), cost.counters());
+
+  ASSERT_EQ(profile.spans().size(), 3u);
+  const obs::Span& scan = profile.spans()[1];
+  const obs::Span& shuffle = profile.spans()[2];
+  EXPECT_EQ(scan.rows_out, 100u);
+  EXPECT_EQ(scan.bytes_scanned, static_cast<uint64_t>(1) << 20);
+  EXPECT_EQ(scan.bytes_shuffled, 0u);
+  EXPECT_EQ(shuffle.bytes_shuffled, static_cast<uint64_t>(1) << 16);
+  EXPECT_GT(scan.charge_millis, 0.0);      // scan work raised the clock
+  EXPECT_GT(shuffle.charge_millis, 0.0);   // transfer raised it again
+  EXPECT_GE(scan.wall_millis, 0.0);
+  // The accounted clock telescopes: sum of charges == simulated time.
+  EXPECT_NEAR(profile.TotalChargedMillis(), cost.ElapsedMillis(),
+              1e-9 * (1.0 + cost.ElapsedMillis()));
+}
+
+TEST(OperatorSpanTest, NullProfileIsInert) {
+  cluster::ClusterConfig config;
+  cluster::CostModel cost(config);
+  obs::OperatorSpan span(nullptr, cost, obs::SpanKind::kScan, "scan");
+  EXPECT_FALSE(span.active());
+  span.SetDetail("d");
+  span.SetRowsIn(1);
+  span.SetRowsOut(2);
+  span.SetEstimatedRows(3.0);
+  span.Close();  // Idempotent, no profile to touch.
+}
+
+// ---------------------------------------------------------------------
+// End-to-end: profiles from real query execution.
+
+class ObsIntegrationTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    watdiv::WatDivConfig config;
+    config.target_triples = 20000;
+    config.seed = 7;
+    watdiv::WatDivDataset dataset = watdiv::Generate(config);
+    dataset.graph.SortAndDedupe();
+    core::ProstDb::Options options;
+    auto db = core::ProstDb::LoadFromGraph(std::move(dataset.graph), options);
+    ASSERT_TRUE(db.ok()) << db.status();
+    db_ = std::move(db).value();
+    watdiv::WatDivDataset sizing_only;  // Queries depend only on IRIs.
+    queries_ = watdiv::BasicQuerySet(sizing_only);
+  }
+  static void TearDownTestSuite() { db_.reset(); }
+
+  static std::unique_ptr<core::ProstDb> db_;
+  static std::vector<watdiv::WatDivQuery> queries_;
+};
+
+std::unique_ptr<core::ProstDb> ObsIntegrationTest::db_;
+std::vector<watdiv::WatDivQuery> ObsIntegrationTest::queries_;
+
+TEST_F(ObsIntegrationTest, SpanTreeMatchesPlanOnEveryQuery) {
+  ASSERT_EQ(queries_.size(), 20u);
+  for (const watdiv::WatDivQuery& wq : queries_) {
+    SCOPED_TRACE(wq.id);
+    auto parsed = sparql::ParseQuery(wq.sparql);
+    ASSERT_TRUE(parsed.ok()) << parsed.status();
+    auto tree = db_->Plan(*parsed);
+    ASSERT_TRUE(tree.ok()) << tree.status();
+
+    obs::QueryProfile profile;
+    auto result = db_->Execute(*parsed, &profile);
+    ASSERT_TRUE(result.ok()) << result.status();
+
+    ASSERT_TRUE(profile.finished());
+    ASSERT_GE(profile.root(), 0);
+    const obs::Span& root = profile.spans()[0];
+    EXPECT_EQ(root.kind, obs::SpanKind::kQuery);
+    EXPECT_EQ(root.rows_out, result->relation.TotalRows());
+
+    // One scan span per plan node, in plan order, labelled like the
+    // node, with the planner's estimate attached; one join span per
+    // non-leading node; exactly one modifiers span.
+    std::vector<const obs::Span*> scans;
+    std::vector<const obs::Span*> joins;
+    size_t modifiers = 0;
+    for (int32_t child : root.children) {
+      const obs::Span& span = profile.spans()[static_cast<size_t>(child)];
+      switch (span.kind) {
+        case obs::SpanKind::kScan:
+          scans.push_back(&span);
+          break;
+        case obs::SpanKind::kJoin:
+          joins.push_back(&span);
+          break;
+        case obs::SpanKind::kModifiers:
+          ++modifiers;
+          break;
+        default:
+          ADD_FAILURE() << "unexpected root child kind "
+                        << obs::SpanKindName(span.kind);
+      }
+    }
+    ASSERT_EQ(scans.size(), tree->nodes.size());
+    EXPECT_EQ(joins.size(), tree->nodes.size() - 1);
+    EXPECT_EQ(modifiers, 1u);
+    for (size_t i = 0; i < tree->nodes.size(); ++i) {
+      EXPECT_EQ(scans[i]->label, tree->nodes[i].Label()) << "node " << i;
+      // Estimated-vs-actual cardinality is recorded per node.
+      EXPECT_DOUBLE_EQ(scans[i]->estimated_rows,
+                       tree->nodes[i].estimated_cardinality)
+          << "node " << i;
+    }
+    for (const obs::Span* join : joins) {
+      EXPECT_TRUE(join->detail == "broadcast" || join->detail == "shuffle")
+          << join->detail;
+    }
+
+    // The accounting invariant, end to end: exclusive charges sum to
+    // the simulated time, and the root's rollup equals it too.
+    const double tolerance = 1e-9 * (1.0 + result->simulated_millis);
+    EXPECT_NEAR(profile.TotalChargedMillis(), result->simulated_millis,
+                tolerance);
+    EXPECT_NEAR(root.total_charge_millis, result->simulated_millis,
+                tolerance);
+    EXPECT_DOUBLE_EQ(profile.simulated_millis(), result->simulated_millis);
+    EXPECT_EQ(profile.counters().stages, result->counters.stages);
+  }
+}
+
+TEST_F(ObsIntegrationTest, ExecuteUpdatesDbMetrics) {
+  obs::MetricsSnapshot before = db_->metrics().Snapshot();
+  auto parsed = sparql::ParseQuery(queries_[0].sparql);
+  ASSERT_TRUE(parsed.ok());
+  auto result = db_->Execute(*parsed);
+  ASSERT_TRUE(result.ok()) << result.status();
+  obs::MetricsSnapshot after = db_->metrics().Snapshot();
+  EXPECT_EQ(after.counter("query.executed"),
+            before.counter("query.executed") + 1);
+  EXPECT_EQ(after.counter("query.rows"),
+            before.counter("query.rows") + result->relation.TotalRows());
+  EXPECT_EQ(after.histograms.at("query.simulated_ms").count,
+            before.counter("query.executed") + 1);
+}
+
+TEST_F(ObsIntegrationTest, ProfileJsonIsWellFormed) {
+  auto parsed = sparql::ParseQuery(queries_[0].sparql);
+  ASSERT_TRUE(parsed.ok());
+  obs::QueryProfile profile;
+  auto result = db_->Execute(*parsed, &profile);
+  ASSERT_TRUE(result.ok()) << result.status();
+  std::string json = obs::ProfileJson(profile);
+  EXPECT_NE(json.find("\"simulated_millis\""), std::string::npos);
+  EXPECT_NE(json.find("\"trace\""), std::string::npos);
+  EXPECT_NE(json.find("\"kind\": \"query\""), std::string::npos);
+  // Balanced braces/brackets — cheap well-formedness check without a
+  // JSON parser in the test deps.
+  int braces = 0;
+  int brackets = 0;
+  for (char c : json) {
+    braces += c == '{' ? 1 : c == '}' ? -1 : 0;
+    brackets += c == '[' ? 1 : c == ']' ? -1 : 0;
+    ASSERT_GE(braces, 0);
+    ASSERT_GE(brackets, 0);
+  }
+  EXPECT_EQ(braces, 0);
+  EXPECT_EQ(brackets, 0);
+}
+
+/// Masks the simulated-charge figures (which move whenever a cost-model
+/// constant is tuned) while keeping structure, labels, row counts, and
+/// estimates — the parts EXPLAIN ANALYZE must keep stable.
+std::string MaskTimes(const std::string& text) {
+  static const std::regex times(R"(\d+\.\d+ ?ms)");
+  return std::regex_replace(text, times, "#ms");
+}
+
+TEST_F(ObsIntegrationTest, GoldenExplainAnalyzeForWatDivL2) {
+  const watdiv::WatDivQuery* l2 = nullptr;
+  for (const watdiv::WatDivQuery& wq : queries_) {
+    if (wq.id == "L2") l2 = &wq;
+  }
+  ASSERT_NE(l2, nullptr);
+  auto parsed = sparql::ParseQuery(l2->sparql);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  obs::QueryProfile profile;
+  auto result = db_->Execute(*parsed, &profile);
+  ASSERT_TRUE(result.ok()) << result.status();
+
+  std::string masked = MaskTimes(obs::ExplainAnalyze(profile));
+  EXPECT_EQ(masked, std::string(
+      R"(EXPLAIN ANALYZE  (simulated #ms, 1 stages, charged #ms)
+query  rows=1  charge=#ms (total=#ms)  scanned=175.5 KB  broadcast=216 B
+├─ scan VP(<http://db.uwaterloo.ca/~galuc/wsdbm/City0> <http://www.geonames.org/ontology#parentCountry> ?v1) [VP]  rows=1 (in=20)  est=1.0  charge=#ms  scanned=1.7 KB
+├─ scan PT(?v2 <http://db.uwaterloo.ca/~galuc/wsdbm/likes> <http://db.uwaterloo.ca/~galuc/wsdbm/Product0> ; ?v2 <http://schema.org/nationality> ?v1) [PT]  rows=97 (in=2279)  est=6.3  charge=#ms  scanned=173.8 KB
+├─ join PT(?v2 <http://db.uwaterloo.ca/~galuc/wsdbm/likes> <http://db.uwaterloo.ca/~galuc/wsdbm/Product0> ; ?v2 <http://schema.org/nationality> ?v1) [broadcast]  rows=1 (in=98)  charge=#ms  broadcast=216 B
+└─ modifiers  rows=1  charge=#ms (total=#ms)
+   └─ project v1,v2  rows=1  charge=#ms
+)"));
+}
+
+}  // namespace
+}  // namespace prost

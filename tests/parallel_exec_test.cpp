@@ -25,6 +25,7 @@
 
 #include "common/rng.h"
 #include "core/prost_db.h"
+#include "obs/trace.h"
 #include "random_workload.h"
 #include "reference_evaluator.h"
 #include "sparql/parser.h"
@@ -267,6 +268,60 @@ TEST_F(WatDivDeterminismTest, EightThreadsIsDeterministicAndMatchesSerial) {
     EXPECT_DOUBLE_EQ(first->simulated_millis,
                      serial_result->simulated_millis)
         << wq.id;
+  }
+}
+
+TEST_F(WatDivDeterminismTest, ProfilesAreIdenticalSerialAndParallel) {
+  // Operator spans are opened, charged, and closed on the coordinating
+  // thread only, so the aggregated profile must be *identical* between
+  // serial and 8-thread runs — same tree, same rows, same byte counts,
+  // and bitwise-equal simulated charges. Only wall_millis (real time)
+  // may differ. Runs under the TSan CI leg, so this is also the
+  // profiling-enabled parallel race check.
+  auto serial = MakeDb(graph_, 1, 256);
+  auto parallel = MakeDb(graph_, 8, 256);
+  ASSERT_NE(serial, nullptr);
+  ASSERT_NE(parallel, nullptr);
+
+  for (const watdiv::WatDivQuery& wq : queries_) {
+    SCOPED_TRACE(wq.id);
+    auto parsed = sparql::ParseQuery(wq.sparql);
+    ASSERT_TRUE(parsed.ok()) << parsed.status();
+
+    obs::QueryProfile serial_profile;
+    obs::QueryProfile parallel_profile;
+    auto serial_result = serial->Execute(*parsed, &serial_profile);
+    auto parallel_result = parallel->Execute(*parsed, &parallel_profile);
+    ASSERT_TRUE(serial_result.ok()) << serial_result.status();
+    ASSERT_TRUE(parallel_result.ok()) << parallel_result.status();
+
+    ASSERT_TRUE(serial_profile.finished());
+    ASSERT_TRUE(parallel_profile.finished());
+    ASSERT_EQ(parallel_profile.spans().size(),
+              serial_profile.spans().size());
+    for (size_t i = 0; i < serial_profile.spans().size(); ++i) {
+      const obs::Span& s = serial_profile.spans()[i];
+      const obs::Span& p = parallel_profile.spans()[i];
+      SCOPED_TRACE("span " + std::to_string(i) + " (" + s.label + ")");
+      EXPECT_EQ(p.kind, s.kind);
+      EXPECT_EQ(p.label, s.label);
+      EXPECT_EQ(p.detail, s.detail);
+      EXPECT_EQ(p.parent, s.parent);
+      EXPECT_EQ(p.children, s.children);
+      EXPECT_EQ(p.rows_in, s.rows_in);
+      EXPECT_EQ(p.rows_out, s.rows_out);
+      EXPECT_EQ(p.bytes_scanned, s.bytes_scanned);
+      EXPECT_EQ(p.bytes_shuffled, s.bytes_shuffled);
+      EXPECT_EQ(p.bytes_broadcast, s.bytes_broadcast);
+      EXPECT_DOUBLE_EQ(p.estimated_rows, s.estimated_rows);
+      // Bitwise: the simulated clock must not see real parallelism.
+      EXPECT_EQ(p.charge_millis, s.charge_millis);
+      EXPECT_EQ(p.total_charge_millis, s.total_charge_millis);
+    }
+    EXPECT_EQ(parallel_profile.TotalChargedMillis(),
+              serial_profile.TotalChargedMillis());
+    EXPECT_EQ(parallel_profile.simulated_millis(),
+              serial_profile.simulated_millis());
   }
 }
 
