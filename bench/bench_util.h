@@ -193,6 +193,50 @@ inline void WriteBenchJson(const std::string& path,
   std::fprintf(stderr, "[bench] wrote %s\n", path.c_str());
 }
 
+/// One kernel micro-benchmark measurement: the vectorized implementation
+/// against the row-at-a-time / node-based baseline it replaced, over the
+/// same input.
+struct KernelRun {
+  std::string kernel;     // e.g. "hash_join_build_probe"
+  std::string baseline;   // e.g. "std_unordered_map"
+  uint64_t rows = 0;      // Input rows per run.
+  double baseline_millis = 0;
+  double vectorized_millis = 0;
+};
+
+/// Writes kernel before/after measurements as a BENCH_*.json file:
+/// {"benchmark": ..., "kernels": [{"kernel": ..., "baseline": ...,
+/// "rows": N, "baseline_millis": ..., "vectorized_millis": ...,
+/// "speedup_vs_baseline": ...}]}. The BENCH_kernels.json feed.
+inline void WriteBenchJson(const std::string& path,
+                           const std::string& benchmark,
+                           const std::vector<KernelRun>& kernels) {
+  std::string out = "{\n";
+  out += StrFormat("  \"benchmark\": \"%s\",\n", benchmark.c_str());
+  out += "  \"kernels\": [";
+  for (size_t i = 0; i < kernels.size(); ++i) {
+    const KernelRun& k = kernels[i];
+    out += i == 0 ? "\n" : ",\n";
+    out += StrFormat(
+        "    {\"kernel\": \"%s\", \"baseline\": \"%s\", \"rows\": %llu, "
+        "\"baseline_millis\": %.3f, \"vectorized_millis\": %.3f, "
+        "\"speedup_vs_baseline\": %.2f}",
+        k.kernel.c_str(), k.baseline.c_str(),
+        static_cast<unsigned long long>(k.rows), k.baseline_millis,
+        k.vectorized_millis,
+        k.vectorized_millis > 0 ? k.baseline_millis / k.vectorized_millis
+                                : 0.0);
+  }
+  out += "\n  ]\n}\n";
+  Status written = WriteStringToFile(path, out);
+  if (!written.ok()) {
+    std::fprintf(stderr, "[bench] FATAL: writing %s: %s\n", path.c_str(),
+                 written.ToString().c_str());
+    std::exit(1);
+  }
+  std::fprintf(stderr, "[bench] wrote %s\n", path.c_str());
+}
+
 /// Average per query class ('C','F','L','S').
 inline std::map<char, double> ClassAverages(
     const std::map<std::string, double>& by_query,

@@ -27,6 +27,14 @@ struct IdListColumn {
 
   size_t num_rows() const { return offsets.size() - 1; }
 
+  /// Pre-sizes for `rows` appended rows holding `total_values` values in
+  /// all — callers that know the final shape (e.g. the Property Table
+  /// builder) avoid reallocation churn in AppendRow loops.
+  void Reserve(size_t rows, size_t total_values) {
+    offsets.reserve(offsets.size() + rows);
+    values.reserve(values.size() + total_values);
+  }
+
   /// Appends one row with the given values (empty == NULL row).
   void AppendRow(const IdVector& row_values);
 

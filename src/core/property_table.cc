@@ -7,6 +7,7 @@
 #include "common/hash.h"
 #include "common/io.h"
 #include "common/str_util.h"
+#include "engine/kernels.h"
 
 namespace prost::core {
 
@@ -121,9 +122,11 @@ PropertyTable PropertyTable::Build(const rdf::EncodedGraph& graph,
                            return a.first < b.first;
                          });
         IdListColumn lists;
+        lists.Reserve(rows_per_partition[w], list_cells[w][c].size());
+        IdVector cell;  // Hoisted: one allocation for the whole column.
         size_t i = 0;
         for (uint32_t row = 0; row < rows_per_partition[w]; ++row) {
-          IdVector cell;
+          cell.clear();
           while (i < list_cells[w][c].size() &&
                  list_cells[w][c][i].first == row) {
             cell.push_back(list_cells[w][c][i].second);
@@ -253,10 +256,72 @@ Result<Relation> PropertyTable::Scan(
     return output;
   }
 
+  // When every touched column is flat (kId), each input row yields at
+  // most one output row and the whole scan vectorizes: constant patterns
+  // and NULL checks refine a selection vector, repeated variables become
+  // column-equality refinements, and the output materializes via
+  // per-column gathers. List columns (multi-valued predicates) take the
+  // general partial-expansion path below.
+  bool all_flat = true;
+  for (int c : pattern_column) {
+    if (partitions_[0].schema().field(static_cast<size_t>(c)).kind !=
+        ColumnKind::kId) {
+      all_flat = false;
+      break;
+    }
+  }
+
+  // Vectorized scan of partition `w` (flat columns only). Produces the
+  // exact rows, in the exact ascending row order, that the general loop
+  // emits: with flat columns every partial binding chain has exactly one
+  // row, so surviving input rows map 1:1 to output rows.
+  auto scan_partition_flat = [&](uint32_t w) -> uint64_t {
+    const StoredTable& part = partitions_[w];
+    const IdVector& row_keys = part.column(0).ids();
+    RelationChunk& out = output.mutable_chunks()[w];
+    std::vector<uint32_t> sel;
+    if (!key.is_variable) {
+      engine::kernels::Filter(row_keys, key.id, 0, row_keys.size(), sel);
+    } else {
+      engine::kernels::Iota(0, row_keys.size(), sel);
+    }
+    // First column bound to each output variable (the key column for the
+    // key variable); later occurrences refine against it.
+    std::vector<const IdVector*> bound(names.size(), nullptr);
+    if (key_column >= 0) bound[0] = &row_keys;
+    for (size_t i = 0; i < patterns.size() && !sel.empty(); ++i) {
+      const IdVector& column =
+          part.column(static_cast<size_t>(pattern_column[i])).ids();
+      if (!patterns[i].value.is_variable) {
+        // Constant: equality (constants are never NULL ids).
+        engine::kernels::Refine(column, patterns[i].value.id, sel);
+        continue;
+      }
+      size_t out_col = static_cast<size_t>(pattern_out[i]);
+      if (bound[out_col] != nullptr) {
+        // Repeated variable: intra-row join against the binding column
+        // (already refined non-NULL, so equality implies non-NULL here).
+        engine::kernels::RefineRowsEqual(column, *bound[out_col], sel);
+      } else {
+        engine::kernels::RefineNotNull(column, sel);
+        bound[out_col] = &column;
+      }
+    }
+    for (size_t c = 0; c < names.size(); ++c) {
+      // A variable can be unbound only when sel drained before its first
+      // occurrence — nothing to gather then.
+      if (bound[c] != nullptr) {
+        engine::kernels::Gather(*bound[c], sel, out.columns[c]);
+      }
+    }
+    return sel.size();
+  };
+
   // Scans partition `w` into its output chunk, returning emitted rows.
   // Each partition writes only its own chunk, so partitions are
   // independent tasks and parallel output is bit-identical to serial.
   auto scan_partition = [&](uint32_t w) -> uint64_t {
+    if (all_flat) return scan_partition_flat(w);
     const StoredTable& part = partitions_[w];
     const IdVector& row_keys = part.column(0).ids();
     RelationChunk& out = output.mutable_chunks()[w];

@@ -6,6 +6,7 @@
 #include "common/hash.h"
 #include "common/io.h"
 #include "common/str_util.h"
+#include "engine/kernels.h"
 
 namespace prost::core {
 
@@ -117,25 +118,43 @@ Result<Relation> VpStore::ScanTable(const PredicateTable* table,
 
   // Emits matching rows from partition `w`'s rows [begin, end) into
   // `out` — the one scan kernel both the serial and the morsel-parallel
-  // path run. Returns the number of rows emitted.
+  // path run. Vectorized: constant terms filter into a selection vector
+  // (`sel`, caller-provided scratch), and the surviving rows materialize
+  // via per-column gathers — same rows, same ascending order as the
+  // row-at-a-time loop this replaces. Returns the number of rows emitted.
   auto scan_range = [&](uint32_t w, size_t begin, size_t end,
-                        RelationChunk& out) -> uint64_t {
+                        RelationChunk& out,
+                        std::vector<uint32_t>& sel) -> uint64_t {
     const StoredTable& part = table->partitions[w];
     const IdVector& subjects = part.column(0).ids();
     const IdVector& objects = part.column(1).ids();
-    uint64_t emitted = 0;
-    for (size_t r = begin; r < end; ++r) {
-      if (!subject.is_variable && subjects[r] != subject.id) continue;
-      if (!object.is_variable && objects[r] != object.id) continue;
-      if (same_var && subjects[r] != objects[r]) continue;
-      size_t c = 0;
-      if (subject.is_variable) out.columns[c++].push_back(subjects[r]);
-      if (object.is_variable && !same_var) {
-        out.columns[c].push_back(objects[r]);
-      }
-      ++emitted;
+    if (subject.is_variable && object.is_variable && !same_var) {
+      // Open scan: every row passes — bulk-append both columns.
+      out.columns[0].insert(out.columns[0].end(), subjects.begin() + begin,
+                            subjects.begin() + end);
+      out.columns[1].insert(out.columns[1].end(), objects.begin() + begin,
+                            objects.begin() + end);
+      return end - begin;
     }
-    return emitted;
+    sel.clear();
+    if (!subject.is_variable) {
+      engine::kernels::Filter(subjects, subject.id, begin, end, sel);
+      if (!object.is_variable) {
+        engine::kernels::Refine(objects, object.id, sel);
+      }
+    } else if (!object.is_variable) {
+      engine::kernels::Filter(objects, object.id, begin, end, sel);
+    } else {  // same_var: ?x p ?x
+      engine::kernels::FilterRowsEqual(subjects, objects, begin, end, sel);
+    }
+    size_t c = 0;
+    if (subject.is_variable) {
+      engine::kernels::Gather(subjects, sel, out.columns[c++]);
+    }
+    if (object.is_variable && !same_var) {
+      engine::kernels::Gather(objects, sel, out.columns[c]);
+    }
+    return sel.size();
   };
 
   std::vector<uint64_t> emitted(num_workers, 0);
@@ -160,9 +179,10 @@ Result<Relation> VpStore::ScanTable(const PredicateTable* table,
     std::vector<uint64_t> morsel_emitted(morsels.size(), 0);
     exec->pool()->ParallelFor(morsels.size(), [&](size_t m) {
       outs[m].columns.resize(names.size());
+      std::vector<uint32_t> sel;
       morsel_emitted[m] =
           scan_range(morsels[m].worker, morsels[m].begin, morsels[m].end,
-                     outs[m]);
+                     outs[m], sel);
     });
     for (size_t m = 0; m < morsels.size(); ++m) {
       emitted[morsels[m].worker] += morsel_emitted[m];
@@ -174,9 +194,10 @@ Result<Relation> VpStore::ScanTable(const PredicateTable* table,
       }
     }
   } else {
+    std::vector<uint32_t> sel;  // Selection scratch, reused per partition.
     for (uint32_t w = 0; w < num_workers; ++w) {
       size_t rows = table->partitions[w].column(0).ids().size();
-      emitted[w] = scan_range(w, 0, rows, output.mutable_chunks()[w]);
+      emitted[w] = scan_range(w, 0, rows, output.mutable_chunks()[w], sel);
     }
   }
   // Cost charges happen on the calling thread either way — the simulated

@@ -1,0 +1,164 @@
+#include "engine/kernels.h"
+
+#include <algorithm>
+
+#include "common/hash.h"
+
+namespace prost::engine::kernels {
+
+using columnar::IdListColumn;
+using columnar::IdVector;
+using rdf::TermId;
+
+void HashColumns(const RelationChunk& chunk, const std::vector<int>& key_cols,
+                 size_t begin, size_t end, uint64_t* out) {
+  const size_t n = end - begin;
+  std::fill(out, out + n, kKeyHashSeed);
+  for (int c : key_cols) {
+    const TermId* column =
+        chunk.columns[static_cast<size_t>(c)].data() + begin;
+    for (size_t i = 0; i < n; ++i) {
+      out[i] = HashCombine(out[i], column[i]);
+    }
+  }
+}
+
+void HashColumns(const RelationChunk& chunk, const std::vector<int>& key_cols,
+                 size_t begin, size_t end, std::vector<uint64_t>& out) {
+  out.resize(end - begin);
+  HashColumns(chunk, key_cols, begin, end, out.data());
+}
+
+size_t CompareKeysAt(const RelationChunk& build,
+                     const std::vector<int>& build_cols,
+                     const RelationChunk& probe,
+                     const std::vector<int>& probe_cols,
+                     std::vector<uint32_t>& build_rows,
+                     std::vector<uint32_t>& probe_rows) {
+  const size_t n = build_rows.size();
+  size_t kept = 0;
+  if (build_cols.size() == 1) {
+    // Single-key joins (the common case): one column pair, no inner loop.
+    const TermId* b =
+        build.columns[static_cast<size_t>(build_cols[0])].data();
+    const TermId* p =
+        probe.columns[static_cast<size_t>(probe_cols[0])].data();
+    for (size_t i = 0; i < n; ++i) {
+      build_rows[kept] = build_rows[i];
+      probe_rows[kept] = probe_rows[i];
+      kept += b[build_rows[i]] == p[probe_rows[i]] ? 1 : 0;
+    }
+  } else {
+    for (size_t i = 0; i < n; ++i) {
+      bool equal = true;
+      for (size_t k = 0; k < build_cols.size(); ++k) {
+        equal = equal &&
+                build.columns[static_cast<size_t>(build_cols[k])]
+                             [build_rows[i]] ==
+                    probe.columns[static_cast<size_t>(probe_cols[k])]
+                                 [probe_rows[i]];
+      }
+      build_rows[kept] = build_rows[i];
+      probe_rows[kept] = probe_rows[i];
+      kept += equal ? 1 : 0;
+    }
+  }
+  build_rows.resize(kept);
+  probe_rows.resize(kept);
+  return kept;
+}
+
+void Iota(size_t begin, size_t end, std::vector<uint32_t>& sel) {
+  const size_t old = sel.size();
+  sel.resize(old + (end - begin));
+  uint32_t* out = sel.data() + old;
+  for (size_t r = begin; r < end; ++r) {
+    *out++ = static_cast<uint32_t>(r);
+  }
+}
+
+void Filter(const IdVector& column, TermId value, size_t begin, size_t end,
+            std::vector<uint32_t>& sel) {
+  const size_t old = sel.size();
+  sel.resize(old + (end - begin));
+  uint32_t* out = sel.data() + old;
+  const TermId* col = column.data();
+  for (size_t r = begin; r < end; ++r) {
+    *out = static_cast<uint32_t>(r);
+    out += col[r] == value ? 1 : 0;
+  }
+  sel.resize(static_cast<size_t>(out - sel.data()));
+}
+
+void FilterRowsEqual(const IdVector& a, const IdVector& b, size_t begin,
+                     size_t end, std::vector<uint32_t>& sel) {
+  const size_t old = sel.size();
+  sel.resize(old + (end - begin));
+  uint32_t* out = sel.data() + old;
+  const TermId* pa = a.data();
+  const TermId* pb = b.data();
+  for (size_t r = begin; r < end; ++r) {
+    *out = static_cast<uint32_t>(r);
+    out += pa[r] == pb[r] ? 1 : 0;
+  }
+  sel.resize(static_cast<size_t>(out - sel.data()));
+}
+
+void Refine(const IdVector& column, TermId value,
+            std::vector<uint32_t>& sel) {
+  const TermId* col = column.data();
+  uint32_t* out = sel.data();
+  for (uint32_t r : sel) {
+    *out = r;
+    out += col[r] == value ? 1 : 0;
+  }
+  sel.resize(static_cast<size_t>(out - sel.data()));
+}
+
+void RefineNotNull(const IdVector& column, std::vector<uint32_t>& sel) {
+  const TermId* col = column.data();
+  uint32_t* out = sel.data();
+  for (uint32_t r : sel) {
+    *out = r;
+    out += col[r] != rdf::kNullTermId ? 1 : 0;
+  }
+  sel.resize(static_cast<size_t>(out - sel.data()));
+}
+
+void RefineRowsEqual(const IdVector& a, const IdVector& b,
+                     std::vector<uint32_t>& sel) {
+  const TermId* pa = a.data();
+  const TermId* pb = b.data();
+  uint32_t* out = sel.data();
+  for (uint32_t r : sel) {
+    *out = r;
+    out += pa[r] == pb[r] ? 1 : 0;
+  }
+  sel.resize(static_cast<size_t>(out - sel.data()));
+}
+
+void Gather(const IdVector& src, const std::vector<uint32_t>& sel,
+            IdVector& dst) {
+  const size_t old = dst.size();
+  dst.resize(old + sel.size());
+  TermId* out = dst.data() + old;
+  const TermId* in = src.data();
+  for (size_t i = 0; i < sel.size(); ++i) {
+    out[i] = in[sel[i]];
+  }
+}
+
+void GatherList(const IdListColumn& src, const std::vector<uint32_t>& sel,
+                IdListColumn& dst) {
+  size_t total = 0;
+  for (uint32_t r : sel) total += src.RowSize(r);
+  dst.offsets.reserve(dst.offsets.size() + sel.size());
+  dst.values.reserve(dst.values.size() + total);
+  for (uint32_t r : sel) {
+    dst.values.insert(dst.values.end(), src.values.begin() + src.offsets[r],
+                      src.values.begin() + src.offsets[r + 1]);
+    dst.offsets.push_back(static_cast<uint32_t>(dst.values.size()));
+  }
+}
+
+}  // namespace prost::engine::kernels

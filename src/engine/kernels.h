@@ -1,0 +1,95 @@
+#ifndef PROST_ENGINE_KERNELS_H_
+#define PROST_ENGINE_KERNELS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "columnar/column.h"
+#include "engine/relation.h"
+
+namespace prost::engine::kernels {
+
+/// Column-wise batch kernels for the engine's hot loops. The shared
+/// vocabulary is the *selection vector*: a std::vector<uint32_t> of row
+/// ids (ascending) into a chunk, produced by the Filter/Refine family and
+/// consumed by Gather. Operators filter into selections and materialize
+/// with per-column bulk gathers instead of pushing rows value-by-value
+/// across columns — the inner loops touch one column at a time
+/// (cache-friendly) and carry no per-row branches on the append side.
+///
+/// Contract: every kernel is append-only and order-preserving, so a
+/// kernel-built output is byte-identical to the row-at-a-time loop it
+/// replaced. None of them charge the CostModel — charging stays on the
+/// coordinating thread in the operators.
+
+/// Rows processed per probe batch inside join/filter loops. Sized so the
+/// scratch (hashes + candidate pairs) of one batch stays L1/L2-resident.
+inline constexpr size_t kBatchRows = 1024;
+
+/// Seed of the multi-column key hash (shared by build and probe sides).
+inline constexpr uint64_t kKeyHashSeed = 0x9ae16a3b2f90404fULL;
+
+/// Hashes rows [begin, end) of `chunk`'s `key_cols` into `out` (indexed
+/// from 0, i.e. out[i] is row begin+i), one column at a time. Equals the
+/// per-row KeyHash fold: HashCombine over the key columns in order,
+/// seeded with kKeyHashSeed.
+void HashColumns(const RelationChunk& chunk, const std::vector<int>& key_cols,
+                 size_t begin, size_t end, uint64_t* out);
+
+/// As above, resizing `out` to end - begin first.
+void HashColumns(const RelationChunk& chunk, const std::vector<int>& key_cols,
+                 size_t begin, size_t end, std::vector<uint64_t>& out);
+
+/// Batch key verification for hash-match candidates: keeps the pairs
+/// (build_rows[i], probe_rows[i]) whose key columns compare equal,
+/// compacting both vectors in place (stable — surviving pairs keep their
+/// relative order). Returns the surviving count.
+size_t CompareKeysAt(const RelationChunk& build,
+                     const std::vector<int>& build_cols,
+                     const RelationChunk& probe,
+                     const std::vector<int>& probe_cols,
+                     std::vector<uint32_t>& build_rows,
+                     std::vector<uint32_t>& probe_rows);
+
+/// Appends row ids begin..end-1 to `sel` (the no-predicate selection).
+void Iota(size_t begin, size_t end, std::vector<uint32_t>& sel);
+
+/// Appends to `sel` the ids of rows in [begin, end) where column[r] ==
+/// value. The append is branch-free (write then advance by the
+/// predicate), so selectivity does not stall the pipeline.
+void Filter(const columnar::IdVector& column, rdf::TermId value, size_t begin,
+            size_t end, std::vector<uint32_t>& sel);
+
+/// Appends to `sel` the ids of rows in [begin, end) where a[r] == b[r].
+void FilterRowsEqual(const columnar::IdVector& a, const columnar::IdVector& b,
+                     size_t begin, size_t end, std::vector<uint32_t>& sel);
+
+/// Keeps the entries of `sel` where column[r] == value (stable, in
+/// place).
+void Refine(const columnar::IdVector& column, rdf::TermId value,
+            std::vector<uint32_t>& sel);
+
+/// Keeps the entries of `sel` where column[r] is non-NULL.
+void RefineNotNull(const columnar::IdVector& column,
+                   std::vector<uint32_t>& sel);
+
+/// Keeps the entries of `sel` where a[r] == b[r] (stable, in place).
+void RefineRowsEqual(const columnar::IdVector& a, const columnar::IdVector& b,
+                     std::vector<uint32_t>& sel);
+
+/// Appends src[sel[i]] for every selected row to `dst`, reserving once.
+/// The bulk-materialization kernel: callers run it once per column
+/// instead of pushing each row across all columns.
+void Gather(const columnar::IdVector& src, const std::vector<uint32_t>& sel,
+            columnar::IdVector& dst);
+
+/// Appends the selected rows of a list column to `dst`, preserving each
+/// row's cell (one offsets entry and a bulk value copy per row; an empty
+/// cell stays an empty — NULL — row).
+void GatherList(const columnar::IdListColumn& src,
+                const std::vector<uint32_t>& sel, columnar::IdListColumn& dst);
+
+}  // namespace prost::engine::kernels
+
+#endif  // PROST_ENGINE_KERNELS_H_

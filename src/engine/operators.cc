@@ -1,11 +1,12 @@
 #include "engine/operators.h"
 
 #include <algorithm>
-#include <unordered_map>
 #include <unordered_set>
 
 #include "common/hash.h"
 #include "common/str_util.h"
+#include "engine/hash_table.h"
+#include "engine/kernels.h"
 #include "obs/trace.h"
 
 namespace prost::engine {
@@ -30,27 +31,6 @@ SharedColumns FindSharedColumns(const Relation& left, const Relation& right) {
   return shared;
 }
 
-uint64_t KeyHash(const RelationChunk& chunk, const std::vector<int>& key_cols,
-                 size_t row) {
-  uint64_t h = 0x9ae16a3b2f90404fULL;
-  for (int c : key_cols) {
-    h = HashCombine(h, chunk.columns[static_cast<size_t>(c)][row]);
-  }
-  return h;
-}
-
-bool KeysEqual(const RelationChunk& a, const std::vector<int>& a_cols,
-               size_t a_row, const RelationChunk& b,
-               const std::vector<int>& b_cols, size_t b_row) {
-  for (size_t k = 0; k < a_cols.size(); ++k) {
-    if (a.columns[static_cast<size_t>(a_cols[k])][a_row] !=
-        b.columns[static_cast<size_t>(b_cols[k])][b_row]) {
-      return false;
-    }
-  }
-  return true;
-}
-
 /// Output column layout: all of build side, then probe side minus shared.
 struct OutputLayout {
   std::vector<std::string> names;
@@ -61,10 +41,13 @@ OutputLayout MakeOutputLayout(const Relation& build, const Relation& probe,
                               const SharedColumns& shared_build_probe) {
   OutputLayout layout;
   layout.names = build.column_names();
-  std::unordered_set<int> shared_probe(shared_build_probe.right.begin(),
-                                       shared_build_probe.right.end());
+  // Membership test directly on the shared-column vector: joins share at
+  // most a handful of columns, so a linear scan beats a heap-allocated
+  // set per join call.
+  const std::vector<int>& shared_probe = shared_build_probe.right;
   for (size_t j = 0; j < probe.column_names().size(); ++j) {
-    if (!shared_probe.count(static_cast<int>(j))) {
+    if (std::find(shared_probe.begin(), shared_probe.end(),
+                  static_cast<int>(j)) == shared_probe.end()) {
       layout.probe_extra_cols.push_back(static_cast<int>(j));
       layout.names.push_back(probe.column_names()[j]);
     }
@@ -72,35 +55,35 @@ OutputLayout MakeOutputLayout(const Relation& build, const Relation& probe,
   return layout;
 }
 
-/// Build-side hash index for one chunk: key hash → build rows holding that
-/// hash, in ascending row order. The ascending order is the determinism
-/// contract — every join path (serial, chunk-parallel, partitioned) emits
-/// a probe row's matches in this order, so output is ordered by
-/// (probe row, build row) regardless of thread count.
-using BuildIndex = std::unordered_map<uint64_t, std::vector<uint32_t>>;
+/// Reusable per-task scratch for the vectorized probe loop: batch key
+/// hashes plus the candidate (build row, probe row) pair vectors. Reused
+/// across batches so steady-state probing allocates nothing.
+struct JoinScratch {
+  std::vector<uint64_t> hashes;
+  std::vector<uint32_t> build_rows;
+  std::vector<uint32_t> probe_rows;
+};
 
-BuildIndex BuildChunkIndex(const RelationChunk& build,
-                           const std::vector<int>& keys) {
-  BuildIndex index;
-  index.reserve(build.num_rows());
-  for (size_t r = 0; r < build.num_rows(); ++r) {
-    index[KeyHash(build, keys, r)].push_back(static_cast<uint32_t>(r));
-  }
-  return index;
+/// Builds `table` over every row of `build` (hashes computed column-wise
+/// into `hash_scratch`). Rows enter in ascending order — the determinism
+/// contract every probe path relies on.
+void BuildChunkTable(const RelationChunk& build, const std::vector<int>& keys,
+                     std::vector<uint64_t>& hash_scratch,
+                     FlatHashTable& table) {
+  kernels::HashColumns(build, keys, 0, build.num_rows(), hash_scratch);
+  table.Build(hash_scratch.data(), build.num_rows());
 }
 
 /// The build side hash-partitioned into per-thread partitions, each with
-/// its own BuildIndex (built concurrently). A probe row's hash selects
+/// its own flat table (built concurrently). A probe row's hash selects
 /// exactly one partition, so lookups stay single-table.
 struct PartitionedIndex {
   uint32_t fanout = 1;
-  std::vector<uint64_t> row_hashes;  // KeyHash per build row.
-  std::vector<BuildIndex> parts;
+  std::vector<uint64_t> row_hashes;  // Key hash per build row.
+  std::vector<FlatHashTable> parts;
 
-  const std::vector<uint32_t>* Lookup(uint64_t hash) const {
-    const BuildIndex& index = parts[hash % fanout];
-    auto it = index.find(hash);
-    return it == index.end() ? nullptr : &it->second;
+  FlatHashTable::Range Lookup(uint64_t hash) const {
+    return parts[hash % fanout].Lookup(hash);
   }
 };
 
@@ -112,79 +95,84 @@ PartitionedIndex BuildPartitionedIndex(const RelationChunk& build,
   pidx.fanout = exec.num_threads();
   pidx.row_hashes.resize(rows);
   const size_t num_morsels = exec.NumMorsels(rows);
-  // Phase 1, parallel over build morsels: hash every row and bucket row
-  // indices by partition, each morsel into its own buffers.
+  // Phase 1, parallel over build morsels: hash every row column-wise and
+  // bucket row indices by partition, each morsel into its own buffers.
   std::vector<std::vector<uint32_t>> buckets(num_morsels * pidx.fanout);
   exec.pool()->ParallelFor(num_morsels, [&](size_t m) {
     size_t begin = m * exec.morsel_rows();
     size_t end = std::min(rows, begin + exec.morsel_rows());
+    kernels::HashColumns(build, keys, begin, end,
+                         pidx.row_hashes.data() + begin);
     for (size_t r = begin; r < end; ++r) {
-      uint64_t h = KeyHash(build, keys, r);
-      pidx.row_hashes[r] = h;
-      buckets[m * pidx.fanout + h % pidx.fanout].push_back(
+      buckets[m * pidx.fanout + pidx.row_hashes[r] % pidx.fanout].push_back(
           static_cast<uint32_t>(r));
     }
   });
-  // Phase 2, parallel over partitions: each partition inserts its rows in
-  // morsel order — i.e. ascending build-row order — so hash cells carry
-  // rows ascending, matching BuildChunkIndex exactly.
+  // Phase 2, parallel over partitions: each partition concatenates its
+  // buckets in morsel order — i.e. ascending build-row order — and builds
+  // its flat table from them, so hash runs carry rows ascending, matching
+  // BuildChunkTable exactly.
   pidx.parts.resize(pidx.fanout);
   exec.pool()->ParallelFor(pidx.fanout, [&](size_t p) {
-    BuildIndex index;
+    size_t total = 0;
     for (size_t m = 0; m < num_morsels; ++m) {
-      for (uint32_t r : buckets[m * pidx.fanout + p]) {
-        index[pidx.row_hashes[r]].push_back(r);
-      }
+      total += buckets[m * pidx.fanout + p].size();
     }
-    pidx.parts[p] = std::move(index);
+    std::vector<uint32_t> part_rows;
+    part_rows.reserve(total);
+    for (size_t m = 0; m < num_morsels; ++m) {
+      const std::vector<uint32_t>& bucket = buckets[m * pidx.fanout + p];
+      part_rows.insert(part_rows.end(), bucket.begin(), bucket.end());
+    }
+    pidx.parts[p].BuildFromRows(part_rows.data(), part_rows.size(),
+                                pidx.row_hashes.data());
   });
   return pidx;
 }
 
 /// Probes rows [begin, end) of `probe` against `lookup` (hash → ascending
-/// build rows), appending matches to `out`. Returns emitted rows.
+/// build rows), appending matches to `out`. Vectorized: per batch, hash
+/// the key columns, collect hash-match candidates, batch-verify keys,
+/// then materialize via per-column gathers. Candidates are collected
+/// probe-row-major with each run ascending, and verification is stable,
+/// so output order is (probe row, build row) — exactly the row-at-a-time
+/// order. Returns emitted rows.
 template <typename Lookup>
 uint64_t ProbeRange(const RelationChunk& build,
                     const std::vector<int>& build_keys,
                     const RelationChunk& probe,
                     const std::vector<int>& probe_keys,
                     const std::vector<int>& probe_extra_cols, size_t begin,
-                    size_t end, const Lookup& lookup, RelationChunk& out) {
+                    size_t end, const Lookup& lookup, RelationChunk& out,
+                    JoinScratch& scratch) {
   uint64_t emitted = 0;
   const size_t build_width = build.columns.size();
-  for (size_t pr = begin; pr < end; ++pr) {
-    uint64_t h = KeyHash(probe, probe_keys, pr);
-    const std::vector<uint32_t>* rows = lookup(h);
-    if (rows == nullptr) continue;
-    for (uint32_t br : *rows) {
-      if (!KeysEqual(build, build_keys, br, probe, probe_keys, pr)) continue;
-      for (size_t c = 0; c < build_width; ++c) {
-        out.columns[c].push_back(build.columns[c][br]);
+  for (size_t batch = begin; batch < end; batch += kernels::kBatchRows) {
+    const size_t batch_end = std::min(end, batch + kernels::kBatchRows);
+    kernels::HashColumns(probe, probe_keys, batch, batch_end,
+                         scratch.hashes);
+    scratch.build_rows.clear();
+    scratch.probe_rows.clear();
+    for (size_t i = 0; i < batch_end - batch; ++i) {
+      FlatHashTable::Range range = lookup(scratch.hashes[i]);
+      for (const uint32_t* br = range.begin; br != range.end; ++br) {
+        scratch.build_rows.push_back(*br);
+        scratch.probe_rows.push_back(static_cast<uint32_t>(batch + i));
       }
-      for (size_t k = 0; k < probe_extra_cols.size(); ++k) {
-        out.columns[build_width + k].push_back(
-            probe.columns[static_cast<size_t>(probe_extra_cols[k])][pr]);
-      }
-      ++emitted;
+    }
+    emitted += kernels::CompareKeysAt(build, build_keys, probe, probe_keys,
+                                      scratch.build_rows,
+                                      scratch.probe_rows);
+    for (size_t c = 0; c < build_width; ++c) {
+      kernels::Gather(build.columns[c], scratch.build_rows, out.columns[c]);
+    }
+    for (size_t k = 0; k < probe_extra_cols.size(); ++k) {
+      kernels::Gather(
+          probe.columns[static_cast<size_t>(probe_extra_cols[k])],
+          scratch.probe_rows, out.columns[build_width + k]);
     }
   }
   return emitted;
-}
-
-/// Serial join of one build chunk against one probe chunk into `out`.
-uint64_t JoinChunks(const RelationChunk& build,
-                    const std::vector<int>& build_keys,
-                    const RelationChunk& probe,
-                    const std::vector<int>& probe_keys,
-                    const std::vector<int>& probe_extra_cols,
-                    RelationChunk& out) {
-  BuildIndex index = BuildChunkIndex(build, build_keys);
-  auto lookup = [&](uint64_t h) -> const std::vector<uint32_t>* {
-    auto it = index.find(h);
-    return it == index.end() ? nullptr : &it->second;
-  };
-  return ProbeRange(build, build_keys, probe, probe_keys, probe_extra_cols,
-                    0, probe.num_rows(), lookup, out);
 }
 
 /// One parallel task's slice of a chunked relation.
@@ -239,9 +227,10 @@ std::vector<uint64_t> ParallelProbe(const Relation& probe_rel,
     outs[m].columns.resize(width);
     const RelationChunk& build = build_of(morsel.chunk);
     auto lookup = [&](uint64_t h) { return lookup_of(morsel.chunk, h); };
+    JoinScratch scratch;
     ProbeRange(build, build_keys, probe_rel.chunks()[morsel.chunk],
                probe_keys, probe_extra_cols, morsel.begin, morsel.end,
-               lookup, outs[m]);
+               lookup, outs[m], scratch);
   });
   std::vector<uint64_t> emitted(probe_rel.num_chunks(), 0);
   for (size_t m = 0; m < morsels.size(); ++m) {
@@ -331,27 +320,37 @@ Relation RepartitionByColumn(const Relation& input, int column_index,
     });
     // Phase 2, parallel over targets: assemble each target chunk in
     // morsel order — (source chunk, source row) order, as in the serial
-    // loop below.
+    // loop below. Each bucket is a selection vector into its source
+    // chunk, so assembly is a per-column bulk gather.
     exec->pool()->ParallelFor(num_workers, [&](size_t target) {
       RelationChunk& out = output.mutable_chunks()[target];
       for (size_t m = 0; m < morsels.size(); ++m) {
         const RelationChunk& chunk = input.chunks()[morsels[m].chunk];
-        for (uint32_t r : buckets[m * num_workers + target]) {
-          for (size_t c = 0; c < chunk.columns.size(); ++c) {
-            out.columns[c].push_back(chunk.columns[c][r]);
-          }
+        const std::vector<uint32_t>& sel =
+            buckets[m * num_workers + target];
+        for (size_t c = 0; c < chunk.columns.size(); ++c) {
+          kernels::Gather(chunk.columns[c], sel, out.columns[c]);
         }
       }
     });
   } else {
+    // Serial: per chunk, split rows into per-target selection vectors,
+    // then gather each target's slice column by column. Targets receive
+    // rows in (source chunk, source row) order — the same order the old
+    // per-row loop produced.
+    std::vector<std::vector<uint32_t>> sel(num_workers);
     for (const RelationChunk& chunk : input.chunks()) {
+      for (std::vector<uint32_t>& s : sel) s.clear();
+      const IdVector& keys =
+          chunk.columns[static_cast<size_t>(column_index)];
       for (size_t r = 0; r < chunk.num_rows(); ++r) {
-        uint32_t target = static_cast<uint32_t>(
-            Mix64(chunk.columns[static_cast<size_t>(column_index)][r]) %
-            num_workers);
+        sel[Mix64(keys[r]) % num_workers].push_back(
+            static_cast<uint32_t>(r));
+      }
+      for (uint32_t target = 0; target < num_workers; ++target) {
         RelationChunk& out = output.mutable_chunks()[target];
         for (size_t c = 0; c < chunk.columns.size(); ++c) {
-          out.columns[c].push_back(chunk.columns[c][r]);
+          kernels::Gather(chunk.columns[c], sel[target], out.columns[c]);
         }
       }
     }
@@ -413,13 +412,18 @@ Result<JoinResult> HashJoin(const Relation& left, const Relation& right,
                                   big.chunks()[w].num_rows() + emitted[w]);
       }
     } else {
+      // Build the broadcast side's table once; every probe chunk shares
+      // it (each simulated worker still pays the build in ChargeCpuRows).
+      FlatHashTable table;
+      JoinScratch scratch;
+      BuildChunkTable(small_all, small_big.left, scratch.hashes, table);
+      auto lookup = [&](uint64_t h) { return table.Lookup(h); };
       for (uint32_t w = 0; w < big.num_chunks(); ++w) {
         const RelationChunk& big_chunk = big.chunks()[w];
-        uint64_t emitted =
-            JoinChunks(small_all, small_big.left, big_chunk, small_big.right,
-                       layout.probe_extra_cols, output.mutable_chunks()[w]);
-        // Every worker builds over the full broadcast relation and probes
-        // its local slice of the big side.
+        uint64_t emitted = ProbeRange(
+            small_all, small_big.left, big_chunk, small_big.right,
+            layout.probe_extra_cols, 0, big_chunk.num_rows(), lookup,
+            output.mutable_chunks()[w], scratch);
         cost.ChargeCpuRows(w, small_all.num_rows() + big_chunk.num_rows() +
                                   emitted);
       }
@@ -472,32 +476,38 @@ Result<JoinResult> HashJoin(const Relation& left, const Relation& right,
   if (IsParallel(exec)) {
     // Worker partitions build concurrently (each is one co-located hash
     // table), then probe morsels run across all partitions at once.
-    std::vector<BuildIndex> indexes(num_workers);
+    std::vector<FlatHashTable> tables(num_workers);
     exec->pool()->ParallelFor(num_workers, [&](size_t w) {
-      indexes[w] = BuildChunkIndex(left_parts.chunks()[w], shared.left);
+      std::vector<uint64_t> hashes;
+      BuildChunkTable(left_parts.chunks()[w], shared.left, hashes,
+                      tables[w]);
     });
     std::vector<uint64_t> emitted = ParallelProbe(
         right_parts, shared.right, layout.probe_extra_cols, shared.left,
         [&](uint32_t w) -> const RelationChunk& {
           return left_parts.chunks()[w];
         },
-        [&](uint32_t w, uint64_t h) -> const std::vector<uint32_t>* {
-          auto it = indexes[w].find(h);
-          return it == indexes[w].end() ? nullptr : &it->second;
-        },
-        *exec, output);
+        [&](uint32_t w, uint64_t h) { return tables[w].Lookup(h); }, *exec,
+        output);
     for (uint32_t w = 0; w < num_workers; ++w) {
       cost.ChargeCpuRows(w, left_parts.chunks()[w].num_rows() +
                                 right_parts.chunks()[w].num_rows() +
                                 emitted[w]);
     }
   } else {
+    // One table + scratch reused across workers: rebuild per partition,
+    // keep the allocations.
+    FlatHashTable table;
+    JoinScratch scratch;
     for (uint32_t w = 0; w < num_workers; ++w) {
       const RelationChunk& l = left_parts.chunks()[w];
       const RelationChunk& r = right_parts.chunks()[w];
-      uint64_t emitted = JoinChunks(l, shared.left, r, shared.right,
-                                    layout.probe_extra_cols,
-                                    output.mutable_chunks()[w]);
+      BuildChunkTable(l, shared.left, scratch.hashes, table);
+      auto lookup = [&](uint64_t h) { return table.Lookup(h); };
+      uint64_t emitted = ProbeRange(l, shared.left, r, shared.right,
+                                    layout.probe_extra_cols, 0, r.num_rows(),
+                                    lookup, output.mutable_chunks()[w],
+                                    scratch);
       cost.ChargeCpuRows(w, l.num_rows() + r.num_rows() + emitted);
     }
   }
@@ -530,11 +540,11 @@ Result<Relation> Filter(const Relation& input, const std::string& column_name,
       const RelationChunk& chunk = input.chunks()[morsel.chunk];
       RelationChunk& out = outs[m];
       out.columns.resize(chunk.columns.size());
-      for (size_t r = morsel.begin; r < morsel.end; ++r) {
-        if (chunk.columns[static_cast<size_t>(column)][r] != value) continue;
-        for (size_t c = 0; c < chunk.columns.size(); ++c) {
-          out.columns[c].push_back(chunk.columns[c][r]);
-        }
+      std::vector<uint32_t> sel;
+      kernels::Filter(chunk.columns[static_cast<size_t>(column)], value,
+                      morsel.begin, morsel.end, sel);
+      for (size_t c = 0; c < chunk.columns.size(); ++c) {
+        kernels::Gather(chunk.columns[c], sel, out.columns[c]);
       }
     });
     for (size_t m = 0; m < morsels.size(); ++m) {
@@ -546,14 +556,15 @@ Result<Relation> Filter(const Relation& input, const std::string& column_name,
     span.SetRowsOut(output.TotalRows());
     return output;
   }
+  std::vector<uint32_t> sel;
   for (uint32_t w = 0; w < input.num_chunks(); ++w) {
     const RelationChunk& chunk = input.chunks()[w];
     RelationChunk& out = output.mutable_chunks()[w];
-    for (size_t r = 0; r < chunk.num_rows(); ++r) {
-      if (chunk.columns[static_cast<size_t>(column)][r] != value) continue;
-      for (size_t c = 0; c < chunk.columns.size(); ++c) {
-        out.columns[c].push_back(chunk.columns[c][r]);
-      }
+    sel.clear();
+    kernels::Filter(chunk.columns[static_cast<size_t>(column)], value, 0,
+                    chunk.num_rows(), sel);
+    for (size_t c = 0; c < chunk.columns.size(); ++c) {
+      kernels::Gather(chunk.columns[c], sel, out.columns[c]);
     }
     cost.ChargeCpuRows(w, chunk.num_rows());
   }
@@ -583,6 +594,8 @@ Result<Relation> Project(const Relation& input,
   span.SetRowsIn(input.TotalRows());
   span.SetRowsOut(input.TotalRows());
   Relation output(column_names, input.num_chunks());
+  // Projection is the degenerate batch kernel: a whole-column copy per
+  // selected column (no per-row work at all).
   if (IsParallel(exec)) {
     // Whole-column copies: one task per chunk is the right granularity.
     exec->pool()->ParallelFor(input.num_chunks(), [&](size_t w) {

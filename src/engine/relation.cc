@@ -81,6 +81,12 @@ Relation Relation::FromRows(std::vector<std::string> column_names,
                             const std::vector<Row>& rows,
                             uint32_t num_workers) {
   Relation relation(std::move(column_names), num_workers);
+  // Rows deal round-robin, so every chunk gets at most ceil(n / chunks).
+  size_t per_chunk =
+      (rows.size() + relation.num_chunks() - 1) / relation.num_chunks();
+  for (RelationChunk& chunk : relation.mutable_chunks()) {
+    for (IdVector& column : chunk.columns) column.reserve(per_chunk);
+  }
   for (size_t r = 0; r < rows.size(); ++r) {
     RelationChunk& chunk =
         relation.mutable_chunks()[r % relation.num_chunks()];

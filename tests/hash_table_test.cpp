@@ -1,0 +1,258 @@
+// Unit tests for the flat open-addressing join hash table and the batch
+// kernels behind the vectorized operators: collision chains, growth
+// across capacity boundaries, duplicate-key run ordering, empty-table
+// probes, and a randomized differential against a
+// std::unordered_multimap oracle.
+
+#include "engine/hash_table.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <unordered_map>
+#include <vector>
+
+#include "common/hash.h"
+#include "common/rng.h"
+#include "engine/kernels.h"
+#include "engine/relation.h"
+
+namespace prost::engine {
+namespace {
+
+std::vector<uint32_t> RowsOf(FlatHashTable::Range range) {
+  return std::vector<uint32_t>(range.begin, range.end);
+}
+
+TEST(FlatHashTableTest, EmptyTableProbeFindsNothing) {
+  FlatHashTable table;
+  EXPECT_TRUE(table.Lookup(0).empty());
+  EXPECT_TRUE(table.Lookup(42).empty());
+  table.Build(nullptr, 0);
+  EXPECT_EQ(table.size(), 0u);
+  EXPECT_TRUE(table.Lookup(0).empty());
+  EXPECT_TRUE(table.Lookup(~0ull).empty());
+}
+
+TEST(FlatHashTableTest, SingleKeyAndMisses) {
+  std::vector<uint64_t> hashes = {7};
+  FlatHashTable table;
+  table.Build(hashes.data(), hashes.size());
+  EXPECT_EQ(RowsOf(table.Lookup(7)), (std::vector<uint32_t>{0}));
+  EXPECT_TRUE(table.Lookup(8).empty());
+  EXPECT_TRUE(table.Lookup(0).empty());
+}
+
+TEST(FlatHashTableTest, DuplicateKeysPreserveAscendingRowOrder) {
+  // Rows 0..9 alternate between two hashes; each run must list its rows
+  // in ascending order — the join determinism contract.
+  std::vector<uint64_t> hashes;
+  for (uint64_t r = 0; r < 10; ++r) hashes.push_back(100 + r % 2);
+  FlatHashTable table;
+  table.Build(hashes.data(), hashes.size());
+  EXPECT_EQ(RowsOf(table.Lookup(100)),
+            (std::vector<uint32_t>{0, 2, 4, 6, 8}));
+  EXPECT_EQ(RowsOf(table.Lookup(101)),
+            (std::vector<uint32_t>{1, 3, 5, 7, 9}));
+}
+
+TEST(FlatHashTableTest, CollidingHashesProbeThroughChains) {
+  // Hashes that all land in the same slot modulo any power-of-two
+  // capacity (identical low bits) force maximal linear-probe chains.
+  constexpr uint64_t kStride = 1ull << 40;
+  std::vector<uint64_t> hashes;
+  for (uint64_t i = 0; i < 64; ++i) hashes.push_back(5 + i * kStride);
+  FlatHashTable table;
+  table.Build(hashes.data(), hashes.size());
+  for (uint64_t i = 0; i < 64; ++i) {
+    EXPECT_EQ(RowsOf(table.Lookup(5 + i * kStride)),
+              (std::vector<uint32_t>{static_cast<uint32_t>(i)}))
+        << "colliding key " << i;
+  }
+  EXPECT_TRUE(table.Lookup(5 + 64 * kStride).empty());
+  EXPECT_TRUE(table.Lookup(6).empty());
+}
+
+TEST(FlatHashTableTest, GrowthAcrossCapacityBoundaries) {
+  // Build at every size crossing several power-of-two capacity steps;
+  // capacity must stay a power of two with load <= 1/2, and every key
+  // must remain findable.
+  Rng rng(17);
+  for (size_t n : {1u, 7u, 8u, 9u, 15u, 16u, 17u, 100u, 1000u, 5000u}) {
+    std::vector<uint64_t> hashes;
+    hashes.reserve(n);
+    for (size_t r = 0; r < n; ++r) hashes.push_back(rng.Next());
+    FlatHashTable table;
+    table.Build(hashes.data(), hashes.size());
+    EXPECT_EQ(table.size(), n);
+    ASSERT_GE(table.capacity(), 2 * n) << "load factor above 1/2 at " << n;
+    EXPECT_EQ(table.capacity() & (table.capacity() - 1), 0u)
+        << "capacity not a power of two at " << n;
+    for (size_t r = 0; r < n; ++r) {
+      FlatHashTable::Range range = table.Lookup(hashes[r]);
+      EXPECT_TRUE(std::find(range.begin, range.end,
+                            static_cast<uint32_t>(r)) != range.end)
+          << "row " << r << " missing at size " << n;
+    }
+  }
+}
+
+TEST(FlatHashTableTest, RebuildAndClearReuseTheTable) {
+  std::vector<uint64_t> first = {1, 2, 3};
+  FlatHashTable table;
+  table.Build(first.data(), first.size());
+  EXPECT_FALSE(table.Lookup(2).empty());
+
+  table.Clear();
+  EXPECT_EQ(table.size(), 0u);
+  EXPECT_TRUE(table.Lookup(2).empty());
+
+  // Rebuild with different (larger) contents: no stale entries.
+  std::vector<uint64_t> second;
+  for (uint64_t r = 0; r < 100; ++r) second.push_back(1000 + r);
+  table.Build(second.data(), second.size());
+  EXPECT_EQ(table.size(), 100u);
+  EXPECT_TRUE(table.Lookup(1).empty());
+  EXPECT_EQ(RowsOf(table.Lookup(1042)), (std::vector<uint32_t>{42}));
+}
+
+TEST(FlatHashTableTest, BuildFromRowsKeepsCallerOrder) {
+  // A subset of rows, ascending (as the partitioned join build passes
+  // them): runs carry exactly those rows in that order.
+  std::vector<uint64_t> row_hashes = {9, 7, 9, 7, 9, 7};
+  std::vector<uint32_t> rows = {1, 3, 5};  // The hash-7 partition.
+  FlatHashTable table;
+  table.BuildFromRows(rows.data(), rows.size(), row_hashes.data());
+  EXPECT_EQ(RowsOf(table.Lookup(7)), (std::vector<uint32_t>{1, 3, 5}));
+  EXPECT_TRUE(table.Lookup(9).empty());  // Other partition's key.
+}
+
+TEST(FlatHashTableTest, RandomizedDifferentialVsUnorderedMultimap) {
+  Rng rng(4099);
+  for (int round = 0; round < 20; ++round) {
+    // Small key spaces force heavy duplication; large ones force misses.
+    const size_t n = 1 + rng.NextBounded(3000);
+    const uint64_t key_space = 1 + rng.NextBounded(2 * n);
+    std::vector<uint64_t> hashes;
+    hashes.reserve(n);
+    std::unordered_multimap<uint64_t, uint32_t> oracle;
+    for (size_t r = 0; r < n; ++r) {
+      // Low-entropy hashes (not mixed) also exercise clustered probing.
+      uint64_t h = rng.NextBounded(key_space);
+      hashes.push_back(h);
+      oracle.emplace(h, static_cast<uint32_t>(r));
+    }
+    FlatHashTable table;
+    table.Build(hashes.data(), hashes.size());
+    ASSERT_EQ(table.size(), n);
+    for (uint64_t h = 0; h < key_space + 10; ++h) {
+      auto [begin, end] = oracle.equal_range(h);
+      std::vector<uint32_t> expected;
+      for (auto it = begin; it != end; ++it) expected.push_back(it->second);
+      std::sort(expected.begin(), expected.end());  // Ours is ascending.
+      EXPECT_EQ(RowsOf(table.Lookup(h)), expected)
+          << "round " << round << " hash " << h;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------
+// Batch kernels.
+
+TEST(KernelsTest, HashColumnsMatchesPerRowFold) {
+  // The batch hash must equal the per-row HashCombine fold over the key
+  // columns in order (build and probe sides must agree bit-for-bit).
+  RelationChunk chunk;
+  chunk.columns = {{10, 20, 30, 40}, {5, 6, 7, 8}, {1, 1, 2, 2}};
+  std::vector<int> keys = {2, 0};
+  std::vector<uint64_t> batch;
+  kernels::HashColumns(chunk, keys, 1, 4, batch);
+  ASSERT_EQ(batch.size(), 3u);
+  for (size_t r = 1; r < 4; ++r) {
+    uint64_t expected = kernels::kKeyHashSeed;
+    for (int c : keys) {
+      expected =
+          HashCombine(expected, chunk.columns[static_cast<size_t>(c)][r]);
+    }
+    EXPECT_EQ(batch[r - 1], expected) << "row " << r;
+  }
+}
+
+TEST(KernelsTest, FilterRefineGatherComposition) {
+  columnar::IdVector a = {1, 2, 1, 1, 3, 1};
+  columnar::IdVector b = {9, 9, 8, 9, 9, 9};
+  std::vector<uint32_t> sel;
+  kernels::Filter(a, 1, 0, a.size(), sel);
+  EXPECT_EQ(sel, (std::vector<uint32_t>{0, 2, 3, 5}));
+  kernels::Refine(b, 9, sel);
+  EXPECT_EQ(sel, (std::vector<uint32_t>{0, 3, 5}));
+  columnar::IdVector gathered;
+  kernels::Gather(b, sel, gathered);
+  EXPECT_EQ(gathered, (columnar::IdVector{9, 9, 9}));
+  // Gather appends.
+  kernels::Gather(a, sel, gathered);
+  EXPECT_EQ(gathered, (columnar::IdVector{9, 9, 9, 1, 1, 1}));
+}
+
+TEST(KernelsTest, RowEqualityAndNullKernels) {
+  columnar::IdVector a = {0, 4, 5, 0, 7};
+  columnar::IdVector b = {0, 4, 6, 1, 7};
+  std::vector<uint32_t> sel;
+  kernels::FilterRowsEqual(a, b, 0, a.size(), sel);
+  EXPECT_EQ(sel, (std::vector<uint32_t>{0, 1, 4}));
+  kernels::RefineNotNull(a, sel);
+  EXPECT_EQ(sel, (std::vector<uint32_t>{1, 4}));
+  sel.clear();
+  kernels::Iota(2, 5, sel);
+  EXPECT_EQ(sel, (std::vector<uint32_t>{2, 3, 4}));
+  kernels::RefineRowsEqual(a, b, sel);
+  EXPECT_EQ(sel, (std::vector<uint32_t>{4}));
+}
+
+TEST(KernelsTest, CompareKeysAtCompactsStably) {
+  RelationChunk build;
+  build.columns = {{1, 2, 3}, {10, 20, 30}};
+  RelationChunk probe;
+  probe.columns = {{1, 3, 9}, {10, 31, 30}};
+  // Multi-key: both columns must match.
+  std::vector<uint32_t> build_rows = {0, 1, 2, 2};
+  std::vector<uint32_t> probe_rows = {0, 0, 1, 2};
+  std::vector<int> cols = {0, 1};
+  size_t kept = kernels::CompareKeysAt(build, cols, probe, cols, build_rows,
+                                       probe_rows);
+  EXPECT_EQ(kept, 1u);  // Only (build 0, probe 0) matches on both keys.
+  EXPECT_EQ(build_rows, (std::vector<uint32_t>{0}));
+  EXPECT_EQ(probe_rows, (std::vector<uint32_t>{0}));
+
+  // Single-key fast path, duplicates kept in order.
+  build_rows = {0, 1, 2};
+  probe_rows = {0, 0, 1};
+  std::vector<int> one = {0};
+  kept = kernels::CompareKeysAt(build, one, probe, one, build_rows,
+                                probe_rows);
+  EXPECT_EQ(kept, 2u);  // (0,0): 1==1; (1,0): 2!=1; (2,1): 3==3.
+  EXPECT_EQ(build_rows, (std::vector<uint32_t>{0, 2}));
+  EXPECT_EQ(probe_rows, (std::vector<uint32_t>{0, 1}));
+}
+
+TEST(KernelsTest, GatherListPreservesCellsAndNulls) {
+  columnar::IdListColumn src;
+  src.AppendRow({1, 2});
+  src.AppendRow({});  // NULL row.
+  src.AppendRow({3});
+  src.AppendRow({4, 5, 6});
+  columnar::IdListColumn dst;
+  kernels::GatherList(src, {0, 1, 3}, dst);
+  ASSERT_EQ(dst.num_rows(), 3u);
+  EXPECT_EQ(dst.RowSize(0), 2u);
+  EXPECT_EQ(dst.RowSize(1), 0u);  // NULL survives as empty cell.
+  EXPECT_EQ(dst.RowSize(2), 3u);
+  EXPECT_EQ(dst.values, (columnar::IdVector{1, 2, 4, 5, 6}));
+  // Appends to existing contents.
+  kernels::GatherList(src, {2}, dst);
+  ASSERT_EQ(dst.num_rows(), 4u);
+  EXPECT_EQ(dst.values, (columnar::IdVector{1, 2, 4, 5, 6, 3}));
+}
+
+}  // namespace
+}  // namespace prost::engine

@@ -345,5 +345,39 @@ TEST_F(WatDivDeterminismTest, AllThreadCountsAgreeOnEveryQuery) {
   }
 }
 
+TEST_F(WatDivDeterminismTest, KernelPathRunTwiceByteIdentityAtFullMorsels) {
+  // The other fixtures use tiny morsels (64/256 rows) to maximize morsel
+  // count. This case uses production-sized morsels (8192 rows) so each
+  // morsel spans several kernels::kBatchRows probe batches — the
+  // vectorized hash/compare/gather path runs at its real batch geometry
+  // rather than degenerating to sub-batch morsels. Run-twice byte
+  // identity plus parallel-vs-serial identity at 8 threads.
+  auto serial = MakeDb(graph_, 1, 8192);
+  auto parallel = MakeDb(graph_, 8, 8192);
+  ASSERT_NE(serial, nullptr);
+  ASSERT_NE(parallel, nullptr);
+
+  for (const watdiv::WatDivQuery& wq : queries_) {
+    auto parsed = sparql::ParseQuery(wq.sparql);
+    ASSERT_TRUE(parsed.ok()) << wq.id << ": " << parsed.status();
+
+    auto first = parallel->Execute(parsed.value());
+    auto second = parallel->Execute(parsed.value());
+    auto serial_result = serial->Execute(parsed.value());
+    ASSERT_TRUE(first.ok()) << wq.id << ": " << first.status();
+    ASSERT_TRUE(second.ok()) << wq.id << ": " << second.status();
+    ASSERT_TRUE(serial_result.ok())
+        << wq.id << ": " << serial_result.status();
+
+    ExpectBitIdentical(second->relation, first->relation,
+                       wq.id + " kernel-path run 2 vs run 1");
+    ExpectBitIdentical(first->relation, serial_result->relation,
+                       wq.id + " kernel-path parallel vs serial");
+    EXPECT_DOUBLE_EQ(first->simulated_millis,
+                     serial_result->simulated_millis)
+        << wq.id;
+  }
+}
+
 }  // namespace
 }  // namespace prost
