@@ -22,13 +22,14 @@
 #include "core/prost_db.h"
 #include "obs/report.h"
 #include "obs/trace.h"
+#include "plan/passes.h"
 #include "sparql/parser.h"
 #include "watdiv/generator.h"
 
 namespace {
 
-/// EXPLAIN: the translator's Join Tree plus the §3.3 statistics that
-/// produced its node ordering.
+/// EXPLAIN, logical half: the translator's Join Tree plus the §3.3
+/// statistics that produced its node ordering.
 void PrintPlanWithRationale(const prost::core::ProstDb& db,
                             const prost::core::JoinTree& tree) {
   std::printf("%s", tree.ToString().c_str());
@@ -51,6 +52,18 @@ void PrintPlanWithRationale(const prost::core::ProstDb& db,
           static_cast<unsigned long long>(stats.distinct_subjects),
           static_cast<unsigned long long>(stats.distinct_objects));
     }
+  }
+}
+
+/// EXPLAIN, physical half: the optimized plan Execute() will interpret,
+/// plus a one-liner per optimizer pass saying whether it rewrote it.
+void PrintPhysicalPlan(const prost::plan::PlannedQuery& planned) {
+  std::printf("physical plan (what Execute runs):\n%s",
+              planned.plan.ToString().c_str());
+  for (const prost::plan::PassSnapshot& snapshot : planned.snapshots) {
+    std::printf("pass %-16s %s\n", snapshot.pass.c_str(),
+                snapshot.before == snapshot.after ? "no change"
+                                                  : "rewrote the plan");
   }
 }
 
@@ -183,6 +196,13 @@ int main(int argc, char** argv) {
         continue;
       }
       PrintPlanWithRationale(**db, *tree);
+      auto planned = (*db)->PlanPhysical(*query);
+      if (!planned.ok()) {
+        std::printf("plan error: %s\n",
+                    planned.status().ToString().c_str());
+        continue;
+      }
+      PrintPhysicalPlan(*planned);
       if (plan_only) continue;
     }
     obs::QueryProfile profile;

@@ -510,6 +510,217 @@ Status CheckJoinKeyTypes(const JoinTree& tree, const PlanContext& context) {
   return Status::OK();
 }
 
+// ---------------------------------------------------------------------
+// Physical-plan invariants (plan::PlanNode trees).
+// ---------------------------------------------------------------------
+
+bool ContainsName(const std::vector<std::string>& names,
+                  const std::string& name) {
+  return std::find(names.begin(), names.end(), name) != names.end();
+}
+
+Status PhysicalError(const plan::PlanNode& node, const std::string& message) {
+  std::string label = node.Label();
+  return Status::InvalidArgument(
+      "physical plan check: " +
+      std::string(plan::PlanNodeKindName(node.kind)) +
+      (label.empty() ? "" : " " + label) + ": " + message);
+}
+
+/// Everything CheckPhysicalNode accumulates on its way down.
+struct PhysicalWalk {
+  std::vector<const plan::ScanNodeBase*> scans;  // Left-to-right.
+  std::vector<const sparql::FilterConstraint*> filters;  // Tail + pushed.
+};
+
+Status CheckFilterBound(const plan::PlanNode& node,
+                        const sparql::FilterConstraint& constraint,
+                        const std::vector<std::string>& bound) {
+  if (!ContainsName(bound, constraint.variable)) {
+    return PhysicalError(node, "filter variable ?" + constraint.variable +
+                                   " is not bound here");
+  }
+  if (constraint.rhs_is_variable &&
+      !ContainsName(bound, constraint.rhs_variable)) {
+    return PhysicalError(node, "filter variable ?" + constraint.rhs_variable +
+                                   " is not bound here");
+  }
+  return Status::OK();
+}
+
+Status CheckPhysicalNode(const plan::PlanNode& node, bool is_root,
+                         PhysicalWalk& walk) {
+  const bool is_scan = node.kind == plan::PlanNodeKind::kVpScan ||
+                       node.kind == plan::PlanNodeKind::kPtScan;
+  const size_t expected_children =
+      is_scan ? 0 : (node.kind == plan::PlanNodeKind::kHashJoin ? 2 : 1);
+  if (node.children.size() != expected_children) {
+    return PhysicalError(node, StrFormat("expected %zu children, got %zu",
+                                         expected_children,
+                                         node.children.size()));
+  }
+  for (const std::unique_ptr<plan::PlanNode>& child : node.children) {
+    if (child == nullptr) return PhysicalError(node, "null child");
+    PROST_RETURN_IF_ERROR(CheckPhysicalNode(*child, /*is_root=*/false, walk));
+  }
+
+  switch (node.kind) {
+    case plan::PlanNodeKind::kVpScan:
+    case plan::PlanNodeKind::kPtScan: {
+      const auto& scan = static_cast<const plan::ScanNodeBase&>(node);
+      const bool vp_kind =
+          scan.source.kind == NodeKind::kVerticalPartitioning;
+      if (vp_kind != (node.kind == plan::PlanNodeKind::kVpScan)) {
+        return PhysicalError(node,
+                             "scan node kind disagrees with its Join Tree "
+                             "node's storage kind");
+      }
+      if (node.output_columns !=
+          plan::PlanBuilder::ScanOutputColumns(scan.source)) {
+        return PhysicalError(node,
+                             "output schema does not match the scan layout");
+      }
+      if (!std::isfinite(node.estimated_rows) || node.estimated_rows < 0) {
+        return PhysicalError(
+            node, StrFormat("cardinality estimate %g is not a finite "
+                            "non-negative number",
+                            node.estimated_rows));
+      }
+      for (const sparql::FilterConstraint& pushed : scan.pushed_filters) {
+        if (pushed.rhs_is_variable) {
+          return PhysicalError(node,
+                               "pushed filter " + pushed.ToString() +
+                                   " compares two variables; only constant "
+                                   "filters may move below a join");
+        }
+        PROST_RETURN_IF_ERROR(
+            CheckFilterBound(node, pushed, node.output_columns));
+        walk.filters.push_back(&pushed);
+      }
+      walk.scans.push_back(&scan);
+      return Status::OK();
+    }
+    case plan::PlanNodeKind::kHashJoin: {
+      const auto& join = static_cast<const plan::HashJoinNode&>(node);
+      const plan::PlanNode& left = *join.children[0];
+      const plan::PlanNode& right = *join.children[1];
+      std::vector<std::string> shared;
+      for (const std::string& name : left.output_columns) {
+        if (ContainsName(right.output_columns, name)) shared.push_back(name);
+      }
+      if (shared.empty()) {
+        return PhysicalError(node, "children share no column (cross "
+                                   "product)");
+      }
+      if (join.join_columns != shared) {
+        return PhysicalError(node,
+                             "join_columns [" +
+                                 StrJoin(join.join_columns, ",") +
+                                 "] != shared columns [" +
+                                 StrJoin(shared, ",") + "]");
+      }
+      std::vector<std::string> expected = left.output_columns;
+      for (const std::string& name : right.output_columns) {
+        if (!ContainsName(expected, name)) expected.push_back(name);
+      }
+      if (node.output_columns != expected) {
+        return PhysicalError(node,
+                             "output schema is not the left-major join "
+                             "layout [" +
+                                 StrJoin(expected, ",") + "]");
+      }
+      if (node.planner_bytes != engine::Relation::kUnknownPlannerBytes) {
+        return PhysicalError(node,
+                             "join outputs must carry an unknown planner "
+                             "size (they are never broadcast)");
+      }
+      return Status::OK();
+    }
+    case plan::PlanNodeKind::kFilter: {
+      const auto& filter = static_cast<const plan::FilterNode&>(node);
+      PROST_RETURN_IF_ERROR(CheckFilterBound(
+          node, filter.constraint, node.children[0]->output_columns));
+      walk.filters.push_back(&filter.constraint);
+      break;
+    }
+    case plan::PlanNodeKind::kProject: {
+      const auto& project = static_cast<const plan::ProjectNode&>(node);
+      if (node.output_columns != project.columns) {
+        return PhysicalError(node,
+                             "output schema differs from the projection "
+                             "list");
+      }
+      const std::vector<std::string>& child_columns =
+          node.children[0]->output_columns;
+      std::set<std::string> seen;
+      for (const std::string& name : project.columns) {
+        if (!ContainsName(child_columns, name)) {
+          return PhysicalError(
+              node, "projected column ?" + name + " is not bound here");
+        }
+        if (!seen.insert(name).second) {
+          return PhysicalError(node,
+                               "duplicate projected column ?" + name);
+        }
+      }
+      if (project.optimizer_inserted) {
+        // A prune must be a pure column drop: kept columns stay in the
+        // child's order (PruneColumns preserves row layout per column).
+        size_t at = 0;
+        for (const std::string& name : child_columns) {
+          if (at < project.columns.size() && project.columns[at] == name) {
+            ++at;
+          }
+        }
+        if (at != project.columns.size()) {
+          return PhysicalError(node,
+                               "optimizer-inserted prune reorders the "
+                               "child's columns");
+        }
+      }
+      return Status::OK();
+    }
+    case plan::PlanNodeKind::kOrderBy: {
+      const auto& order = static_cast<const plan::OrderByNode&>(node);
+      for (const sparql::OrderKey& key : order.keys) {
+        if (!ContainsName(node.children[0]->output_columns, key.variable)) {
+          return PhysicalError(node, "ORDER BY variable ?" + key.variable +
+                                         " is not bound here");
+        }
+      }
+      break;
+    }
+    case plan::PlanNodeKind::kAggregate: {
+      const auto& aggregate = static_cast<const plan::AggregateNode&>(node);
+      if (!is_root) {
+        return PhysicalError(node,
+                             "COUNT aggregates must be the plan root");
+      }
+      if (node.output_columns !=
+          std::vector<std::string>{aggregate.count.alias}) {
+        return PhysicalError(node,
+                             "output schema is not the COUNT alias");
+      }
+      if (!aggregate.count.variable.empty() &&
+          !ContainsName(node.children[0]->output_columns,
+                        aggregate.count.variable)) {
+        return PhysicalError(node, "COUNT variable ?" +
+                                       aggregate.count.variable +
+                                       " is not bound here");
+      }
+      return Status::OK();
+    }
+    case plan::PlanNodeKind::kDistinct:
+    case plan::PlanNodeKind::kLimit:
+      break;
+  }
+  // Unary pass-through nodes: schema carries over unchanged.
+  if (node.output_columns != node.children[0]->output_columns) {
+    return PhysicalError(node, "output schema differs from its child's");
+  }
+  return Status::OK();
+}
+
 }  // namespace
 
 Status CheckPlanStructure(const JoinTree& tree, const sparql::Query& query) {
@@ -541,6 +752,75 @@ Status CheckPlan(const JoinTree& tree, const sparql::Query& query,
     if (options.check_types) {
       PROST_RETURN_IF_ERROR(CheckJoinKeyTypes(tree, context));
     }
+  }
+  return Status::OK();
+}
+
+Status CheckPhysicalPlan(const plan::PhysicalPlan& physical,
+                         const sparql::Query& query) {
+  if (physical.root == nullptr) {
+    return Status::InvalidArgument("physical plan check: empty plan");
+  }
+  PhysicalWalk walk;
+  PROST_RETURN_IF_ERROR(
+      CheckPhysicalNode(*physical.root, /*is_root=*/true, walk));
+
+  // The scans' Join Tree nodes must pass the same shape and coverage
+  // rules as the tree they were lowered from.
+  JoinTree tree;
+  for (const plan::ScanNodeBase* scan : walk.scans) {
+    tree.nodes.push_back(scan->source);
+  }
+  if (tree.nodes.empty()) {
+    return Status::InvalidArgument("physical plan check: plan has no scans");
+  }
+  for (size_t i = 0; i < tree.nodes.size(); ++i) {
+    PROST_RETURN_IF_ERROR(CheckNodeShape(i, tree.nodes[i]));
+  }
+  PROST_RETURN_IF_ERROR(CheckPatternCoverage(tree, query));
+
+  // Filter conservation: a pass may move or duplicate a constraint (one
+  // copy per scan binding its variable) but never invent or drop one.
+  for (const sparql::FilterConstraint* constraint : walk.filters) {
+    bool known = false;
+    for (const sparql::FilterConstraint& filter : query.filters) {
+      if (filter == *constraint) {
+        known = true;
+        break;
+      }
+    }
+    if (!known) {
+      return Status::InvalidArgument(
+          "physical plan check: plan evaluates " + constraint->ToString() +
+          " which the query does not contain");
+    }
+  }
+  for (const sparql::FilterConstraint& filter : query.filters) {
+    bool present = false;
+    for (const sparql::FilterConstraint* constraint : walk.filters) {
+      if (filter == *constraint) {
+        present = true;
+        break;
+      }
+    }
+    if (!present) {
+      return Status::InvalidArgument("physical plan check: query filter " +
+                                     filter.ToString() +
+                                     " was dropped from the plan");
+    }
+  }
+
+  // The root must produce exactly what the query asks for.
+  const std::vector<std::string> expected =
+      query.count.has_value()
+          ? std::vector<std::string>{query.count->alias}
+          : query.EffectiveProjection();
+  if (physical.root->output_columns != expected) {
+    return Status::InvalidArgument(
+        "physical plan check: root schema [" +
+        StrJoin(physical.root->output_columns, ",") +
+        "] does not match the query's output [" + StrJoin(expected, ",") +
+        "]");
   }
   return Status::OK();
 }

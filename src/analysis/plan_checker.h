@@ -7,6 +7,7 @@
 #include "core/property_table.h"
 #include "core/statistics.h"
 #include "core/vp_store.h"
+#include "plan/plan_ir.h"
 #include "rdf/dictionary.h"
 #include "sparql/algebra.h"
 
@@ -68,6 +69,31 @@ Status CheckPlanStructure(const core::JoinTree& tree,
 Status CheckPlan(const core::JoinTree& tree, const sparql::Query& query,
                  const PlanContext& context,
                  const PlanCheckerOptions& options = {});
+
+/// Invariant verification of a *physical* plan against its query. The
+/// PassManager runs this on the freshly-built plan and again after every
+/// optimizer pass (paranoid / verify_plans builds), so a pass that breaks
+/// an invariant is caught before anything executes:
+///   - tree shape: scans are leaves, joins binary, everything else unary,
+///     COUNT aggregates only at the root;
+///   - schemas: every node's output_columns equals the schema re-derived
+///     bottom-up from its children (scan layout, join left-major layout,
+///     projection lists, COUNT alias);
+///   - joins: join_columns is exactly the children's non-empty shared
+///     intersection in left order, and join outputs carry an unknown
+///     planner size (never broadcast — Spark 2.1 semantics);
+///   - projections: no duplicates, all columns bound in the child, and
+///     optimizer-inserted prunes preserve the child's column order;
+///   - filters: tail and pushed constraints reference bound variables,
+///     pushed ones are constant-only, every one comes from the query, and
+///     no query filter is lost;
+///   - coverage: the scans' source nodes cover the query BGP exactly
+///     once each (CheckPlanStructure node-shape rules included), and the
+///     root's schema is the query's effective projection (COUNT alias for
+///     aggregates);
+///   - estimates: scan cardinality estimates are finite and non-negative.
+Status CheckPhysicalPlan(const plan::PhysicalPlan& physical,
+                         const sparql::Query& query);
 
 }  // namespace prost::analysis
 

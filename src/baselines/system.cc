@@ -55,6 +55,20 @@ Result<std::unique_ptr<RdfSystem>> MakeProstVpOnly(
       new ProstSystem("PRoST-VP-only", std::move(db)));
 }
 
+Result<std::unique_ptr<RdfSystem>> MakeProstNoOptimizer(
+    SharedGraph graph, const cluster::ClusterConfig& cluster) {
+  core::ProstDb::Options options;
+  options.cluster = cluster;
+  options.passes.filter_pushdown = false;
+  options.passes.resolve_join_strategy = false;
+  options.passes.early_projection = false;
+  PROST_ASSIGN_OR_RETURN(
+      std::unique_ptr<core::ProstDb> db,
+      core::ProstDb::LoadFromSharedGraph(std::move(graph), options));
+  return std::unique_ptr<RdfSystem>(
+      new ProstSystem("PRoST (no opt passes)", std::move(db)));
+}
+
 Result<std::unique_ptr<RdfSystem>> MakeSparqlGx(
     SharedGraph graph, const cluster::ClusterConfig& cluster) {
   return SparqlGxSystem::Load(std::move(graph), cluster);

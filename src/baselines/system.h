@@ -50,6 +50,13 @@ Result<std::unique_ptr<RdfSystem>> MakeProst(
 Result<std::unique_ptr<RdfSystem>> MakeProstVpOnly(
     SharedGraph graph, const cluster::ClusterConfig& cluster);
 
+/// PRoST with every optimizer pass disabled (plan/passes.h PassOptions
+/// all false): the translated Join Tree executes exactly as built.
+/// Results are bit-identical to MakeProst; only the simulated cost
+/// differs, which is what bench_fig2 tracks as the optimizer's margin.
+Result<std::unique_ptr<RdfSystem>> MakeProstNoOptimizer(
+    SharedGraph graph, const cluster::ClusterConfig& cluster);
+
 /// SPARQLGX: text-file Vertical Partitioning compiled to plain RDD
 /// operations (no Spark SQL / Catalyst).
 Result<std::unique_ptr<RdfSystem>> MakeSparqlGx(

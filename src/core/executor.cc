@@ -3,6 +3,7 @@
 #include "analysis/plan_checker.h"
 #include "core/modifiers.h"
 #include "obs/trace.h"
+#include "plan/planner.h"
 
 // Paranoid self-checks at operator boundaries: always on in debug builds,
 // and in release builds when the tree is compiled with sanitizers
@@ -56,7 +57,7 @@ Result<engine::Relation> ScanNode(const JoinTreeNode& node, const VpStore& vp,
   return Status::Internal("unknown node kind");
 }
 
-/// Input row count of a join-tree leaf: the stored table it scans.
+/// Input row count of a plan scan: the stored table it reads.
 uint64_t NodeInputRows(const JoinTreeNode& node, const VpStore& vp,
                        const PropertyTable* property_table,
                        const PropertyTable* reverse_property_table) {
@@ -76,7 +77,235 @@ uint64_t NodeInputRows(const JoinTreeNode& node, const VpStore& vp,
   return 0;
 }
 
+/// Recursive plan walker. Spans open pre-order (a node's span brackets
+/// its children), so the recorded span tree mirrors the plan DAG; the
+/// clock-charge order over the left-deep join chain is identical to the
+/// classic fold (scan, scan, join, scan, join, ...).
+class PlanInterpreter {
+ public:
+  PlanInterpreter(const VpStore& vp, const PropertyTable* property_table,
+                  const PropertyTable* reverse_property_table,
+                  const engine::JoinOptions& join_options,
+                  const rdf::Dictionary& dictionary, cluster::CostModel& cost,
+                  const engine::ExecContext* exec)
+      : vp_(vp),
+        property_table_(property_table),
+        reverse_property_table_(reverse_property_table),
+        join_options_(join_options),
+        filters_(dictionary),
+        cost_(cost),
+        exec_(exec),
+        profile_(engine::ProfileOf(exec)) {}
+
+  Result<engine::Relation> Exec(const plan::PlanNode& node) {
+    switch (node.kind) {
+      case plan::PlanNodeKind::kVpScan:
+      case plan::PlanNodeKind::kPtScan:
+        return ExecScan(static_cast<const plan::ScanNodeBase&>(node));
+      case plan::PlanNodeKind::kHashJoin:
+        return ExecJoin(static_cast<const plan::HashJoinNode&>(node));
+      case plan::PlanNodeKind::kFilter:
+        return ExecFilter(static_cast<const plan::FilterNode&>(node));
+      case plan::PlanNodeKind::kProject:
+        return ExecProject(static_cast<const plan::ProjectNode&>(node));
+      case plan::PlanNodeKind::kOrderBy:
+        return ExecOrderBy(static_cast<const plan::OrderByNode&>(node));
+      case plan::PlanNodeKind::kAggregate:
+        return ExecAggregate(static_cast<const plan::AggregateNode&>(node));
+      case plan::PlanNodeKind::kDistinct:
+        return ExecDistinct(static_cast<const plan::DistinctNode&>(node));
+      case plan::PlanNodeKind::kLimit:
+        return ExecLimit(static_cast<const plan::LimitNode&>(node));
+    }
+    return Status::Internal("unknown plan node kind");
+  }
+
+  std::vector<engine::JoinStrategy> TakeStrategies() {
+    return std::move(strategies_);
+  }
+
+ private:
+  Result<engine::Relation> ExecScan(const plan::ScanNodeBase& node) {
+    obs::OperatorSpan span(profile_, cost_, obs::SpanKind::kScan,
+                           node.source.Label());
+    span.SetDetail(NodeKindToString(node.source.kind));
+    span.SetEstimatedRows(node.estimated_rows);
+    span.SetRowsIn(NodeInputRows(node.source, vp_, property_table_,
+                                 reverse_property_table_));
+    PROST_ASSIGN_OR_RETURN(
+        engine::Relation relation,
+        ScanNode(node.source, vp_, property_table_, reverse_property_table_,
+                 cost_, exec_));
+    // Pushed-down constant filters evaluate right here, inside the scan's
+    // span, before anything is joined or shuffled.
+    for (const sparql::FilterConstraint& filter : node.pushed_filters) {
+      obs::OperatorSpan filter_span(profile_, cost_, obs::SpanKind::kFilter,
+                                    "?" + filter.variable);
+      filter_span.SetDetail("pushed");
+      filter_span.SetRowsIn(relation.TotalRows());
+      PROST_ASSIGN_OR_RETURN(relation,
+                             filters_.ApplyFilter(relation, filter, cost_));
+      filter_span.SetRowsOut(relation.TotalRows());
+    }
+    span.SetRowsOut(relation.TotalRows());
+    PROST_VALIDATE_RELATION(relation);
+    return relation;
+  }
+
+  Result<engine::Relation> ExecJoin(const plan::HashJoinNode& node) {
+    obs::OperatorSpan span(profile_, cost_, obs::SpanKind::kJoin,
+                           node.Label());
+    PROST_ASSIGN_OR_RETURN(engine::Relation left, Exec(*node.children[0]));
+    PROST_ASSIGN_OR_RETURN(engine::Relation right, Exec(*node.children[1]));
+    span.SetRowsIn(left.TotalRows() + right.TotalRows());
+    engine::JoinOptions options = join_options_;
+    options.planned_strategy = node.strategy;
+    PROST_ASSIGN_OR_RETURN(
+        engine::JoinResult joined,
+        engine::HashJoin(left, right, options, cost_, exec_));
+    span.SetDetail(joined.strategy == engine::JoinStrategy::kBroadcast
+                       ? "broadcast"
+                       : "shuffle");
+    span.SetRowsOut(joined.relation.TotalRows());
+    strategies_.push_back(joined.strategy);
+    PROST_VALIDATE_RELATION(joined.relation);
+    return std::move(joined.relation);
+  }
+
+  Result<engine::Relation> ExecFilter(const plan::FilterNode& node) {
+    obs::OperatorSpan span(profile_, cost_, obs::SpanKind::kFilter,
+                           node.Label());
+    span.SetDetail("FILTER");
+    PROST_ASSIGN_OR_RETURN(engine::Relation relation, Exec(*node.children[0]));
+    span.SetRowsIn(relation.TotalRows());
+    PROST_ASSIGN_OR_RETURN(
+        relation, filters_.ApplyFilter(relation, node.constraint, cost_));
+    span.SetRowsOut(relation.TotalRows());
+    return relation;
+  }
+
+  Result<engine::Relation> ExecProject(const plan::ProjectNode& node) {
+    obs::OperatorSpan span(profile_, cost_, obs::SpanKind::kProject,
+                           node.Label());
+    if (node.optimizer_inserted) span.SetDetail("prune");
+    PROST_ASSIGN_OR_RETURN(engine::Relation relation, Exec(*node.children[0]));
+    span.SetRowsIn(relation.TotalRows());
+    span.SetRowsOut(relation.TotalRows());
+    if (node.optimizer_inserted) {
+      // Zero-cost column drop: no charge, planner size flows through.
+      relation = engine::PruneColumns(std::move(relation), node.columns);
+      return relation;
+    }
+    PROST_ASSIGN_OR_RETURN(
+        relation, engine::Project(relation, node.columns, cost_, exec_));
+    return relation;
+  }
+
+  Result<engine::Relation> ExecOrderBy(const plan::OrderByNode& node) {
+    obs::OperatorSpan span(profile_, cost_, obs::SpanKind::kOrderBy,
+                           node.Label());
+    PROST_ASSIGN_OR_RETURN(engine::Relation relation, Exec(*node.children[0]));
+    span.SetRowsIn(relation.TotalRows());
+    span.SetRowsOut(relation.TotalRows());
+    return filters_.ApplyOrderBy(std::move(relation), node.keys, cost_);
+  }
+
+  Result<engine::Relation> ExecAggregate(const plan::AggregateNode& node) {
+    obs::OperatorSpan span(profile_, cost_, obs::SpanKind::kAggregate,
+                           node.Label());
+    span.SetDetail(node.count.distinct ? "COUNT DISTINCT" : "COUNT");
+    PROST_ASSIGN_OR_RETURN(engine::Relation relation, Exec(*node.children[0]));
+    span.SetRowsIn(relation.TotalRows());
+    PROST_ASSIGN_OR_RETURN(
+        relation,
+        ApplyCountAggregate(relation, node.count, node.offset, cost_));
+    span.SetRowsOut(relation.TotalRows());
+    return relation;
+  }
+
+  Result<engine::Relation> ExecDistinct(const plan::DistinctNode& node) {
+    obs::OperatorSpan span(profile_, cost_, obs::SpanKind::kDistinct,
+                           node.Label());
+    if (node.order_preserving) span.SetDetail("order-preserving");
+    PROST_ASSIGN_OR_RETURN(engine::Relation relation, Exec(*node.children[0]));
+    span.SetRowsIn(relation.TotalRows());
+    if (node.order_preserving) {
+      relation = OrderPreservingDistinct(relation, cost_);
+    } else {
+      PROST_ASSIGN_OR_RETURN(relation,
+                             engine::Distinct(relation, cost_, exec_));
+    }
+    span.SetRowsOut(relation.TotalRows());
+    return relation;
+  }
+
+  Result<engine::Relation> ExecLimit(const plan::LimitNode& node) {
+    obs::OperatorSpan span(profile_, cost_, obs::SpanKind::kLimit,
+                           node.Label());
+    PROST_ASSIGN_OR_RETURN(engine::Relation relation, Exec(*node.children[0]));
+    span.SetRowsIn(relation.TotalRows());
+    relation = ApplyOffset(std::move(relation), node.offset);
+    if (node.limit > 0) relation = engine::Limit(relation, node.limit);
+    span.SetRowsOut(relation.TotalRows());
+    return relation;
+  }
+
+  const VpStore& vp_;
+  const PropertyTable* property_table_;
+  const PropertyTable* reverse_property_table_;
+  const engine::JoinOptions& join_options_;
+  FilterEvaluator filters_;
+  cluster::CostModel& cost_;
+  const engine::ExecContext* exec_;
+  obs::QueryProfile* profile_;
+  std::vector<engine::JoinStrategy> strategies_;
+};
+
 }  // namespace
+
+Result<QueryResult> ExecutePlan(
+    const plan::PhysicalPlan& physical, const VpStore& vp,
+    const PropertyTable* property_table,
+    const PropertyTable* reverse_property_table,
+    const engine::JoinOptions& join_options,
+    const rdf::Dictionary& dictionary, cluster::CostModel& cost,
+    const engine::ExecContext* exec) {
+  if (physical.root == nullptr) {
+    return Status::InvalidArgument("empty physical plan");
+  }
+  QueryResult result;
+  obs::QueryProfile* profile = engine::ProfileOf(exec);
+  // The root span brackets every charge (it opens before the query
+  // overhead), so summing exclusive span charges reproduces
+  // simulated_millis.
+  obs::OperatorSpan query_span(profile, cost, obs::SpanKind::kQuery, "");
+  cost.ChargeQueryOverhead();
+
+  // One pipeline stage stays open across scans and broadcast joins;
+  // shuffle joins and DISTINCT insert their own stage boundaries (Spark's
+  // whole-stage pipelining).
+  cost.BeginStage("pipeline");
+  PlanInterpreter interpreter(vp, property_table, reverse_property_table,
+                              join_options, dictionary, cost, exec);
+  Result<engine::Relation> executed = interpreter.Exec(*physical.root);
+  if (!executed.ok()) {
+    cost.EndStage();
+    return executed.status();
+  }
+  PROST_VALIDATE_RELATION(executed.value());
+  cost.EndStage();
+
+  result.relation = std::move(executed).value();
+  result.simulated_millis = cost.ElapsedMillis();
+  result.counters = cost.counters();
+  result.join_strategies = interpreter.TakeStrategies();
+  query_span.SetRowsOut(result.relation.TotalRows());
+  query_span.Close();
+  if (profile != nullptr) {
+    profile->Finish(result.simulated_millis, result.counters);
+  }
+  return result;
+}
 
 Result<QueryResult> ExecuteJoinTree(
     const JoinTree& tree, const sparql::Query& query, const VpStore& vp,
@@ -94,75 +323,17 @@ Result<QueryResult> ExecuteJoinTree(
   // hand-built trees) at zero cost in plain release builds.
   PROST_RETURN_IF_ERROR(analysis::CheckPlanStructure(tree, query));
 #endif
-  QueryResult result;
-  obs::QueryProfile* profile = engine::ProfileOf(exec);
-  // The root span brackets every charge (it opens before the query
-  // overhead), so summing exclusive span charges reproduces
-  // simulated_millis.
-  obs::OperatorSpan query_span(profile, cost, obs::SpanKind::kQuery, "");
-  cost.ChargeQueryOverhead();
-
-  // One pipeline stage stays open across scans and broadcast joins;
-  // shuffle joins and DISTINCT insert their own stage boundaries (Spark's
-  // whole-stage pipelining).
-  cost.BeginStage("pipeline");
-  engine::Relation accumulated;
-  for (size_t i = 0; i < tree.nodes.size(); ++i) {
-    const JoinTreeNode& node = tree.nodes[i];
-    Result<engine::Relation> scanned = [&] {
-      obs::OperatorSpan scan_span(profile, cost, obs::SpanKind::kScan,
-                                  node.Label());
-      scan_span.SetDetail(NodeKindToString(node.kind));
-      scan_span.SetEstimatedRows(node.estimated_cardinality);
-      scan_span.SetRowsIn(NodeInputRows(node, vp, property_table,
-                                        reverse_property_table));
-      Result<engine::Relation> r = ScanNode(
-          node, vp, property_table, reverse_property_table, cost, exec);
-      if (r.ok()) scan_span.SetRowsOut(r->TotalRows());
-      return r;
-    }();
-    if (!scanned.ok()) {
-      cost.EndStage();
-      return scanned.status();
-    }
-    PROST_VALIDATE_RELATION(scanned.value());
-    if (i == 0) {
-      accumulated = std::move(scanned).value();
-      continue;
-    }
-    obs::OperatorSpan join_span(profile, cost, obs::SpanKind::kJoin,
-                                node.Label());
-    join_span.SetRowsIn(accumulated.TotalRows() + scanned->TotalRows());
-    PROST_ASSIGN_OR_RETURN(
-        engine::JoinResult joined,
-        engine::HashJoin(accumulated, scanned.value(), join_options, cost,
-                         exec));
-    join_span.SetDetail(joined.strategy == engine::JoinStrategy::kBroadcast
-                            ? "broadcast"
-                            : "shuffle");
-    join_span.SetRowsOut(joined.relation.TotalRows());
-    result.join_strategies.push_back(joined.strategy);
-    accumulated = std::move(joined.relation);
-    PROST_VALIDATE_RELATION(accumulated);
-  }
-
-  // FILTERs and solution modifiers, pipelined into the open stage
-  // (DISTINCT inserts its own boundary inside the operator).
-  PROST_ASSIGN_OR_RETURN(
-      accumulated, ApplyFiltersAndModifiers(std::move(accumulated), query,
-                                            dictionary, cost, exec));
-  PROST_VALIDATE_RELATION(accumulated);
-  cost.EndStage();
-
-  result.relation = std::move(accumulated);
-  result.simulated_millis = cost.ElapsedMillis();
-  result.counters = cost.counters();
-  query_span.SetRowsOut(result.relation.TotalRows());
-  query_span.Close();
-  if (profile != nullptr) {
-    profile->Finish(result.simulated_millis, result.counters);
-  }
-  return result;
+  plan::PlannerInputs inputs;
+  inputs.vp = &vp;
+  inputs.property_table = property_table;
+  inputs.reverse_property_table = reverse_property_table;
+  PROST_ASSIGN_OR_RETURN(plan::PhysicalPlan physical,
+                         plan::BuildPlan(tree, query, inputs));
+#if defined(PROST_PARANOID_CHECKS) || !defined(NDEBUG)
+  PROST_RETURN_IF_ERROR(analysis::CheckPhysicalPlan(physical, query));
+#endif
+  return ExecutePlan(physical, vp, property_table, reverse_property_table,
+                     join_options, dictionary, cost, exec);
 }
 
 }  // namespace prost::core

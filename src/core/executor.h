@@ -11,6 +11,7 @@
 #include "core/vp_store.h"
 #include "engine/operators.h"
 #include "engine/relation.h"
+#include "plan/plan_ir.h"
 #include "sparql/algebra.h"
 
 namespace prost::core {
@@ -36,19 +37,37 @@ struct QueryResult {
   uint64_t num_rows() const { return relation.TotalRows(); }
 };
 
-/// Executes a Join Tree bottom-up (§3.2): each node's sub-query is
-/// materialized from its storage structure in its own stage, then the
-/// intermediate results are folded together with hash joins (broadcast or
-/// shuffle, per `join_options`). The final projection / DISTINCT / LIMIT
-/// modifiers of `query` are applied at the end.
+/// Interprets a physical plan (plan/plan_ir.h) bottom-up: scans
+/// materialize their Join Tree node from storage (evaluating any pushed
+/// filters in place), joins fold the children with broadcast/shuffle
+/// hash joins — honoring a plan-time resolved strategy when the
+/// optimizer set one — and the modifier tail executes node by node.
+/// Every plan node maps 1:1 onto an operator span, nested the way the
+/// plan nests, so EXPLAIN ANALYZE shows exactly the executed plan.
 ///
-/// `property_table` / `reverse_property_table` may be null when the tree
-/// contains no node of that kind. The cost model must be freshly reset;
+/// `property_table` / `reverse_property_table` may be null when the plan
+/// contains no scan of that kind. The cost model must be freshly reset;
 /// on return it carries the query's simulated time.
 ///
 /// `exec` (nullable) selects the morsel-driven parallel operator paths;
 /// the result relation is bit-identical to a serial run and the simulated
 /// time is unchanged — parallelism affects wall-clock only.
+Result<QueryResult> ExecutePlan(
+    const plan::PhysicalPlan& physical, const VpStore& vp,
+    const PropertyTable* property_table,
+    const PropertyTable* reverse_property_table,
+    const engine::JoinOptions& join_options,
+    const rdf::Dictionary& dictionary, cluster::CostModel& cost,
+    const engine::ExecContext* exec = nullptr);
+
+/// Executes a Join Tree bottom-up (§3.2): lowers the tree plus the
+/// query's modifiers into the unoptimized physical plan (plan/planner.h;
+/// no optimizer passes) and interprets it — each node's sub-query is
+/// materialized from its storage structure, then the intermediate
+/// results are folded together with hash joins (broadcast or shuffle,
+/// per `join_options`), then the FILTER / projection / DISTINCT / LIMIT
+/// modifiers of `query` run at the end. Kept as the pass-free entry
+/// point for direct callers (tests, hand-built trees).
 Result<QueryResult> ExecuteJoinTree(
     const JoinTree& tree, const sparql::Query& query, const VpStore& vp,
     const PropertyTable* property_table,

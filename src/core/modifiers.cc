@@ -6,6 +6,7 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "common/str_util.h"
 #include "engine/operators.h"
 #include "obs/trace.h"
 
@@ -96,10 +97,22 @@ bool EvalOp(sparql::CompareOp op, int cmp) {
   return false;
 }
 
-Result<Relation> ApplyOneFilter(const Relation& input,
-                                const sparql::FilterConstraint& filter,
-                                KeyCache& keys,
-                                cluster::CostModel& cost) {
+}  // namespace
+
+struct FilterEvaluator::Impl {
+  explicit Impl(const rdf::Dictionary& dictionary) : keys(dictionary) {}
+  KeyCache keys;
+};
+
+FilterEvaluator::FilterEvaluator(const rdf::Dictionary& dictionary)
+    : impl_(std::make_unique<Impl>(dictionary)) {}
+
+FilterEvaluator::~FilterEvaluator() = default;
+
+Result<Relation> FilterEvaluator::ApplyFilter(
+    const Relation& input, const sparql::FilterConstraint& filter,
+    cluster::CostModel& cost) {
+  KeyCache& keys = impl_->keys;
   int lhs_column = input.ColumnIndex(filter.variable);
   if (lhs_column < 0) {
     return Status::InvalidArgument("FILTER variable ?" + filter.variable +
@@ -122,6 +135,13 @@ Result<Relation> ApplyOneFilter(const Relation& input,
 
   Relation output(input.column_names(), input.num_chunks());
   output.set_hash_partitioned_by(input.hash_partitioned_by());
+  if (input.planner_bytes_set()) {
+    // Spark 2.1 static planning: filters do not discount sizeInBytes, so
+    // a filter pushed below a join leaves the scan's planner size (and
+    // with it every resolved join strategy downstream) untouched.
+    cluster::ClusterConfig dummy;
+    output.set_planner_bytes(input.PlannerBytes(dummy));
+  }
   for (uint32_t w = 0; w < input.num_chunks(); ++w) {
     const RelationChunk& chunk = input.chunks()[w];
     RelationChunk& out = output.mutable_chunks()[w];
@@ -142,14 +162,114 @@ Result<Relation> ApplyOneFilter(const Relation& input,
   return output;
 }
 
-}  // namespace
+Result<Relation> FilterEvaluator::ApplyOrderBy(
+    Relation relation, const std::vector<sparql::OrderKey>& order_keys,
+    cluster::CostModel& cost) {
+  KeyCache& keys = impl_->keys;
+  // Driver-side sort, like Spark's collect for ordered results.
+  std::vector<int> key_columns;
+  key_columns.reserve(order_keys.size());
+  for (const sparql::OrderKey& key : order_keys) {
+    int column = relation.ColumnIndex(key.variable);
+    if (column < 0) {
+      return Status::InvalidArgument("ORDER BY variable ?" + key.variable +
+                                     " is not bound in the solution");
+    }
+    key_columns.push_back(column);
+  }
+  std::vector<Row> rows = relation.CollectRows();
+  cost.ChargeCpuRows(0, rows.size());
+  std::stable_sort(rows.begin(), rows.end(), [&](const Row& a, const Row& b) {
+    for (size_t k = 0; k < key_columns.size(); ++k) {
+      size_t c = static_cast<size_t>(key_columns[k]);
+      int cmp = CompareKeys(keys.Get(a[c]), keys.Get(b[c]));
+      if (cmp == 0) continue;
+      return order_keys[k].descending ? cmp > 0 : cmp < 0;
+    }
+    return false;
+  });
+  Relation sorted(relation.column_names(), relation.num_chunks());
+  RelationChunk& chunk = sorted.mutable_chunks()[0];
+  for (const Row& row : rows) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      chunk.columns[c].push_back(row[c]);
+    }
+  }
+  return sorted;
+}
+
+Result<Relation> ApplyCountAggregate(const Relation& relation,
+                                     const sparql::CountAggregate& count,
+                                     uint64_t offset,
+                                     cluster::CostModel& cost) {
+  uint64_t n = 0;
+  if (count.variable.empty()) {
+    n = relation.TotalRows();
+  } else {
+    int column = relation.ColumnIndex(count.variable);
+    if (column < 0) {
+      return Status::InvalidArgument("counted variable ?" + count.variable +
+                                     " is not in the relation");
+    }
+    if (count.distinct) {
+      std::unordered_set<TermId> distinct_values;
+      for (const RelationChunk& chunk : relation.chunks()) {
+        for (TermId id : chunk.columns[static_cast<size_t>(column)]) {
+          distinct_values.insert(id);
+        }
+      }
+      n = distinct_values.size();
+    } else {
+      n = relation.TotalRows();  // Bindings are never unbound here.
+    }
+  }
+  cost.ChargeCpuRows(0, relation.TotalRows());
+  // A non-zero OFFSET slices the single result row away.
+  if (offset > 0) return Relation({count.alias}, relation.num_chunks());
+  Relation aggregated({count.alias}, relation.num_chunks());
+  aggregated.mutable_chunks()[0].columns[0].push_back(
+      rdf::VirtualIntegerId(n));
+  return aggregated;
+}
+
+Relation OrderPreservingDistinct(const Relation& relation,
+                                 cluster::CostModel& cost) {
+  std::vector<Row> rows = relation.CollectRows();
+  cost.ChargeCpuRows(0, rows.size());
+  std::vector<Row> seen_sorted;  // For O(n log n) membership.
+  Relation deduped(relation.column_names(), relation.num_chunks());
+  RelationChunk& chunk = deduped.mutable_chunks()[0];
+  for (const Row& row : rows) {
+    auto it = std::lower_bound(seen_sorted.begin(), seen_sorted.end(), row);
+    if (it != seen_sorted.end() && *it == row) continue;
+    seen_sorted.insert(it, row);
+    for (size_t c = 0; c < row.size(); ++c) {
+      chunk.columns[c].push_back(row[c]);
+    }
+  }
+  return deduped;
+}
+
+Relation ApplyOffset(Relation relation, uint64_t offset) {
+  uint64_t to_drop = offset;
+  for (uint32_t w = 0; w < relation.num_chunks() && to_drop > 0; ++w) {
+    RelationChunk& chunk = relation.mutable_chunks()[w];
+    size_t drop =
+        static_cast<size_t>(std::min<uint64_t>(chunk.num_rows(), to_drop));
+    for (auto& column : chunk.columns) {
+      column.erase(column.begin(), column.begin() + drop);
+    }
+    to_drop -= drop;
+  }
+  return relation;
+}
 
 Result<Relation> ApplyFiltersAndModifiers(Relation relation,
                                           const sparql::Query& query,
                                           const rdf::Dictionary& dictionary,
                                           cluster::CostModel& cost,
                                           const engine::ExecContext* exec) {
-  KeyCache keys(dictionary);
+  FilterEvaluator evaluator(dictionary);
   obs::QueryProfile* profile = engine::ProfileOf(exec);
   obs::OperatorSpan modifiers_span(profile, cost, obs::SpanKind::kModifiers,
                                    "");
@@ -162,7 +282,7 @@ Result<Relation> ApplyFiltersAndModifiers(Relation relation,
     filter_span.SetDetail("FILTER");
     filter_span.SetRowsIn(relation.TotalRows());
     PROST_ASSIGN_OR_RETURN(relation,
-                           ApplyOneFilter(relation, filter, keys, cost));
+                           evaluator.ApplyFilter(relation, filter, cost));
     filter_span.SetRowsOut(relation.TotalRows());
   }
 
@@ -175,38 +295,11 @@ Result<Relation> ApplyFiltersAndModifiers(Relation relation,
                                count.alias);
     agg_span.SetDetail(count.distinct ? "COUNT DISTINCT" : "COUNT");
     agg_span.SetRowsIn(relation.TotalRows());
-    uint64_t n = 0;
-    if (count.variable.empty()) {
-      n = relation.TotalRows();
-    } else {
-      int column = relation.ColumnIndex(count.variable);
-      if (column < 0) {
-        return Status::InvalidArgument("counted variable ?" +
-                                       count.variable +
-                                       " is not in the relation");
-      }
-      if (count.distinct) {
-        std::unordered_set<TermId> distinct_values;
-        for (const RelationChunk& chunk : relation.chunks()) {
-          for (TermId id : chunk.columns[static_cast<size_t>(column)]) {
-            distinct_values.insert(id);
-          }
-        }
-        n = distinct_values.size();
-      } else {
-        n = relation.TotalRows();  // Bindings are never unbound here.
-      }
-    }
-    cost.ChargeCpuRows(0, relation.TotalRows());
-    Relation aggregated({count.alias}, relation.num_chunks());
-    aggregated.mutable_chunks()[0].columns[0].push_back(
-        rdf::VirtualIntegerId(n));
-    uint64_t out_rows = query.offset > 0 ? 0 : 1;
-    agg_span.SetRowsOut(out_rows);
-    modifiers_span.SetRowsOut(out_rows);
-    if (query.offset > 0) return Relation({count.alias},
-                                          relation.num_chunks());
-    return aggregated;
+    PROST_ASSIGN_OR_RETURN(
+        relation, ApplyCountAggregate(relation, count, query.offset, cost));
+    agg_span.SetRowsOut(relation.TotalRows());
+    modifiers_span.SetRowsOut(relation.TotalRows());
+    return relation;
   }
 
   // SPARQL evaluation order: ORDER BY sees the *full* solutions (its keys
@@ -216,87 +309,41 @@ Result<Relation> ApplyFiltersAndModifiers(Relation relation,
     obs::OperatorSpan sort_span(profile, cost, obs::SpanKind::kOrderBy, "");
     sort_span.SetRowsIn(relation.TotalRows());
     sort_span.SetRowsOut(relation.TotalRows());
-    // Driver-side sort, like Spark's collect for ordered results.
-    std::vector<int> key_columns;
-    key_columns.reserve(query.order_by.size());
-    for (const sparql::OrderKey& key : query.order_by) {
-      int column = relation.ColumnIndex(key.variable);
-      if (column < 0) {
-        return Status::InvalidArgument("ORDER BY variable ?" + key.variable +
-                                       " is not bound in the solution");
-      }
-      key_columns.push_back(column);
-    }
-    std::vector<Row> rows = relation.CollectRows();
-    cost.ChargeCpuRows(0, rows.size());
-    std::stable_sort(
-        rows.begin(), rows.end(), [&](const Row& a, const Row& b) {
-          for (size_t k = 0; k < key_columns.size(); ++k) {
-            size_t c = static_cast<size_t>(key_columns[k]);
-            int cmp = CompareKeys(keys.Get(a[c]), keys.Get(b[c]));
-            if (cmp == 0) continue;
-            return query.order_by[k].descending ? cmp > 0 : cmp < 0;
-          }
-          return false;
-        });
-    Relation sorted(relation.column_names(), relation.num_chunks());
-    RelationChunk& chunk = sorted.mutable_chunks()[0];
-    for (const Row& row : rows) {
-      for (size_t c = 0; c < row.size(); ++c) {
-        chunk.columns[c].push_back(row[c]);
-      }
-    }
-    relation = std::move(sorted);
+    PROST_ASSIGN_OR_RETURN(
+        relation,
+        evaluator.ApplyOrderBy(std::move(relation), query.order_by, cost));
   }
 
   // Projection preserves per-chunk row order (ordered results live in one
   // chunk).
-  PROST_ASSIGN_OR_RETURN(
-      relation,
-      engine::Project(relation, query.EffectiveProjection(), cost, exec));
+  {
+    std::vector<std::string> projection = query.EffectiveProjection();
+    obs::OperatorSpan project_span(profile, cost, obs::SpanKind::kProject,
+                                   StrJoin(projection, ","));
+    project_span.SetRowsIn(relation.TotalRows());
+    project_span.SetRowsOut(relation.TotalRows());
+    PROST_ASSIGN_OR_RETURN(relation,
+                           engine::Project(relation, projection, cost, exec));
+  }
   if (query.distinct) {
     if (ordered) {
       obs::OperatorSpan dedupe_span(profile, cost, obs::SpanKind::kDistinct,
                                     "");
       dedupe_span.SetDetail("order-preserving");
       dedupe_span.SetRowsIn(relation.TotalRows());
-      // Order-preserving dedupe on the driver; the engine's distributed
-      // DISTINCT would destroy the ordering.
-      std::vector<Row> rows = relation.CollectRows();
-      cost.ChargeCpuRows(0, rows.size());
-      std::vector<Row> seen_sorted;  // For O(n log n) membership.
-      Relation deduped(relation.column_names(), relation.num_chunks());
-      RelationChunk& chunk = deduped.mutable_chunks()[0];
-      for (const Row& row : rows) {
-        auto it = std::lower_bound(seen_sorted.begin(), seen_sorted.end(),
-                                   row);
-        if (it != seen_sorted.end() && *it == row) continue;
-        seen_sorted.insert(it, row);
-        for (size_t c = 0; c < row.size(); ++c) {
-          chunk.columns[c].push_back(row[c]);
-        }
-      }
-      relation = std::move(deduped);
+      relation = OrderPreservingDistinct(relation, cost);
       dedupe_span.SetRowsOut(relation.TotalRows());
     } else {
+      obs::OperatorSpan dedupe_span(profile, cost, obs::SpanKind::kDistinct,
+                                    "");
+      dedupe_span.SetRowsIn(relation.TotalRows());
       PROST_ASSIGN_OR_RETURN(relation,
                              engine::Distinct(relation, cost, exec));
+      dedupe_span.SetRowsOut(relation.TotalRows());
     }
   }
 
-  if (query.offset > 0) {
-    // Drop the first `offset` rows in collection order.
-    uint64_t to_drop = query.offset;
-    for (uint32_t w = 0; w < relation.num_chunks() && to_drop > 0; ++w) {
-      RelationChunk& chunk = relation.mutable_chunks()[w];
-      size_t drop = static_cast<size_t>(
-          std::min<uint64_t>(chunk.num_rows(), to_drop));
-      for (auto& column : chunk.columns) {
-        column.erase(column.begin(), column.begin() + drop);
-      }
-      to_drop -= drop;
-    }
-  }
+  relation = ApplyOffset(std::move(relation), query.offset);
   if (query.limit > 0) {
     relation = engine::Limit(relation, query.limit);
   }

@@ -189,6 +189,34 @@ Result<PropertyTable> PropertyTable::Assemble(
   return table;
 }
 
+uint64_t PropertyTable::ScanPlannerBytes(
+    const std::vector<ColumnPattern>& patterns) const {
+  // Mirrors Scan's charging loop: a pattern touches its predicate column
+  // only when the predicate exists and the constant (if any) can exist.
+  std::vector<int> pattern_column(patterns.size(), -1);
+  for (size_t i = 0; i < patterns.size(); ++i) {
+    auto it = column_of_predicate_.find(patterns[i].predicate);
+    if (it != column_of_predicate_.end() &&
+        !patterns[i].value.IsImpossibleConstant()) {
+      pattern_column[i] = static_cast<int>(it->second);
+    }
+  }
+  uint64_t planner_bytes = 0;
+  for (uint32_t w = 0; w < num_workers_; ++w) {
+    uint64_t scan_bytes = column_bytes_[w][0];
+    std::vector<int> charged;
+    for (int c : pattern_column) {
+      if (c >= 0 && std::find(charged.begin(), charged.end(), c) ==
+                        charged.end()) {
+        charged.push_back(c);
+        scan_bytes += column_bytes_[w][static_cast<size_t>(c)];
+      }
+    }
+    planner_bytes += scan_bytes;
+  }
+  return planner_bytes;
+}
+
 Result<Relation> PropertyTable::Scan(
     const PatternTerm& key, const std::vector<ColumnPattern>& patterns,
     cluster::CostModel& cost, const engine::ExecContext* exec) const {

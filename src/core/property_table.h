@@ -74,6 +74,13 @@ class PropertyTable {
                                 const engine::ExecContext* exec = nullptr)
       const;
 
+  /// The planner-visible size of a Scan over `patterns` — exactly the
+  /// `Relation::PlannerBytes` the scan output will carry: the key column
+  /// plus each touched predicate column, once, per partition. Patterns
+  /// whose predicate has no column (or whose constant cannot exist) touch
+  /// nothing, matching the Scan charging rules.
+  uint64_t ScanPlannerBytes(const std::vector<ColumnPattern>& patterns) const;
+
   uint32_t num_workers() const { return num_workers_; }
   uint64_t num_rows() const { return num_rows_; }
   size_t num_columns() const { return column_of_predicate_.size() + 1; }

@@ -9,10 +9,23 @@
 
 #include <cstdlib>
 #include <unordered_set>
+#include <utility>
+#include "plan/planner.h"
 #include "rdf/ntriples.h"
 #include "sparql/parser.h"
 
 namespace prost::core {
+namespace {
+
+// Plan verification opt-out is honored only in plain release builds —
+// debug and sanitizer builds always verify.
+#if defined(PROST_PARANOID_CHECKS) || !defined(NDEBUG)
+constexpr bool kForceVerify = true;
+#else
+constexpr bool kForceVerify = false;
+#endif
+
+}  // namespace
 
 uint64_t EstimateNTriplesBytes(const rdf::EncodedGraph& graph) {
   // Precompute per-term lexical lengths once, then one cheap pass.
@@ -138,11 +151,6 @@ Result<JoinTree> ProstDb::Plan(const sparql::Query& query) const {
   PROST_ASSIGN_OR_RETURN(
       JoinTree tree,
       Translate(query, stats_, graph_->dictionary(), translator_options));
-#if defined(PROST_PARANOID_CHECKS) || !defined(NDEBUG)
-  constexpr bool kForceVerify = true;
-#else
-  constexpr bool kForceVerify = false;
-#endif
   if (kForceVerify || options_.verify_plans) {
     analysis::PlanContext context;
     context.vp = &vp_;
@@ -157,13 +165,51 @@ Result<JoinTree> ProstDb::Plan(const sparql::Query& query) const {
   return tree;
 }
 
+Result<plan::PlannedQuery> ProstDb::BuildOptimizedPlan(
+    const sparql::Query& query, bool record_snapshots) const {
+  PROST_ASSIGN_OR_RETURN(JoinTree tree, Plan(query));
+  plan::PlannerInputs inputs;
+  inputs.vp = &vp_;
+  inputs.property_table = options_.use_property_table ? &pt_ : nullptr;
+  inputs.reverse_property_table =
+      options_.use_reverse_property_table ? &reverse_pt_ : nullptr;
+  PROST_ASSIGN_OR_RETURN(plan::PhysicalPlan physical,
+                         plan::BuildPlan(tree, query, inputs));
+  plan::PassManagerOptions manager_options;
+  manager_options.record_snapshots = record_snapshots;
+  if (kForceVerify || options_.verify_plans) {
+    // Invariant-check the freshly built plan and again after every pass,
+    // so a rewrite that breaks the plan is caught before execution.
+    manager_options.validate = [&query](const plan::PhysicalPlan& p) {
+      return analysis::CheckPhysicalPlan(p, query);
+    };
+  }
+  plan::PassManager manager(std::move(manager_options));
+  plan::AddDefaultPasses(manager, options_.passes);
+  plan::PassContext context;
+  context.join = options_.join;
+  context.cluster = &options_.cluster;
+  PROST_RETURN_IF_ERROR(manager.Run(physical, context));
+  plan::PlannedQuery planned;
+  planned.plan = std::move(physical);
+  planned.snapshots = manager.snapshots();
+  return planned;
+}
+
+Result<plan::PlannedQuery> ProstDb::PlanPhysical(
+    const sparql::Query& query) const {
+  return BuildOptimizedPlan(query, /*record_snapshots=*/true);
+}
+
 Result<QueryResult> ProstDb::Execute(const sparql::Query& query) const {
   return Execute(query, nullptr);
 }
 
 Result<QueryResult> ProstDb::Execute(const sparql::Query& query,
                                      obs::QueryProfile* profile) const {
-  PROST_ASSIGN_OR_RETURN(JoinTree tree, Plan(query));
+  PROST_ASSIGN_OR_RETURN(plan::PlannedQuery planned,
+                         BuildOptimizedPlan(query,
+                                            /*record_snapshots=*/false));
   cluster::CostModel cost(options_.cluster);
   // The shared pool runs one parallel region at a time, so pool-backed
   // executions must not overlap. Serial-configured dbs (no pool) keep
@@ -171,8 +217,8 @@ Result<QueryResult> ProstDb::Execute(const sparql::Query& query,
   std::unique_lock<std::mutex> pool_lock;
   if (pool_) pool_lock = std::unique_lock<std::mutex>(exec_mu_);
   engine::ExecContext exec(pool_.get(), options_.exec.morsel_rows, profile);
-  Result<QueryResult> result = ExecuteJoinTree(
-      tree, query, vp_, options_.use_property_table ? &pt_ : nullptr,
+  Result<QueryResult> result = ExecutePlan(
+      planned.plan, vp_, options_.use_property_table ? &pt_ : nullptr,
       options_.use_reverse_property_table ? &reverse_pt_ : nullptr,
       options_.join, graph_->dictionary(), cost, &exec);
   if (result.ok()) {

@@ -18,6 +18,7 @@
 #include "engine/operators.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "plan/passes.h"
 #include "rdf/graph.h"
 #include "sparql/algebra.h"
 
@@ -33,6 +34,9 @@ namespace prost::core {
 ///   auto result = db->ExecuteSparql("SELECT * WHERE { ?s <p> ?o . }");
 class ProstDb {
  public:
+  /// The ablation-study switches below (enable_stats_ordering, the join
+  /// knobs, the optimizer passes) are enumerated once in the DESIGN.md
+  /// §4 ablation matrix.
   struct Options {
     cluster::ClusterConfig cluster;
     /// Disables the Property Table entirely (Figure 2's "VP only" bars):
@@ -52,6 +56,13 @@ class ProstDb {
     /// (PROST_PARANOID_CHECKS) always verify.
     bool verify_plans = true;
     engine::JoinOptions join;
+    /// Which optimizer passes rewrite the physical plan between
+    /// translation and execution (constant-filter pushdown, plan-time
+    /// join-strategy resolution, early projection — see DESIGN.md §4 and
+    /// §10). All-false executes the translated Join Tree exactly as
+    /// built; results are bit-identical either way, only the simulated
+    /// cost differs.
+    plan::PassOptions passes;
     /// Real-executor parallelism (morsel-driven operators). The default
     /// (num_threads = 1) runs the serial paths; num_threads = 0 uses
     /// cluster.cores_per_worker. Results are bit-identical across thread
@@ -83,8 +94,15 @@ class ProstDb {
   static Result<std::unique_ptr<ProstDb>> OpenFrom(const std::string& dir,
                                                    Options options);
 
-  /// Plans a query into a Join Tree without executing (EXPLAIN).
+  /// Plans a query into a Join Tree without executing (the logical half
+  /// of EXPLAIN; PlanPhysical continues into the physical plan).
   Result<JoinTree> Plan(const sparql::Query& query) const;
+
+  /// Plans a query all the way to the optimized physical plan without
+  /// executing (EXPLAIN): translation, plan building, and the configured
+  /// optimizer passes, with a before/after snapshot recorded per pass.
+  /// Execute() runs exactly this plan (minus the snapshot rendering).
+  Result<plan::PlannedQuery> PlanPhysical(const sparql::Query& query) const;
 
   /// Executes a parsed query. Each call runs on a fresh simulated clock.
   /// Safe to call concurrently: with a parallel executor (resolved
@@ -127,6 +145,13 @@ class ProstDb {
 
   /// Creates pool_ when the resolved thread count asks for parallelism.
   void InitThreadPool();
+
+  /// Shared planning pipeline behind Execute and PlanPhysical: Join Tree
+  /// translation (Plan), physical-plan building, then the configured
+  /// optimizer passes, invariant-checked after every pass when plan
+  /// verification is on.
+  Result<plan::PlannedQuery> BuildOptimizedPlan(const sparql::Query& query,
+                                                bool record_snapshots) const;
 
   Options options_;
   std::unique_ptr<ThreadPool> pool_;

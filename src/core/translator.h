@@ -9,7 +9,9 @@
 
 namespace prost::core {
 
-/// Knobs of the SPARQL → Join Tree translation.
+/// Knobs of the SPARQL → Join Tree translation. The ablation switches
+/// (A1 here, A2/A3 in engine/operators.h, pass toggles in plan/passes.h)
+/// are enumerated once, in the DESIGN.md §4 ablation matrix.
 struct TranslatorOptions {
   /// When false, every triple pattern becomes a VP node — the paper's
   /// "Vertical Partitioning only" configuration of Figure 2.

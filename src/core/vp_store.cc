@@ -77,6 +77,14 @@ const VpStore::PredicateTable* VpStore::Find(rdf::TermId predicate) const {
   return it == tables_.end() ? nullptr : &it->second;
 }
 
+uint64_t VpStore::ScanPlannerBytes(rdf::TermId predicate) const {
+  const PredicateTable* table = Find(predicate);
+  if (table == nullptr) return 0;
+  uint64_t planner_bytes = 0;
+  for (uint64_t bytes : table->partition_bytes) planner_bytes += bytes;
+  return planner_bytes;
+}
+
 Result<Relation> VpStore::Scan(rdf::TermId predicate,
                                const PatternTerm& subject,
                                const PatternTerm& object,

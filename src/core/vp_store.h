@@ -48,6 +48,12 @@ class VpStore {
   /// occur in the dataset.
   const PredicateTable* Find(rdf::TermId predicate) const;
 
+  /// The planner-visible size of a Scan over `predicate` — exactly the
+  /// `Relation::PlannerBytes` the scan output will carry (0 for unknown
+  /// predicates). Lets the plan-time optimizer resolve join strategies
+  /// from the same numbers the runtime would use.
+  uint64_t ScanPlannerBytes(rdf::TermId predicate) const;
+
   /// Evaluates one triple pattern against the predicate's VP table,
   /// producing a distributed relation over the pattern's variables.
   /// Charges scan bytes and CPU rows to `cost` (inside the caller's

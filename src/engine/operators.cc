@@ -287,6 +287,19 @@ RelationChunk GatherAll(const Relation& relation) {
 
 }  // namespace
 
+JoinStrategy ResolveJoinStrategy(uint64_t left_planner_bytes,
+                                 uint64_t right_planner_bytes,
+                                 const JoinOptions& options,
+                                 const cluster::ClusterConfig& config) {
+  uint64_t threshold = options.broadcast_threshold_bytes != 0
+                           ? options.broadcast_threshold_bytes
+                           : config.broadcast_threshold_bytes;
+  bool broadcast =
+      options.allow_broadcast &&
+      std::min(left_planner_bytes, right_planner_bytes) <= threshold;
+  return broadcast ? JoinStrategy::kBroadcast : JoinStrategy::kShuffle;
+}
+
 Relation RepartitionByColumn(const Relation& input, int column_index,
                              uint32_t num_workers,
                              cluster::CostModel& cost,
@@ -376,14 +389,20 @@ Result<JoinResult> HashJoin(const Relation& left, const Relation& right,
   uint64_t left_planner = left.PlannerBytes(config);
   uint64_t right_planner = right.PlannerBytes(config);
   uint32_t num_workers = config.num_workers;
-  uint64_t threshold = options.broadcast_threshold_bytes != 0
-                           ? options.broadcast_threshold_bytes
-                           : config.broadcast_threshold_bytes;
+  JoinStrategy derived =
+      ResolveJoinStrategy(left_planner, right_planner, options, config);
+  JoinStrategy strategy = options.planned_strategy.value_or(derived);
+#if defined(PROST_PARANOID_CHECKS) || !defined(NDEBUG)
+  // The optimizer resolves strategies from the same planner estimates, so
+  // a mismatch means the plan's planner_bytes drifted from execution.
+  if (options.planned_strategy.has_value() &&
+      *options.planned_strategy != derived) {
+    return Status::Internal(
+        "planned join strategy disagrees with the run-time derivation");
+  }
+#endif
 
-  bool broadcast = options.allow_broadcast &&
-                   std::min(left_planner, right_planner) <= threshold;
-
-  if (broadcast) {
+  if (strategy == JoinStrategy::kBroadcast) {
     // Broadcast the (planner-)smaller side; the bigger side never moves.
     const bool left_is_small = left_planner <= right_planner;
     const Relation& small = left_is_small ? left : right;
@@ -589,10 +608,8 @@ Result<Relation> Project(const Relation& input,
     }
     indices.push_back(index);
   }
-  obs::OperatorSpan span(ProfileOf(exec), cost, obs::SpanKind::kProject,
-                         StrJoin(column_names, ","));
-  span.SetRowsIn(input.TotalRows());
-  span.SetRowsOut(input.TotalRows());
+  // No span of its own: callers (the plan interpreter, the modifier tail)
+  // wrap the call in the span that names their plan node.
   Relation output(column_names, input.num_chunks());
   // Projection is the degenerate batch kernel: a whole-column copy per
   // selected column (no per-row work at all).
@@ -632,8 +649,8 @@ Result<Relation> Project(const Relation& input,
 
 Result<Relation> Distinct(const Relation& input, cluster::CostModel& cost,
                           const ExecContext* exec) {
-  obs::OperatorSpan span(ProfileOf(exec), cost, obs::SpanKind::kDistinct, "");
-  span.SetRowsIn(input.TotalRows());
+  // No span of its own (callers wrap the call in their plan node's span).
+  (void)exec;
   // Stage boundary, like a shuffle join: close the caller's pipeline
   // stage, run the distinct exchange in a new one, leave it open.
   cost.EndStage();
@@ -675,7 +692,37 @@ Result<Relation> Distinct(const Relation& input, cluster::CostModel& cost,
     cost.ChargeCpuRows(w, chunk.num_rows());
   }
   output.set_planner_bytes(Relation::kUnknownPlannerBytes);
-  span.SetRowsOut(output.TotalRows());
+  return output;
+}
+
+Relation PruneColumns(Relation&& input,
+                      const std::vector<std::string>& keep) {
+  if (input.column_names() == keep) return std::move(input);
+  std::vector<int> source_of(keep.size());
+  for (size_t c = 0; c < keep.size(); ++c) {
+    source_of[c] = input.ColumnIndex(keep[c]);
+  }
+  Relation output(keep, input.num_chunks());
+  for (uint32_t w = 0; w < input.num_chunks(); ++w) {
+    for (size_t c = 0; c < keep.size(); ++c) {
+      output.mutable_chunks()[w].columns[c] = std::move(
+          input.mutable_chunks()[w]
+              .columns[static_cast<size_t>(source_of[c])]);
+    }
+  }
+  if (input.hash_partitioned_by() >= 0) {
+    const std::string& part_name =
+        input.column_names()[static_cast<size_t>(
+            input.hash_partitioned_by())];
+    output.set_hash_partitioned_by(output.ColumnIndex(part_name));
+  }
+  // Static planning: the planner priced the unpruned input, and that
+  // number must keep flowing (it is what the resolved join strategies
+  // were derived from).
+  if (input.planner_bytes_set()) {
+    cluster::ClusterConfig dummy;
+    output.set_planner_bytes(input.PlannerBytes(dummy));
+  }
   return output;
 }
 

@@ -1,6 +1,7 @@
 #ifndef PROST_ENGINE_OPERATORS_H_
 #define PROST_ENGINE_OPERATORS_H_
 
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -11,10 +12,19 @@
 
 namespace prost::engine {
 
+/// Which physical strategy a join uses (resolved at plan time by the
+/// optimizer's JoinStrategyPass, or derived inside HashJoin when no plan
+/// provided one; exposed for tests and the ablation benches).
+enum class JoinStrategy {
+  kBroadcast,
+  kShuffle,
+};
+
 /// Join-strategy knobs — the engine's stand-in for Catalyst's physical
 /// planning (§3.3: "the optimizer can choose the type of joins to perform,
 /// for example if one of the relations involved is small, a broadcast join
-/// will be performed").
+/// will be performed"). The A2/A3 flags here are part of the ablation
+/// matrix documented in DESIGN.md §4.
 struct JoinOptions {
   /// Relations whose *planner* estimate (Relation::PlannerBytes) is at or
   /// below this are broadcast instead of shuffled. 0 means "use the
@@ -32,14 +42,22 @@ struct JoinOptions {
   /// the faithful default is false; the A3 ablation bench shows what
   /// partitioning-aware planning would buy.
   bool reuse_partitioning = false;
+
+  /// Strategy pre-resolved by the plan-time optimizer. When set, HashJoin
+  /// executes it (and paranoid builds assert it matches what the run-time
+  /// derivation would have picked); when unset, HashJoin derives the
+  /// strategy itself from the inputs' PlannerBytes.
+  std::optional<JoinStrategy> planned_strategy;
 };
 
-/// Which physical strategy a join ended up using (exposed for tests and
-/// the ablation benches).
-enum class JoinStrategy {
-  kBroadcast,
-  kShuffle,
-};
+/// The one broadcast/shuffle decision rule, shared by the plan-time
+/// JoinStrategyPass and HashJoin's run-time derivation: broadcast when
+/// allowed and the smaller side's planner estimate is at or below the
+/// effective threshold.
+JoinStrategy ResolveJoinStrategy(uint64_t left_planner_bytes,
+                                 uint64_t right_planner_bytes,
+                                 const JoinOptions& options,
+                                 const cluster::ClusterConfig& config);
 
 struct JoinResult {
   Relation relation;
@@ -81,6 +99,15 @@ Result<Relation> Project(const Relation& input,
                          const std::vector<std::string>& column_names,
                          cluster::CostModel& cost,
                          const ExecContext* exec = nullptr);
+
+/// Drops every column not in `keep` (which must be a subset of the input
+/// columns, listed in input order). Unlike Project this is free — no CPU
+/// charge, no span: it models the optimizer's early projection, where the
+/// pruned columns are simply never materialized into the next exchange.
+/// planner_bytes carries over verbatim (static planning: the planner
+/// priced the unpruned scan) and the hash-partition column is remapped by
+/// name.
+Relation PruneColumns(Relation&& input, const std::vector<std::string>& keep);
 
 /// Removes duplicate rows globally (shuffles by row hash, then dedupes
 /// per worker). `exec` is only consulted for its profiling sink.

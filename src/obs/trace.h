@@ -22,7 +22,9 @@ enum class SpanKind {
   kDistinct,   // DISTINCT dedupe
   kOrderBy,    // ORDER BY driver-side sort
   kAggregate,  // COUNT aggregate
+  kLimit,      // OFFSET/LIMIT slice
   kModifiers,  // container for FILTER + solution modifiers
+               // (baseline systems' modifier tail)
 };
 
 const char* SpanKindName(SpanKind kind);

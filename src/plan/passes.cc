@@ -1,0 +1,248 @@
+#include "plan/passes.h"
+
+#include <utility>
+
+namespace prost::plan {
+namespace {
+
+bool Contains(const std::vector<std::string>& names, const std::string& name) {
+  for (const std::string& existing : names) {
+    if (existing == name) return true;
+  }
+  return false;
+}
+
+void CollectScans(PlanNode& node, std::vector<ScanNodeBase*>& scans) {
+  if (node.kind == PlanNodeKind::kVpScan ||
+      node.kind == PlanNodeKind::kPtScan) {
+    scans.push_back(static_cast<ScanNodeBase*>(&node));
+    return;
+  }
+  for (const std::unique_ptr<PlanNode>& child : node.children) {
+    CollectScans(*child, scans);
+  }
+}
+
+/// Constant-filter pushdown. FILTERs sit in the unary tail above the top
+/// join; each constant one whose variable some scan binds is appended to
+/// every such scan's pushed_filters and spliced out of the tail.
+/// Filtering before the join is equivalent for per-row predicates, and
+/// surviving rows keep their relative order, so results stay
+/// bit-identical.
+class FilterPushdownPass final : public OptimizerPass {
+ public:
+  const char* name() const override { return "filter_pushdown"; }
+
+  Status Run(PhysicalPlan& plan, const PassContext&) override {
+    std::vector<ScanNodeBase*> scans;
+    CollectScans(*plan.root, scans);
+    std::unique_ptr<PlanNode>* link = &plan.root;
+    while (*link != nullptr) {
+      PlanNode& node = **link;
+      if (node.children.size() != 1) break;  // Reached the joins/scan.
+      if (node.kind == PlanNodeKind::kFilter) {
+        auto& filter = static_cast<FilterNode&>(node);
+        if (!filter.constraint.rhs_is_variable) {
+          bool pushed = false;
+          for (ScanNodeBase* scan : scans) {
+            if (Contains(scan->output_columns, filter.constraint.variable)) {
+              scan->pushed_filters.push_back(filter.constraint);
+              pushed = true;
+            }
+          }
+          if (pushed) {
+            std::unique_ptr<PlanNode> child = std::move(node.children[0]);
+            *link = std::move(child);
+            continue;  // Re-examine the spliced-in child.
+          }
+        }
+      }
+      link = &node.children[0];
+    }
+    return Status::OK();
+  }
+};
+
+/// Plan-time join-strategy resolution: the exact decision rule HashJoin
+/// applies at run time (engine::ResolveJoinStrategy), evaluated on the
+/// plan's planner_bytes. Paranoid builds later assert the executed
+/// strategy matches.
+class JoinStrategyPass final : public OptimizerPass {
+ public:
+  const char* name() const override { return "join_strategy"; }
+
+  Status Run(PhysicalPlan& plan, const PassContext& context) override {
+    if (context.cluster == nullptr) {
+      return Status::Internal("join strategy pass needs a cluster config");
+    }
+    Resolve(*plan.root, context);
+    return Status::OK();
+  }
+
+ private:
+  void Resolve(PlanNode& node, const PassContext& context) {
+    for (const std::unique_ptr<PlanNode>& child : node.children) {
+      Resolve(*child, context);
+    }
+    if (node.kind != PlanNodeKind::kHashJoin) return;
+    auto& join = static_cast<HashJoinNode&>(node);
+    join.strategy = engine::ResolveJoinStrategy(
+        join.children[0]->planner_bytes, join.children[1]->planner_bytes,
+        context.join, *context.cluster);
+  }
+};
+
+/// Early projection (the S2RDF lesson: what flows between joins dominates
+/// cost). Computes, top-down, the columns each subtree must still
+/// produce; at every join input carrying dead columns it inserts a
+/// zero-cost prune ProjectNode. Join columns always survive, so join
+/// results are unchanged — only the bytes the exchanges charge shrink.
+class EarlyProjectionPass final : public OptimizerPass {
+ public:
+  const char* name() const override { return "early_projection"; }
+
+  Status Run(PhysicalPlan& plan, const PassContext&) override {
+    Prune(plan.root, plan.root->output_columns);
+    PlanBuilder::RecomputeSchemas(*plan.root);
+    // Recomputation shrinks join outputs above deeper prunes, which can
+    // turn an inserted prune into a no-op; splice those out so every
+    // surviving prune drops at least one column.
+    RemoveNoOpPrunes(plan.root);
+    return Status::OK();
+  }
+
+ private:
+  static void RemoveNoOpPrunes(std::unique_ptr<PlanNode>& node) {
+    for (std::unique_ptr<PlanNode>& child : node->children) {
+      RemoveNoOpPrunes(child);
+    }
+    if (node->kind != PlanNodeKind::kProject) return;
+    const auto& project = static_cast<const ProjectNode&>(*node);
+    if (project.optimizer_inserted &&
+        project.columns == project.children[0]->output_columns) {
+      node = std::move(node->children[0]);
+    }
+  }
+
+  void Prune(std::unique_ptr<PlanNode>& node,
+             std::vector<std::string> required) {
+    switch (node->kind) {
+      case PlanNodeKind::kVpScan:
+      case PlanNodeKind::kPtScan:
+        return;  // Scans already emit only pattern variables.
+      case PlanNodeKind::kHashJoin: {
+        auto& join = static_cast<HashJoinNode&>(*node);
+        for (std::unique_ptr<PlanNode>& child : join.children) {
+          // A join input must keep what downstream reads plus the join
+          // keys themselves.
+          std::vector<std::string> child_required;
+          for (const std::string& name : child->output_columns) {
+            if (Contains(required, name) ||
+                Contains(join.join_columns, name)) {
+              child_required.push_back(name);
+            }
+          }
+          if (child_required.size() < child->output_columns.size()) {
+            child = PlanBuilder::MakeProject(std::move(child),
+                                             child_required,
+                                             /*optimizer_inserted=*/true);
+            Prune(child->children[0], std::move(child_required));
+          } else {
+            Prune(child, std::move(child_required));
+          }
+        }
+        return;
+      }
+      case PlanNodeKind::kFilter: {
+        const auto& filter = static_cast<const FilterNode&>(*node);
+        if (!Contains(required, filter.constraint.variable)) {
+          required.push_back(filter.constraint.variable);
+        }
+        if (filter.constraint.rhs_is_variable &&
+            !Contains(required, filter.constraint.rhs_variable)) {
+          required.push_back(filter.constraint.rhs_variable);
+        }
+        break;
+      }
+      case PlanNodeKind::kProject:
+        required = static_cast<const ProjectNode&>(*node).columns;
+        break;
+      case PlanNodeKind::kOrderBy: {
+        const auto& order = static_cast<const OrderByNode&>(*node);
+        for (const sparql::OrderKey& key : order.keys) {
+          if (!Contains(required, key.variable)) {
+            required.push_back(key.variable);
+          }
+        }
+        break;
+      }
+      case PlanNodeKind::kAggregate: {
+        const auto& aggregate = static_cast<const AggregateNode&>(*node);
+        if (aggregate.count.variable.empty()) {
+          // COUNT(*) counts rows; a zero-column relation holds none, so
+          // everything the child produces must survive.
+          required = node->children[0]->output_columns;
+        } else {
+          required = {aggregate.count.variable};
+        }
+        break;
+      }
+      case PlanNodeKind::kDistinct:
+        // DISTINCT compares whole rows: every input column is live.
+        required = node->children[0]->output_columns;
+        break;
+      case PlanNodeKind::kLimit:
+        break;  // Pure slice: liveness passes through.
+    }
+    Prune(node->children[0], std::move(required));
+  }
+};
+
+}  // namespace
+
+PassManager::PassManager(PassManagerOptions options)
+    : options_(std::move(options)) {}
+
+void PassManager::AddPass(std::unique_ptr<OptimizerPass> pass) {
+  passes_.push_back(std::move(pass));
+}
+
+Status PassManager::Run(PhysicalPlan& plan, const PassContext& context) {
+  snapshots_.clear();
+  if (options_.validate) {
+    PROST_RETURN_IF_ERROR(options_.validate(plan));
+  }
+  for (const std::unique_ptr<OptimizerPass>& pass : passes_) {
+    std::string before;
+    if (options_.record_snapshots) before = plan.ToString();
+    PROST_RETURN_IF_ERROR(pass->Run(plan, context));
+    if (options_.record_snapshots) {
+      snapshots_.push_back(
+          PassSnapshot{pass->name(), std::move(before), plan.ToString()});
+    }
+    if (options_.validate) {
+      PROST_RETURN_IF_ERROR(options_.validate(plan));
+    }
+  }
+  return Status::OK();
+}
+
+std::unique_ptr<OptimizerPass> MakeFilterPushdownPass() {
+  return std::make_unique<FilterPushdownPass>();
+}
+
+std::unique_ptr<OptimizerPass> MakeJoinStrategyPass() {
+  return std::make_unique<JoinStrategyPass>();
+}
+
+std::unique_ptr<OptimizerPass> MakeEarlyProjectionPass() {
+  return std::make_unique<EarlyProjectionPass>();
+}
+
+void AddDefaultPasses(PassManager& manager, const PassOptions& options) {
+  if (options.filter_pushdown) manager.AddPass(MakeFilterPushdownPass());
+  if (options.resolve_join_strategy) manager.AddPass(MakeJoinStrategyPass());
+  if (options.early_projection) manager.AddPass(MakeEarlyProjectionPass());
+}
+
+}  // namespace prost::plan

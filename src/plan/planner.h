@@ -1,0 +1,35 @@
+#ifndef PROST_PLAN_PLANNER_H_
+#define PROST_PLAN_PLANNER_H_
+
+#include "common/status.h"
+#include "core/join_tree.h"
+#include "core/property_table.h"
+#include "core/vp_store.h"
+#include "plan/plan_ir.h"
+#include "sparql/algebra.h"
+
+namespace prost::plan {
+
+/// Storage the plan will execute against. Used only for planner-size
+/// estimates (ScanPlannerBytes) at build time — the plan itself carries
+/// no storage pointers.
+struct PlannerInputs {
+  const core::VpStore* vp = nullptr;
+  const core::PropertyTable* property_table = nullptr;
+  const core::PropertyTable* reverse_property_table = nullptr;
+};
+
+/// Lowers a Join Tree plus the query's solution modifiers into the
+/// initial physical plan: a left-deep join chain over the tree's scans
+/// (nodes[0] first, matching the translator's stats ordering), then the
+/// modifier tail in seed evaluation order — FILTERs, then either COUNT
+/// (the root, folding OFFSET) or ORDER BY → projection → DISTINCT →
+/// OFFSET/LIMIT. The result is unoptimized; run it through a PassManager
+/// to resolve join strategies, push filters, and prune columns.
+Result<PhysicalPlan> BuildPlan(const core::JoinTree& tree,
+                               const sparql::Query& query,
+                               const PlannerInputs& inputs);
+
+}  // namespace prost::plan
+
+#endif  // PROST_PLAN_PLANNER_H_

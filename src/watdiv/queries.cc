@@ -32,13 +32,15 @@ WatDivQuery Make(const char* id, char query_class, const std::string& body) {
 std::vector<WatDivQuery> BasicQuerySet(const WatDivDataset&) {
   // Placeholders are bound to popular (low-rank) entities, which the
   // generator guarantees exist and are well connected. The shapes follow
-  // the original WatDiv basic templates; deviations are limited to
-  // attribute renames documented in DESIGN.md.
+  // the original WatDiv basic templates; deviations (attribute renames
+  // and the projection lists of F4/L1) are documented in DESIGN.md.
+  // Projections follow the original templates where they are subsets
+  // (C1/C2/C3/F2); the rest project every variable, written SELECT *.
   std::vector<WatDivQuery> queries;
 
   // ---- Complex ----
   queries.push_back(Make("C1", 'C', R"(
-SELECT * WHERE {
+SELECT ?v0 ?v4 ?v6 ?v7 WHERE {
   ?v0 sorg:caption ?v1 .
   ?v0 sorg:text ?v2 .
   ?v0 sorg:contentRating ?v3 .
@@ -50,7 +52,7 @@ SELECT * WHERE {
 })"));
 
   queries.push_back(Make("C2", 'C', R"(
-SELECT * WHERE {
+SELECT ?v0 ?v3 ?v4 ?v7 WHERE {
   ?v0 sorg:legalName ?v1 .
   ?v0 gr:offers ?v2 .
   ?v2 sorg:eligibleRegion wsdbm:Country5 .
@@ -63,7 +65,7 @@ SELECT * WHERE {
 })"));
 
   queries.push_back(Make("C3", 'C', R"(
-SELECT * WHERE {
+SELECT ?v0 WHERE {
   ?v0 wsdbm:likes ?v1 .
   ?v0 wsdbm:friendOf ?v2 .
   ?v0 dc:Location ?v3 .
@@ -84,7 +86,7 @@ SELECT * WHERE {
 })"));
 
   queries.push_back(Make("F2", 'F', R"(
-SELECT * WHERE {
+SELECT ?v0 ?v1 ?v2 ?v4 ?v5 ?v6 ?v7 WHERE {
   ?v0 foaf:homepage ?v1 .
   ?v0 og:title ?v2 .
   ?v0 rdf:type ?v3 .
@@ -106,7 +108,7 @@ SELECT * WHERE {
 })"));
 
   queries.push_back(Make("F4", 'F', R"(
-SELECT * WHERE {
+SELECT ?v0 ?v1 ?v2 ?v4 ?v5 ?v7 WHERE {
   ?v0 foaf:homepage ?v1 .
   ?v2 gr:includes ?v0 .
   ?v0 og:tag wsdbm:Topic0 .
@@ -130,7 +132,7 @@ SELECT * WHERE {
 
   // ---- Linear ----
   queries.push_back(Make("L1", 'L', R"(
-SELECT * WHERE {
+SELECT ?v0 ?v2 WHERE {
   ?v0 wsdbm:subscribes wsdbm:Website0 .
   ?v2 sorg:caption ?v3 .
   ?v0 wsdbm:likes ?v2 .

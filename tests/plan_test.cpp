@@ -1,0 +1,527 @@
+// Tests for the physical plan IR (src/plan/), the optimizer pass
+// pipeline, and the on-vs-off differential guarantee: with every pass
+// enabled, results are bit-identical to the seed execution path and the
+// simulated time never gets worse — strictly better on a healthy slice
+// of the WatDiv basic query set.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "analysis/plan_checker.h"
+#include "core/prost_db.h"
+#include "plan/passes.h"
+#include "plan/plan_ir.h"
+#include "plan/planner.h"
+#include "rdf/graph.h"
+#include "sparql/parser.h"
+#include "watdiv/generator.h"
+#include "watdiv/queries.h"
+
+namespace prost {
+namespace {
+
+// ----------------------------------------------------------- Workload
+
+/// One WatDiv dataset, the 20 basic queries, and two PRoST instances
+/// over the same graph: optimizer passes on (the default) and all off
+/// (the seed execution path). Built once for the whole suite.
+struct PlanWorkload {
+  std::shared_ptr<const rdf::EncodedGraph> graph;
+  std::vector<watdiv::WatDivQuery> queries;
+  std::vector<sparql::Query> parsed;
+  std::unique_ptr<core::ProstDb> on;
+  std::unique_ptr<core::ProstDb> off;
+};
+
+PlanWorkload BuildPlanWorkload() {
+  PlanWorkload built;
+  watdiv::WatDivConfig config;
+  config.target_triples = 60000;
+  watdiv::WatDivDataset dataset = watdiv::Generate(config);
+  dataset.graph.SortAndDedupe();
+  built.queries = watdiv::BasicQuerySet(dataset);
+  built.graph =
+      std::make_shared<const rdf::EncodedGraph>(std::move(dataset.graph));
+  auto parsed = watdiv::ParseQuerySet(built.queries);
+  if (!parsed.ok()) {
+    ADD_FAILURE() << "query set: " << parsed.status();
+    std::exit(1);
+  }
+  built.parsed = std::move(parsed).value();
+
+  core::ProstDb::Options options;
+  options.cluster.ScaleToDataset(built.graph->size());
+  auto on = core::ProstDb::LoadFromSharedGraph(built.graph, options);
+  core::ProstDb::Options off_options = options;
+  off_options.passes.filter_pushdown = false;
+  off_options.passes.resolve_join_strategy = false;
+  off_options.passes.early_projection = false;
+  auto off = core::ProstDb::LoadFromSharedGraph(built.graph, off_options);
+  if (!on.ok() || !off.ok()) {
+    ADD_FAILURE() << "load: " << (on.ok() ? off.status() : on.status());
+    std::exit(1);
+  }
+  built.on = std::move(on).value();
+  built.off = std::move(off).value();
+  return built;
+}
+
+const PlanWorkload& Workload() {
+  static PlanWorkload workload = BuildPlanWorkload();
+  return workload;
+}
+
+/// A tiny hand-authored database for the crafted pushdown queries.
+std::unique_ptr<core::ProstDb> TinyDb() {
+  std::string triples;
+  for (int i = 0; i < 8; ++i) {
+    std::string person = "<http://ex/person" + std::to_string(i) + ">";
+    std::string city = "<http://ex/city" + std::to_string(i % 3) + ">";
+    triples += person + " <http://ex/livesIn> " + city + " .\n";
+    triples += city + " <http://ex/population> \"" +
+               std::to_string(100 * (i % 3 + 1)) +
+               "\"^^<http://www.w3.org/2001/XMLSchema#integer> .\n";
+  }
+  core::ProstDb::Options options;
+  auto db = core::ProstDb::LoadFromNTriples(triples, options);
+  EXPECT_TRUE(db.ok()) << db.status();
+  return std::move(db).value();
+}
+
+// -------------------------------------------------------- Plan shapes
+
+const plan::ScanNodeBase* AsScan(const plan::PlanNode& node) {
+  if (node.kind != plan::PlanNodeKind::kVpScan &&
+      node.kind != plan::PlanNodeKind::kPtScan) {
+    return nullptr;
+  }
+  return static_cast<const plan::ScanNodeBase*>(&node);
+}
+
+void CollectScans(const plan::PlanNode& node,
+                  std::vector<const plan::ScanNodeBase*>& scans) {
+  if (const plan::ScanNodeBase* scan = AsScan(node)) {
+    scans.push_back(scan);
+    return;
+  }
+  for (const auto& child : node.children) CollectScans(*child, scans);
+}
+
+/// Joins in execution (post-left-right) order — the order the
+/// interpreter reports QueryResult::join_strategies in.
+void CollectJoins(const plan::PlanNode& node,
+                  std::vector<const plan::HashJoinNode*>& joins) {
+  for (const auto& child : node.children) CollectJoins(*child, joins);
+  if (node.kind == plan::PlanNodeKind::kHashJoin) {
+    joins.push_back(static_cast<const plan::HashJoinNode*>(&node));
+  }
+}
+
+/// FilterNodes of the unary tail above the top join, root-first.
+std::vector<const plan::FilterNode*> TailFilters(const plan::PlanNode& root) {
+  std::vector<const plan::FilterNode*> filters;
+  const plan::PlanNode* node = &root;
+  while (node->children.size() == 1) {
+    if (node->kind == plan::PlanNodeKind::kFilter) {
+      filters.push_back(static_cast<const plan::FilterNode*>(node));
+    }
+    node = node->children[0].get();
+  }
+  return filters;
+}
+
+// ------------------------------------------------- Pass pipeline shape
+
+TEST(PassPipelineTest, SnapshotsChainOnePerPass) {
+  const PlanWorkload& workload = Workload();
+  for (size_t i = 0; i < workload.parsed.size(); ++i) {
+    SCOPED_TRACE(workload.queries[i].id);
+    auto planned = workload.on->PlanPhysical(workload.parsed[i]);
+    ASSERT_TRUE(planned.ok()) << planned.status();
+    ASSERT_EQ(planned->snapshots.size(), 3u);
+    EXPECT_EQ(planned->snapshots[0].pass, "filter_pushdown");
+    EXPECT_EQ(planned->snapshots[1].pass, "join_strategy");
+    EXPECT_EQ(planned->snapshots[2].pass, "early_projection");
+    // Snapshots chain: each pass starts from the previous one's output,
+    // and the last "after" is the plan Execute() runs.
+    EXPECT_EQ(planned->snapshots[0].after, planned->snapshots[1].before);
+    EXPECT_EQ(planned->snapshots[1].after, planned->snapshots[2].before);
+    EXPECT_EQ(planned->snapshots[2].after, planned->plan.ToString());
+
+    // The first "before" is the unoptimized plan straight out of the
+    // planner lowering.
+    auto tree = workload.on->Plan(workload.parsed[i]);
+    ASSERT_TRUE(tree.ok()) << tree.status();
+    plan::PlannerInputs inputs;
+    inputs.vp = &workload.on->vp_store();
+    inputs.property_table = workload.on->property_table();
+    auto unoptimized = plan::BuildPlan(*tree, workload.parsed[i], inputs);
+    ASSERT_TRUE(unoptimized.ok()) << unoptimized.status();
+    EXPECT_EQ(planned->snapshots[0].before, unoptimized->ToString());
+  }
+}
+
+TEST(PassPipelineTest, AllPassesOffPlansTheUnoptimizedTree) {
+  const PlanWorkload& workload = Workload();
+  for (size_t i = 0; i < workload.parsed.size(); ++i) {
+    SCOPED_TRACE(workload.queries[i].id);
+    auto planned = workload.off->PlanPhysical(workload.parsed[i]);
+    ASSERT_TRUE(planned.ok()) << planned.status();
+    EXPECT_TRUE(planned->snapshots.empty());
+    std::vector<const plan::HashJoinNode*> joins;
+    CollectJoins(*planned->plan.root, joins);
+    for (const plan::HashJoinNode* join : joins) {
+      EXPECT_FALSE(join->strategy.has_value());
+    }
+    std::vector<const plan::ScanNodeBase*> scans;
+    CollectScans(*planned->plan.root, scans);
+    for (const plan::ScanNodeBase* scan : scans) {
+      EXPECT_TRUE(scan->pushed_filters.empty());
+    }
+  }
+}
+
+TEST(PassPipelineTest, InvariantsHoldBeforeAndAfterEveryPass) {
+  const PlanWorkload& workload = Workload();
+  for (size_t i = 0; i < workload.parsed.size(); ++i) {
+    SCOPED_TRACE(workload.queries[i].id);
+    const sparql::Query& query = workload.parsed[i];
+    auto tree = workload.on->Plan(query);
+    ASSERT_TRUE(tree.ok()) << tree.status();
+    plan::PlannerInputs inputs;
+    inputs.vp = &workload.on->vp_store();
+    inputs.property_table = workload.on->property_table();
+    auto physical = plan::BuildPlan(*tree, query, inputs);
+    ASSERT_TRUE(physical.ok()) << physical.status();
+
+    int validations = 0;
+    plan::PassManagerOptions manager_options;
+    manager_options.validate = [&](const plan::PhysicalPlan& p) {
+      ++validations;
+      return analysis::CheckPhysicalPlan(p, query);
+    };
+    plan::PassManager manager(std::move(manager_options));
+    plan::AddDefaultPasses(manager, plan::PassOptions{});
+    plan::PassContext context;
+    context.join = workload.on->options().join;
+    context.cluster = &workload.on->options().cluster;
+    Status run = manager.Run(*physical, context);
+    EXPECT_TRUE(run.ok()) << run;
+    // Once before the first pass, once after each of the three.
+    EXPECT_EQ(validations, 4);
+  }
+}
+
+// ------------------------------------------------- Early projection
+
+/// Independent liveness walker: recomputes, top-down, the set of columns
+/// each node's output must still supply, and checks that every
+/// optimizer-inserted prune keeps exactly the live columns (in child
+/// column order) and that no dead column survives where no prune was
+/// inserted. Returns the number of inserted prunes seen.
+int CheckLiveness(const plan::PlanNode& node, std::set<std::string> live) {
+  switch (node.kind) {
+    case plan::PlanNodeKind::kVpScan:
+    case plan::PlanNodeKind::kPtScan:
+      return 0;
+    case plan::PlanNodeKind::kHashJoin: {
+      // Join keys are the columns the children share; they must survive
+      // below the join regardless of what downstream reads.
+      std::set<std::string> left(node.children[0]->output_columns.begin(),
+                                 node.children[0]->output_columns.end());
+      std::set<std::string> shared;
+      for (const std::string& name : node.children[1]->output_columns) {
+        if (left.count(name) > 0) shared.insert(name);
+      }
+      EXPECT_FALSE(shared.empty());
+      int prunes = 0;
+      for (const auto& child : node.children) {
+        std::set<std::string> child_live;
+        for (const std::string& name : child->output_columns) {
+          if (live.count(name) > 0 || shared.count(name) > 0) {
+            child_live.insert(name);
+          }
+        }
+        if (child->kind == plan::PlanNodeKind::kProject &&
+            static_cast<const plan::ProjectNode&>(*child)
+                .optimizer_inserted) {
+          const auto& prune = static_cast<const plan::ProjectNode&>(*child);
+          const plan::PlanNode& input = *prune.children[0];
+          // Exactness: the prune keeps precisely the live subset of its
+          // input, in input column order, and is never a no-op.
+          std::vector<std::string> expected;
+          for (const std::string& name : input.output_columns) {
+            if (child_live.count(name) > 0) expected.push_back(name);
+          }
+          EXPECT_EQ(prune.columns, expected);
+          EXPECT_LT(prune.columns.size(), input.output_columns.size());
+          prunes += 1 + CheckLiveness(
+                            input, {prune.columns.begin(),
+                                    prune.columns.end()});
+        } else {
+          // No prune inserted: every column the child produces must be
+          // live, or the pass missed a dead column.
+          EXPECT_EQ(child_live.size(), child->output_columns.size())
+              << "dead column survives under join " << node.Label();
+          prunes += CheckLiveness(*child, std::move(child_live));
+        }
+      }
+      return prunes;
+    }
+    case plan::PlanNodeKind::kFilter: {
+      const auto& filter = static_cast<const plan::FilterNode&>(node);
+      live.insert(filter.constraint.variable);
+      if (filter.constraint.rhs_is_variable) {
+        live.insert(filter.constraint.rhs_variable);
+      }
+      break;
+    }
+    case plan::PlanNodeKind::kProject: {
+      const auto& project = static_cast<const plan::ProjectNode&>(node);
+      live = {project.columns.begin(), project.columns.end()};
+      break;
+    }
+    case plan::PlanNodeKind::kOrderBy: {
+      const auto& order = static_cast<const plan::OrderByNode&>(node);
+      for (const sparql::OrderKey& key : order.keys) live.insert(key.variable);
+      break;
+    }
+    case plan::PlanNodeKind::kAggregate: {
+      const auto& aggregate = static_cast<const plan::AggregateNode&>(node);
+      if (aggregate.count.variable.empty()) {
+        live = {node.children[0]->output_columns.begin(),
+                node.children[0]->output_columns.end()};
+      } else {
+        live = {aggregate.count.variable};
+      }
+      break;
+    }
+    case plan::PlanNodeKind::kDistinct:
+      live = {node.children[0]->output_columns.begin(),
+              node.children[0]->output_columns.end()};
+      break;
+    case plan::PlanNodeKind::kLimit:
+      break;
+  }
+  return CheckLiveness(*node.children[0], std::move(live));
+}
+
+TEST(EarlyProjectionTest, DropsExactlyDeadColumnsOnEveryWatDivQuery) {
+  const PlanWorkload& workload = Workload();
+  int total_prunes = 0;
+  for (size_t i = 0; i < workload.parsed.size(); ++i) {
+    SCOPED_TRACE(workload.queries[i].id);
+    auto planned = workload.on->PlanPhysical(workload.parsed[i]);
+    ASSERT_TRUE(planned.ok()) << planned.status();
+    const plan::PlanNode& root = *planned->plan.root;
+    total_prunes += CheckLiveness(
+        root, {root.output_columns.begin(), root.output_columns.end()});
+  }
+  // The walker must not be vacuous: the WatDiv set carries dead columns
+  // on several queries (that is the point of the pass).
+  EXPECT_GT(total_prunes, 0);
+}
+
+// ------------------------------------------------- Filter pushdown
+
+TEST(FilterPushdownTest, ConstantsReachScansVariablePairsStayAboveJoin) {
+  std::unique_ptr<core::ProstDb> db = TinyDb();
+  auto query = sparql::ParseQuery(
+      "SELECT ?a ?b ?c WHERE { ?a <http://ex/livesIn> ?b . "
+      "?b <http://ex/population> ?c . "
+      "FILTER(?c > 150) FILTER(?a != ?b) "
+      "FILTER(?b != <http://ex/city7>) }");
+  ASSERT_TRUE(query.ok()) << query.status();
+  auto planned = db->PlanPhysical(*query);
+  ASSERT_TRUE(planned.ok()) << planned.status();
+
+  // The variable-vs-variable filter cannot be pushed: it stays in the
+  // tail, above the join.
+  std::vector<const plan::FilterNode*> tail =
+      TailFilters(*planned->plan.root);
+  ASSERT_EQ(tail.size(), 1u);
+  EXPECT_EQ(tail[0]->constraint.variable, "a");
+  EXPECT_TRUE(tail[0]->constraint.rhs_is_variable);
+
+  // Both constant filters left the tail: ?c > 150 into the one scan that
+  // binds ?c, ?b != <city7> into every scan that binds ?b (both).
+  std::vector<const plan::ScanNodeBase*> scans;
+  CollectScans(*planned->plan.root, scans);
+  ASSERT_EQ(scans.size(), 2u);
+  int saw_c = 0;
+  int saw_b = 0;
+  for (const plan::ScanNodeBase* scan : scans) {
+    bool binds_c = false;
+    for (const std::string& name : plan::PlanBuilder::ScanOutputColumns(
+             scan->source)) {
+      if (name == "c") binds_c = true;
+    }
+    for (const sparql::FilterConstraint& pushed : scan->pushed_filters) {
+      EXPECT_FALSE(pushed.rhs_is_variable);
+      if (pushed.variable == "c") {
+        ++saw_c;
+        EXPECT_TRUE(binds_c);
+      } else {
+        EXPECT_EQ(pushed.variable, "b");
+        ++saw_b;
+      }
+    }
+  }
+  EXPECT_EQ(saw_c, 1);
+  EXPECT_EQ(saw_b, 2);
+
+  // And pushing never changes the answer.
+  core::ProstDb::Options off_options;
+  off_options.passes.filter_pushdown = false;
+  off_options.passes.resolve_join_strategy = false;
+  off_options.passes.early_projection = false;
+  std::string triples;
+  for (int i = 0; i < 8; ++i) {
+    std::string person = "<http://ex/person" + std::to_string(i) + ">";
+    std::string city = "<http://ex/city" + std::to_string(i % 3) + ">";
+    triples += person + " <http://ex/livesIn> " + city + " .\n";
+    triples += city + " <http://ex/population> \"" +
+               std::to_string(100 * (i % 3 + 1)) +
+               "\"^^<http://www.w3.org/2001/XMLSchema#integer> .\n";
+  }
+  auto off = core::ProstDb::LoadFromNTriples(triples, off_options);
+  ASSERT_TRUE(off.ok()) << off.status();
+  auto on_result = db->Execute(*query);
+  auto off_result = (*off)->Execute(*query);
+  ASSERT_TRUE(on_result.ok()) << on_result.status();
+  ASSERT_TRUE(off_result.ok()) << off_result.status();
+  EXPECT_EQ(on_result->relation.column_names(),
+            off_result->relation.column_names());
+  ASSERT_EQ(on_result->relation.num_chunks(),
+            off_result->relation.num_chunks());
+  for (uint32_t c = 0; c < on_result->relation.num_chunks(); ++c) {
+    EXPECT_EQ(on_result->relation.chunks()[c].columns,
+              off_result->relation.chunks()[c].columns);
+  }
+  EXPECT_GT(on_result->num_rows(), 0u);
+}
+
+TEST(FilterPushdownTest, WatDivFiltersAreNeverLost) {
+  // Every query filter must survive somewhere: pushed into a scan or
+  // kept in the tail, never both, never dropped.
+  const PlanWorkload& workload = Workload();
+  for (size_t i = 0; i < workload.parsed.size(); ++i) {
+    SCOPED_TRACE(workload.queries[i].id);
+    auto planned = workload.on->PlanPhysical(workload.parsed[i]);
+    ASSERT_TRUE(planned.ok()) << planned.status();
+    size_t in_tail = TailFilters(*planned->plan.root).size();
+    std::vector<const plan::ScanNodeBase*> scans;
+    CollectScans(*planned->plan.root, scans);
+    std::set<std::string> pushed_vars;
+    for (const plan::ScanNodeBase* scan : scans) {
+      for (const sparql::FilterConstraint& pushed : scan->pushed_filters) {
+        pushed_vars.insert(pushed.variable);
+      }
+    }
+    size_t pushed_away = 0;
+    for (const sparql::FilterConstraint& filter :
+         workload.parsed[i].filters) {
+      if (!filter.rhs_is_variable && pushed_vars.count(filter.variable)) {
+        ++pushed_away;
+      }
+    }
+    EXPECT_EQ(in_tail + pushed_away, workload.parsed[i].filters.size());
+  }
+}
+
+// ------------------------------------------------- Strategy resolution
+
+TEST(JoinStrategyTest, PlannedStrategyMatchesExecutedOnEveryQuery) {
+  const PlanWorkload& workload = Workload();
+  for (size_t i = 0; i < workload.parsed.size(); ++i) {
+    SCOPED_TRACE(workload.queries[i].id);
+    auto planned = workload.on->PlanPhysical(workload.parsed[i]);
+    ASSERT_TRUE(planned.ok()) << planned.status();
+    std::vector<const plan::HashJoinNode*> joins;
+    CollectJoins(*planned->plan.root, joins);
+    std::vector<engine::JoinStrategy> resolved;
+    for (const plan::HashJoinNode* join : joins) {
+      ASSERT_TRUE(join->strategy.has_value()) << join->Label();
+      resolved.push_back(*join->strategy);
+    }
+    auto result = workload.on->Execute(workload.parsed[i]);
+    ASSERT_TRUE(result.ok()) << result.status();
+    EXPECT_EQ(result->join_strategies, resolved);
+  }
+}
+
+// ------------------------------------------------- Differential suite
+
+TEST(PlanDifferentialTest, PassesOnIsBitIdenticalAndNeverSlower) {
+  const PlanWorkload& workload = Workload();
+  int strictly_faster = 0;
+  std::string winners;
+  for (size_t i = 0; i < workload.parsed.size(); ++i) {
+    SCOPED_TRACE(workload.queries[i].id);
+    auto on = workload.on->Execute(workload.parsed[i]);
+    auto off = workload.off->Execute(workload.parsed[i]);
+    ASSERT_TRUE(on.ok()) << on.status();
+    ASSERT_TRUE(off.ok()) << off.status();
+
+    // Bit-identical rows: same columns, same chunking, same TermIds.
+    EXPECT_EQ(on->relation.column_names(), off->relation.column_names());
+    ASSERT_EQ(on->relation.num_chunks(), off->relation.num_chunks());
+    for (uint32_t c = 0; c < on->relation.num_chunks(); ++c) {
+      EXPECT_EQ(on->relation.chunks()[c].columns,
+                off->relation.chunks()[c].columns)
+          << "chunk " << c;
+    }
+    // Plan-time strategy resolution picks exactly what the seed derived
+    // at run time.
+    EXPECT_EQ(on->join_strategies, off->join_strategies);
+
+    // The optimizer never loses simulated time.
+    EXPECT_LE(on->simulated_millis, off->simulated_millis + 1e-9);
+    if (on->simulated_millis < off->simulated_millis - 1e-9) {
+      ++strictly_faster;
+      winners += workload.queries[i].id + " ";
+    }
+  }
+  // Early projection + pushdown must pay off outright on a healthy
+  // slice of the query set (C1/C2/F2/F4/L1 carry dead columns through
+  // their join chains at this scale).
+  EXPECT_GE(strictly_faster, 5) << "strict wins: " << winners;
+}
+
+// ------------------------------------------------- Builder error paths
+
+TEST(PlanBuilderTest, EmptyTreeAndCrossProductAreRejected) {
+  std::unique_ptr<core::ProstDb> db = TinyDb();
+  core::JoinTree empty;
+  auto query = sparql::ParseQuery(
+      "SELECT * WHERE { ?a <http://ex/livesIn> ?b . }");
+  ASSERT_TRUE(query.ok()) << query.status();
+  plan::PlannerInputs inputs;
+  inputs.vp = &db->vp_store();
+  inputs.property_table = db->property_table();
+  auto built = plan::BuildPlan(empty, *query, inputs);
+  EXPECT_FALSE(built.ok());
+
+  // Two scans with no shared variable cannot be hash-joined.
+  auto left_query = sparql::ParseQuery(
+      "SELECT * WHERE { ?a <http://ex/livesIn> ?b . }");
+  auto right_query = sparql::ParseQuery(
+      "SELECT * WHERE { ?x <http://ex/population> ?y . }");
+  ASSERT_TRUE(left_query.ok() && right_query.ok());
+  auto left_tree = db->Plan(*left_query);
+  auto right_tree = db->Plan(*right_query);
+  ASSERT_TRUE(left_tree.ok() && right_tree.ok());
+  auto cross = plan::PlanBuilder::MakeHashJoin(
+      plan::PlanBuilder::MakeScan(left_tree->nodes[0], 0),
+      plan::PlanBuilder::MakeScan(right_tree->nodes[0], 0));
+  EXPECT_FALSE(cross.ok());
+}
+
+}  // namespace
+}  // namespace prost

@@ -21,6 +21,13 @@ Checks, each with a short rule id used in diagnostics:
                        includes come before "quote" includes and both
                        groups are sorted (the first block of a .cc may
                        start with its own header).
+  plan-node-construction
+                       physical-plan nodes (plan/plan_ir.h) constructed
+                       outside src/plan/: schema and planner-size rules
+                       live in plan::PlanBuilder, so everything else must
+                       go through its factories. (The constructors are
+                       private too; this catches friend-ship creep and
+                       make_unique workarounds before the compiler.)
 
 Exit status 0 when clean, 1 with one "path:line: [rule] message" per
 violation otherwise.
@@ -84,12 +91,20 @@ SMART_POINTER_NEW = re.compile(
     r"(?:std::)?(?:unique_ptr|shared_ptr)\s*<[^;]*>\s*[({][^;]*\bnew\b"
 )
 STATIC_SINGLETON_NEW = re.compile(r"\bstatic\b[^;=]*=\s*new\b")
+PLAN_NODE_NAMES = (
+    "VpScanNode|PtScanNode|HashJoinNode|FilterNode|ProjectNode|"
+    "OrderByNode|AggregateNode|DistinctNode|LimitNode"
+)
+PLAN_NODE_CONSTRUCTION = re.compile(
+    rf"\b(?:{PLAN_NODE_NAMES})\s*[({{]"
+    rf"|\bmake_unique\s*<\s*(?:plan\s*::\s*)?(?:{PLAN_NODE_NAMES})\b"
+)
 GTEST_HOOK = re.compile(r"\bvoid\s+(SetUp|TearDown)\s*\(\s*\)")
 REDUNDANT_VIRTUAL = re.compile(r"\bvirtual\b[^;{]*\boverride\b")
 INCLUDE = re.compile(r'^\s*#\s*include\s*(<[^>]+>|"[^"]+")')
 
 
-def lint_lexical(path, lines, failures, check_value_rule):
+def lint_lexical(path, lines, failures, check_value_rule, check_plan_rule):
     previous = ""
     for number, line in lines:
         # A smart-pointer constructor call often wraps, leaving `new` at
@@ -114,6 +129,12 @@ def lint_lexical(path, lines, failures, check_value_rule):
                     "std::unique_ptr construction or a static singleton; "
                     "use std::make_unique or a container"
                 )
+        if check_plan_rule and PLAN_NODE_CONSTRUCTION.search(line):
+            failures.append(
+                f"{path}:{number}: [plan-node-construction] plan nodes are "
+                "constructed only inside src/plan/; use the "
+                "plan::PlanBuilder factories"
+            )
         if "std::endl" in line:
             failures.append(
                 f"{path}:{number}: [std-endl] std::endl forces a flush; "
@@ -188,8 +209,10 @@ def main():
             text = path.read_text(encoding="utf-8")
             relative = path.relative_to(root)
             lines = code_lines(text)
+            in_plan = relative.parts[:2] == ("src", "plan")
             lint_lexical(relative, lines, failures,
-                         check_value_rule=directory == "src")
+                         check_value_rule=directory == "src",
+                         check_plan_rule=not in_plan)
             lint_include_order(relative, text, failures)
 
     for failure in failures:
