@@ -29,6 +29,11 @@ struct ExecutionCounters {
 /// stage. Closing a stage advances the clock by the *maximum* worker busy
 /// time (workers run in parallel; the straggler gates the stage, as in
 /// Spark's BSP model) plus transfer time plus fixed stage overhead.
+///
+/// NOT thread-safe by contract: all Charge* calls happen on the
+/// coordinating thread outside parallel regions (DESIGN.md §7), so the
+/// model owns no Mutex and sits outside the §11 lock hierarchy —
+/// simulated time must not observe host parallelism.
 class CostModel {
  public:
   explicit CostModel(const ClusterConfig& config);

@@ -6,6 +6,10 @@
 namespace prost {
 namespace {
 
+// Relaxed ordering throughout (DESIGN.md §11 atomics inventory): the
+// level is a single word with no dependent state, so a racing
+// SetLogLevel may drop or admit one in-flight message but can never
+// corrupt anything.
 std::atomic<int> g_log_level{static_cast<int>(LogLevel::kWarning)};
 
 const char* LevelName(LogLevel level) {

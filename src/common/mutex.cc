@@ -1,0 +1,128 @@
+#include "common/mutex.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace prost {
+
+#if PROST_LOCK_RANK_CHECKS
+
+namespace internal {
+namespace {
+
+/// Per-thread stack of held ranks. Pushes keep it weakly sorted (every
+/// blocking acquire must exceed the current maximum); releases may happen
+/// in any order, so RankNoteReleased removes the topmost matching entry
+/// rather than insisting on LIFO. Deep enough that overflow means a bug,
+/// not a workload.
+constexpr int kMaxHeldLocks = 32;
+thread_local int tls_held_ranks[kMaxHeldLocks];
+thread_local int tls_held_depth = 0;
+
+[[noreturn]] void RankAbort(const char* what, int rank, int held) {
+  std::fprintf(stderr,
+               "prost: lock-rank violation: %s rank %d while holding rank "
+               "%d (see DESIGN.md §11 for the lock hierarchy)\n",
+               what, rank, held);
+  std::abort();
+}
+
+}  // namespace
+
+void RankCheckAcquire(int rank) {
+  int max_held = -1;
+  for (int i = 0; i < tls_held_depth; ++i) {
+    if (tls_held_ranks[i] > max_held) max_held = tls_held_ranks[i];
+  }
+  if (tls_held_depth > 0 && rank <= max_held) {
+    RankAbort("acquiring", rank, max_held);
+  }
+}
+
+void RankNoteAcquired(int rank) {
+  if (tls_held_depth == kMaxHeldLocks) {
+    std::fprintf(stderr,
+                 "prost: lock-rank checker: thread holds more than %d "
+                 "mutexes — almost certainly a leak\n",
+                 kMaxHeldLocks);
+    std::abort();
+  }
+  tls_held_ranks[tls_held_depth++] = rank;
+}
+
+void RankNoteReleased(int rank) {
+  for (int i = tls_held_depth - 1; i >= 0; --i) {
+    if (tls_held_ranks[i] != rank) continue;
+    for (int j = i; j + 1 < tls_held_depth; ++j) {
+      tls_held_ranks[j] = tls_held_ranks[j + 1];
+    }
+    --tls_held_depth;
+    return;
+  }
+  RankAbort("releasing un-held", rank, -1);
+}
+
+int RankHeldDepth() { return tls_held_depth; }
+
+}  // namespace internal
+
+#endif  // PROST_LOCK_RANK_CHECKS
+
+void MutexBase::Lock() {
+  internal::RankCheckAcquire(rank_);
+  mu_.lock();
+  internal::RankNoteAcquired(rank_);
+}
+
+void MutexBase::Unlock() {
+  internal::RankNoteReleased(rank_);
+  mu_.unlock();
+}
+
+bool MutexBase::TryLock() {
+  // No RankCheckAcquire: a non-blocking probe cannot deadlock. The rank
+  // is still recorded so blocking acquires made *while holding* the
+  // try-acquired mutex stay checked.
+  if (!mu_.try_lock()) return false;
+  internal::RankNoteAcquired(rank_);
+  return true;
+}
+
+void MutexBase::LockForWait() {
+  internal::RankCheckAcquire(rank_);
+  mu_.lock();
+  internal::RankNoteAcquired(rank_);
+}
+
+void MutexBase::UnlockForWait() {
+  internal::RankNoteReleased(rank_);
+  mu_.unlock();
+}
+
+namespace internal {
+
+/// BasicLockable shim handed to condition_variable_any: routes the
+/// wait-time release/reacquire through the rank bookkeeping without any
+/// capability annotations, so the static analysis (correctly) treats the
+/// mutex as held across CondVar::Wait from the caller's point of view.
+class CondVarWaitAdapter {
+ public:
+  explicit CondVarWaitAdapter(MutexBase& mu) : mu_(mu) {}
+  void lock() { mu_.LockForWait(); }
+  void unlock() { mu_.UnlockForWait(); }
+
+ private:
+  MutexBase& mu_;
+};
+
+}  // namespace internal
+
+void CondVar::Wait(MutexBase& mu) {
+  internal::CondVarWaitAdapter adapter(mu);
+  // NOLINTNEXTLINE(bugprone-spuriously-wake-up-functions): Wait *is* the
+  // single-wakeup primitive; every caller loops on its predicate (the
+  // header bans a lambda-predicate overload on purpose).
+  cv_.wait(adapter);
+}
+
+}  // namespace prost

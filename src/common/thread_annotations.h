@@ -1,0 +1,75 @@
+#ifndef PROST_COMMON_THREAD_ANNOTATIONS_H_
+#define PROST_COMMON_THREAD_ANNOTATIONS_H_
+
+/// Clang thread-safety-analysis attributes, spelled as PROST_* macros so
+/// every other compiler sees clean no-ops. Annotating a field with
+/// PROST_GUARDED_BY(mu) or a function with PROST_REQUIRES(mu) turns an
+/// unlocked access into a compile error under
+/// `-Wthread-safety -Werror=thread-safety` (the PROST_THREAD_SAFETY CMake
+/// option and the "Clang thread-safety" CI leg); see DESIGN.md §11 for
+/// the system-wide locking model these annotations encode.
+///
+/// Only `prost::Mutex` / `prost::MutexLock` (common/mutex.h) carry the
+/// capability attributes — raw std::mutex is banned outside that header
+/// by the tools/lint.py `raw-concurrency` rule — so the analysis sees
+/// every lock and unlock in the program.
+
+#if defined(__clang__) && defined(__has_attribute)
+#define PROST_THREAD_ANNOTATION_(x) __attribute__((x))
+#else
+#define PROST_THREAD_ANNOTATION_(x)  // no-op outside Clang
+#endif
+
+/// Declares a class to be a lockable capability ("mutex" names the kind
+/// in diagnostics).
+#define PROST_CAPABILITY(x) PROST_THREAD_ANNOTATION_(capability(x))
+
+/// Declares an RAII class whose lifetime acquires/releases a capability.
+#define PROST_SCOPED_CAPABILITY PROST_THREAD_ANNOTATION_(scoped_lockable)
+
+/// Field/variable may only be read or written while holding `x`.
+#define PROST_GUARDED_BY(x) PROST_THREAD_ANNOTATION_(guarded_by(x))
+
+/// Pointer field whose *pointee* is protected by `x` (the pointer itself
+/// may be read freely).
+#define PROST_PT_GUARDED_BY(x) PROST_THREAD_ANNOTATION_(pt_guarded_by(x))
+
+/// Function requires the capability to be held on entry (and does not
+/// release it).
+#define PROST_REQUIRES(...) \
+  PROST_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+
+/// Function may not be called while holding the capability (anti-deadlock
+/// complement of PROST_REQUIRES; the runtime lock-rank checker is the
+/// dynamic version of the same contract).
+#define PROST_EXCLUDES(...) \
+  PROST_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+
+/// Function acquires the capability (held on exit, not on entry). With no
+/// argument the capability is `this`.
+#define PROST_ACQUIRE(...) \
+  PROST_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+
+/// Function releases the capability (held on entry, not on exit).
+#define PROST_RELEASE(...) \
+  PROST_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+
+/// Function acquires the capability iff it returns `b`.
+#define PROST_TRY_ACQUIRE(b, ...) \
+  PROST_THREAD_ANNOTATION_(try_acquire_capability(b, __VA_ARGS__))
+
+/// Function returns a reference to the capability guarding its result.
+#define PROST_RETURN_CAPABILITY(x) \
+  PROST_THREAD_ANNOTATION_(lock_returned(x))
+
+/// Runtime assertion that the calling thread holds the capability
+/// (informs the static analysis without acquiring).
+#define PROST_ASSERT_CAPABILITY(x) \
+  PROST_THREAD_ANNOTATION_(assert_capability(x))
+
+/// Escape hatch: disables analysis of one function body. Every use must
+/// carry a comment explaining why the invariant holds anyway.
+#define PROST_NO_THREAD_SAFETY_ANALYSIS \
+  PROST_THREAD_ANNOTATION_(no_thread_safety_analysis)
+
+#endif  // PROST_COMMON_THREAD_ANNOTATIONS_H_

@@ -16,10 +16,10 @@ ThreadPool::ThreadPool(uint32_t num_threads)
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     shutdown_ = true;
   }
-  work_cv_.notify_all();
+  work_cv_.NotifyAll();
   for (std::thread& thread : threads_) thread.join();
 }
 
@@ -31,38 +31,48 @@ void ThreadPool::ParallelFor(size_t num_tasks,
     return;
   }
   {
-    std::lock_guard<std::mutex> lock(mu_);
-    // The previous region fully quiesced before ParallelFor returned, so
-    // no worker touches the shards here. Contiguous blocks: participant 0
-    // (the caller) gets the lowest indices.
+    MutexLock lock(mu_);
+    // The previous region fully quiesced before its ParallelFor
+    // returned, so the shard locks below are uncontended; they are taken
+    // anyway because the deques are guarded state (control rank < shard
+    // rank, so holding both here is in hierarchy order). Contiguous
+    // blocks: participant 0 (the caller) gets the lowest indices.
     size_t block = (num_tasks + num_threads_ - 1) / num_threads_;
     for (uint32_t p = 0; p < num_threads_; ++p) {
       size_t begin = p * block;
       size_t end = begin + block < num_tasks ? begin + block : num_tasks;
-      shards_[p]->tasks.clear();
-      for (size_t i = begin; i < end; ++i) shards_[p]->tasks.push_back(i);
+      Shard& shard = *shards_[p];
+      MutexLock shard_lock(shard.mu);
+      shard.tasks.clear();
+      for (size_t i = begin; i < end; ++i) shard.tasks.push_back(i);
     }
     fn_ = &fn;
+    // Relaxed is enough: workers only observe the region (and thus this
+    // store) after the mu_ handoff on the generation bump below.
     remaining_.store(num_tasks, std::memory_order_relaxed);
     ++generation_;
   }
-  work_cv_.notify_all();
+  work_cv_.NotifyAll();
   RunParticipant(0, fn);
-  std::unique_lock<std::mutex> lock(mu_);
-  done_cv_.wait(lock, [this] {
-    return remaining_.load(std::memory_order_acquire) == 0 &&
-           active_workers_ == 0;
-  });
+  MutexLock lock(mu_);
+  // Quiesce: every task done *and* every worker out of RunParticipant
+  // (a worker may still be probing empty shards after the last task).
+  // The acquire load pairs with the acq_rel decrements in RunParticipant
+  // so task-body writes are visible once this reads zero.
+  while (remaining_.load(std::memory_order_acquire) != 0 ||
+         active_workers_ != 0) {
+    done_cv_.Wait(mu_);
+  }
   fn_ = nullptr;
 }
 
 void ThreadPool::WorkerLoop(uint32_t participant) {
   uint64_t seen_generation = 0;
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (;;) {
-    work_cv_.wait(lock, [&] {
-      return shutdown_ || generation_ != seen_generation;
-    });
+    while (!shutdown_ && generation_ == seen_generation) {
+      work_cv_.Wait(mu_);
+    }
     if (shutdown_) return;
     seen_generation = generation_;
     if (fn_ == nullptr) {
@@ -74,10 +84,10 @@ void ThreadPool::WorkerLoop(uint32_t participant) {
     }
     const std::function<void(size_t)>& fn = *fn_;
     ++active_workers_;
-    lock.unlock();
+    lock.Unlock();
     RunParticipant(participant, fn);
-    lock.lock();
-    if (--active_workers_ == 0) done_cv_.notify_all();
+    lock.Lock();
+    if (--active_workers_ == 0) done_cv_.NotifyAll();
   }
 }
 
@@ -86,10 +96,13 @@ void ThreadPool::RunParticipant(uint32_t participant,
   size_t task = 0;
   while (NextTask(participant, &task)) {
     fn(task);
+    // acq_rel: the release half publishes this task's writes to the
+    // caller's acquire load in ParallelFor; the acquire half keeps the
+    // decrements themselves totally ordered (release sequence).
     if (remaining_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
       // Last task overall: wake the caller (it may be waiting already).
-      std::lock_guard<std::mutex> lock(mu_);
-      done_cv_.notify_all();
+      MutexLock lock(mu_);
+      done_cv_.NotifyAll();
     }
   }
 }
@@ -97,7 +110,7 @@ void ThreadPool::RunParticipant(uint32_t participant,
 bool ThreadPool::NextTask(uint32_t participant, size_t* task) {
   Shard& own = *shards_[participant];
   {
-    std::lock_guard<std::mutex> lock(own.mu);
+    MutexLock lock(own.mu);
     if (!own.tasks.empty()) {
       *task = own.tasks.front();
       own.tasks.pop_front();
@@ -106,7 +119,7 @@ bool ThreadPool::NextTask(uint32_t participant, size_t* task) {
   }
   for (uint32_t offset = 1; offset < num_threads_; ++offset) {
     Shard& victim = *shards_[(participant + offset) % num_threads_];
-    std::lock_guard<std::mutex> lock(victim.mu);
+    MutexLock lock(victim.mu);
     if (!victim.tasks.empty()) {
       *task = victim.tasks.back();
       victim.tasks.pop_back();

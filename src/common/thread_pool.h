@@ -2,15 +2,16 @@
 #define PROST_COMMON_THREAD_POOL_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace prost {
 
@@ -32,6 +33,13 @@ namespace prost {
 ///
 /// ParallelFor is synchronous and not reentrant: one parallel region at a
 /// time per pool, and task bodies must not call back into the pool.
+///
+/// Locking (DESIGN.md §11): `mu_` (rank kThreadPoolControl) covers region
+/// control — generation handoff, shutdown, the region's `fn_`, and the
+/// active-worker count; each Shard's `mu` (rank kThreadPoolShard, below
+/// control in the hierarchy so seeding a region may hold both) covers
+/// that shard's deque. `remaining_` is the only lock-free cross-thread
+/// state; its ordering contract is documented at the field.
 class ThreadPool {
  public:
   /// Spawns `num_threads - 1` workers. `num_threads == 1` (or 0) spawns
@@ -53,8 +61,8 @@ class ThreadPool {
  private:
   /// One participant's shard of the current region's task indices.
   struct Shard {
-    std::mutex mu;
-    std::deque<size_t> tasks;
+    Mutex<LockRank::kThreadPoolShard> mu;
+    std::deque<size_t> tasks PROST_GUARDED_BY(mu);
   };
 
   void WorkerLoop(uint32_t participant);
@@ -67,14 +75,29 @@ class ThreadPool {
   std::vector<std::unique_ptr<Shard>> shards_;
   std::vector<std::thread> threads_;
 
-  std::mutex mu_;
-  std::condition_variable work_cv_;  // Workers wait here between regions.
-  std::condition_variable done_cv_;  // ParallelFor waits here for quiesce.
-  uint64_t generation_ = 0;          // Bumped per region, under mu_.
-  bool shutdown_ = false;
-  const std::function<void(size_t)>* fn_ = nullptr;  // Current region's fn.
-  std::atomic<size_t> remaining_{0};  // Tasks not yet completed.
-  uint32_t active_workers_ = 0;       // Pool threads inside RunParticipant.
+  Mutex<LockRank::kThreadPoolControl> mu_;
+  CondVar work_cv_;  // Workers wait here between regions.
+  CondVar done_cv_;  // ParallelFor waits here for quiesce.
+  /// Bumped once per region; workers compare against their last-seen
+  /// value to detect new work.
+  uint64_t generation_ PROST_GUARDED_BY(mu_) = 0;
+  bool shutdown_ PROST_GUARDED_BY(mu_) = false;
+  /// Current region's fn; null between regions. A worker that wakes
+  /// after the caller already drained a small region sees null and
+  /// re-waits (the retired-region case).
+  const std::function<void(size_t)>* fn_ PROST_GUARDED_BY(mu_) = nullptr;
+  /// Tasks not yet completed. Ordering contract: the relaxed seeding
+  /// store in ParallelFor is published to workers by the mu_
+  /// release/acquire on the generation bump; each completion decrements
+  /// with acq_rel, so the decrements form a release sequence and the
+  /// caller's acquire load that observes 0 happens-after every task
+  /// body's writes (the caller reads task output slots lock-free right
+  /// after its quiesce wait).
+  std::atomic<size_t> remaining_{0};
+  /// Pool threads currently inside RunParticipant; the quiesce wait
+  /// needs it because a worker can still be probing (empty) shards after
+  /// remaining_ hits zero.
+  uint32_t active_workers_ PROST_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace prost

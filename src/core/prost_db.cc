@@ -205,22 +205,36 @@ Result<QueryResult> ProstDb::Execute(const sparql::Query& query) const {
   return Execute(query, nullptr);
 }
 
+Result<QueryResult> ProstDb::RunPlan(const plan::PlannedQuery& planned,
+                                     obs::QueryProfile* profile) const {
+  cluster::CostModel cost(options_.cluster);
+  engine::ExecContext exec(pool_.get(), options_.exec.morsel_rows, profile);
+  return ExecutePlan(
+      planned.plan, vp_, options_.use_property_table ? &pt_ : nullptr,
+      options_.use_reverse_property_table ? &reverse_pt_ : nullptr,
+      options_.join, graph_->dictionary(), cost, &exec);
+}
+
 Result<QueryResult> ProstDb::Execute(const sparql::Query& query,
                                      obs::QueryProfile* profile) const {
   PROST_ASSIGN_OR_RETURN(plan::PlannedQuery planned,
                          BuildOptimizedPlan(query,
                                             /*record_snapshots=*/false));
-  cluster::CostModel cost(options_.cluster);
-  // The shared pool runs one parallel region at a time, so pool-backed
-  // executions must not overlap. Serial-configured dbs (no pool) keep
-  // lock-free concurrent Execute.
-  std::unique_lock<std::mutex> pool_lock;
-  if (pool_) pool_lock = std::unique_lock<std::mutex>(exec_mu_);
-  engine::ExecContext exec(pool_.get(), options_.exec.morsel_rows, profile);
-  Result<QueryResult> result = ExecutePlan(
-      planned.plan, vp_, options_.use_property_table ? &pt_ : nullptr,
-      options_.use_reverse_property_table ? &reverse_pt_ : nullptr,
-      options_.join, graph_->dictionary(), cost, &exec);
+  Result<QueryResult> result = [&]() -> Result<QueryResult> {
+    if (pool_ != nullptr) {
+      // The shared pool runs one parallel region at a time, so
+      // pool-backed executions must not overlap. exec_mu_ is the
+      // system's outermost lock (rank kProstDbExec); the pool's own
+      // locks nest under it.
+      MutexLock lock(exec_mu_);
+      return RunPlan(planned, profile);
+    }
+    // Serial-configured dbs keep lock-free concurrent Execute.
+    return RunPlan(planned, profile);
+  }();
+  // Metrics are internally synchronized and deliberately updated outside
+  // exec_mu_: the critical section stays execution-only, and concurrent
+  // serial Executes still count correctly.
   if (result.ok()) {
     metrics_.counter("query.executed").Increment();
     metrics_.counter("query.rows").Add(result->relation.TotalRows());

@@ -2,12 +2,12 @@
 #define PROST_CORE_PROST_DB_H_
 
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "cluster/config.h"
+#include "common/mutex.h"
 #include "common/status.h"
 #include "common/thread_pool.h"
 #include "core/executor.h"
@@ -153,11 +153,22 @@ class ProstDb {
   Result<plan::PlannedQuery> BuildOptimizedPlan(const sparql::Query& query,
                                                 bool record_snapshots) const;
 
+  /// Runs an already-optimized plan on a fresh cost model. Callers with
+  /// a pool hold exec_mu_ around this (Execute); serial-configured dbs
+  /// call it lock-free.
+  Result<QueryResult> RunPlan(const plan::PlannedQuery& planned,
+                              obs::QueryProfile* profile) const;
+
   Options options_;
   std::unique_ptr<ThreadPool> pool_;
   /// Serializes pool-backed Execute calls: the pool supports one
   /// parallel region at a time and is unsynchronized across callers.
-  mutable std::mutex exec_mu_;
+  /// Rank kProstDbExec — the outermost lock in the system, held across
+  /// the whole execution (so ThreadPool's control/shard locks nest under
+  /// it); never taken by serial-configured dbs. Guards the *pool's
+  /// single-region contract*, not any field, hence no PROST_GUARDED_BY
+  /// targets.
+  mutable Mutex<LockRank::kProstDbExec> exec_mu_;
   std::shared_ptr<const rdf::EncodedGraph> graph_;
   DatasetStatistics stats_;
   VpStore vp_;
@@ -165,6 +176,8 @@ class ProstDb {
   PropertyTable reverse_pt_;
   LoadReport load_report_;
   /// Mutable: Execute() is const but counts every query it runs.
+  /// Internally synchronized (own leaf mutex + atomic handles), so it is
+  /// updated outside exec_mu_ — concurrent serial Executes count safely.
   mutable obs::MetricsRegistry metrics_;
 };
 

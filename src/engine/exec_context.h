@@ -34,6 +34,11 @@ struct ExecOptions {
 /// Per-execution view handed to operators: a (possibly absent) thread
 /// pool plus the morsel geometry. A default-constructed context — or one
 /// over a single-threaded pool — selects the serial paths.
+///
+/// The context itself is immutable during execution and owns no locks;
+/// shared mutable state inside a parallel region lives behind the pool's
+/// ranked mutexes (DESIGN.md §11), and everything the context points at
+/// (profile, cost model) stays confined to the coordinating thread.
 class ExecContext {
  public:
   ExecContext() = default;

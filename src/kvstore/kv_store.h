@@ -19,6 +19,10 @@ namespace prost::kvstore {
 /// Flush() freezes it into an immutable sorted run; Compact() merges all
 /// runs into one. Reads merge the memtable and every run, newest first
 /// (last writer wins). Entries are never mutated in place.
+///
+/// NOT thread-safe by contract: the Rya baseline drives it from a single
+/// thread, so it owns no Mutex and sits outside the DESIGN.md §11 lock
+/// hierarchy. Wrap it in an annotated prost::Mutex before sharing.
 class SortedKvStore {
  public:
   SortedKvStore() = default;

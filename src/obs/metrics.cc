@@ -32,10 +32,16 @@ void Histogram::Observe(double value) {
   // upper_bound gives the first bound strictly greater; inclusive upper
   // bounds mean a value equal to bounds_[i] belongs in bucket i.
   if (bucket > 0 && bounds_[bucket - 1] == value) --bucket;
+  // Bucket and sum first (relaxed), count last with release: a reader
+  // that acquires `count_` then sees the bucket/sum contribution of
+  // every observation it counted, so concurrent snapshots never show
+  // count > sum(buckets). (Previously all three were relaxed in
+  // count-first program order, which allowed exactly that tear on
+  // weakly-ordered hardware.)
   buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
-  count_.fetch_add(1, std::memory_order_relaxed);
   sum_micros_.fetch_add(static_cast<int64_t>(value * 1e6),
                         std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_release);
 }
 
 uint64_t MetricsSnapshot::counter(const std::string& name) const {
@@ -92,14 +98,14 @@ std::string MetricsSnapshot::ToJson() const {
 }
 
 Counter& MetricsRegistry::counter(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto& slot = counters_[name];
   if (slot == nullptr) slot = std::make_unique<Counter>();
   return *slot;
 }
 
 Gauge& MetricsRegistry::gauge(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto& slot = gauges_[name];
   if (slot == nullptr) slot = std::make_unique<Gauge>();
   return *slot;
@@ -107,14 +113,18 @@ Gauge& MetricsRegistry::gauge(const std::string& name) {
 
 Histogram& MetricsRegistry::histogram(const std::string& name,
                                       std::vector<double> bounds) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto& slot = histograms_[name];
   if (slot == nullptr) slot = std::make_unique<Histogram>(std::move(bounds));
   return *slot;
 }
 
 MetricsSnapshot MetricsRegistry::Snapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  // mu_ only pins the name → handle maps (concurrent registration); the
+  // handles themselves keep counting while we copy, so per-histogram
+  // consistency relies on the acquire/release protocol documented on
+  // Histogram, not on this lock.
+  MutexLock lock(mu_);
   MetricsSnapshot snapshot;
   for (const auto& [name, counter] : counters_) {
     snapshot.counters[name] = counter->value();
@@ -125,12 +135,15 @@ MetricsSnapshot MetricsRegistry::Snapshot() const {
   for (const auto& [name, histogram] : histograms_) {
     MetricsSnapshot::HistogramData data;
     data.bounds = histogram->bounds();
+    // Acquire `count` *before* reading buckets/sum (see Histogram's
+    // ordering contract): every counted observation is then already in
+    // the buckets and the sum this snapshot reads.
+    data.count = histogram->count();
+    data.sum = histogram->sum();
     data.bucket_counts.resize(data.bounds.size() + 1);
     for (size_t i = 0; i < data.bucket_counts.size(); ++i) {
       data.bucket_counts[i] = histogram->bucket_count(i);
     }
-    data.count = histogram->count();
-    data.sum = histogram->sum();
     snapshot.histograms[name] = std::move(data);
   }
   return snapshot;

@@ -5,14 +5,20 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace prost::obs {
 
 /// A monotonically increasing counter. Increments are single relaxed
 /// atomic adds — cheap enough for per-query (not per-row) hot paths.
+/// Ordering contract: relaxed is sufficient because a counter is a single
+/// word (no multi-field invariant to tear) and readers only need
+/// per-counter monotonicity, which any modification order gives them;
+/// exact totals are read after joining the writing threads.
 class Counter {
  public:
   void Increment() { Add(1); }
@@ -34,15 +40,25 @@ class Gauge {
 };
 
 /// A fixed-bucket histogram: `bounds` are inclusive upper bounds of the
-/// first N buckets, plus an implicit +inf bucket. Observations are two
-/// relaxed atomic adds (bucket count and sum-scaled-by-1e6).
+/// first N buckets, plus an implicit +inf bucket.
+///
+/// Ordering contract (multi-field, so unlike Counter it has a torn-read
+/// hazard): Observe updates bucket and sum first with relaxed adds and
+/// increments `count_` *last* with release; readers load `count_` first
+/// with acquire. A snapshot taken mid-storm is therefore conservative in
+/// one direction only — every observation included in `count` is already
+/// in its bucket and in `sum`, so `sum(buckets) >= count` and
+/// `sum >= count * min_observed` hold in every concurrent snapshot
+/// (obs_test HistogramSnapshotNeverTearsUnderConcurrentObserve).
 class Histogram {
  public:
   explicit Histogram(std::vector<double> bounds);
 
   void Observe(double value);
 
-  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  /// Acquire: pairs with the release increment that seals each Observe,
+  /// making the bucket/sum updates of all counted observations visible.
+  uint64_t count() const { return count_.load(std::memory_order_acquire); }
   double sum() const {
     return static_cast<double>(sum_micros_.load(std::memory_order_relaxed)) /
            1e6;
@@ -86,7 +102,8 @@ struct MetricsSnapshot {
 /// A named-metric registry. Registration (first `counter(name)` call)
 /// takes a mutex; returned handles are stable for the registry's lifetime
 /// and lock-free to update, so hot paths hoist the lookup. Thread-safe
-/// throughout.
+/// throughout. `mu_` is a leaf-ranked mutex: nothing is called while it
+/// is held, so metric updates are legal under any other lock.
 class MetricsRegistry {
  public:
   MetricsRegistry() = default;
@@ -102,10 +119,13 @@ class MetricsRegistry {
   MetricsSnapshot Snapshot() const;
 
  private:
-  mutable std::mutex mu_;
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  mutable Mutex<LockRank::kMetricsRegistry> mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_
+      PROST_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_
+      PROST_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_
+      PROST_GUARDED_BY(mu_);
 };
 
 }  // namespace prost::obs

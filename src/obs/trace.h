@@ -58,7 +58,9 @@ struct Span {
 /// happen on the thread driving the operators. Morsel-parallel operators
 /// already funnel every CostModel charge through the coordinating thread
 /// after their parallel region (see DESIGN.md §7), so the aggregated
-/// span tree is identical between serial and parallel runs.
+/// span tree is identical between serial and parallel runs. Because of
+/// this confinement the tree deliberately owns no Mutex and sits outside
+/// the DESIGN.md §11 lock hierarchy.
 ///
 /// Charge attribution: opens and closes carry the CostModel's
 /// "accounted" clock (CostModel::AccountedMillis — elapsed time plus the

@@ -99,6 +99,49 @@ TEST(MetricsTest, ConcurrentUpdatesAreExact) {
   EXPECT_DOUBLE_EQ(lat.sum, kThreads * kIterations * 0.5);
 }
 
+TEST(MetricsTest, HistogramSnapshotNeverTearsUnderConcurrentObserve) {
+  // Regression: Observe used to bump `count_` first (relaxed), so a
+  // concurrent Snapshot could read a count that included observations
+  // whose bucket/sum updates it could not yet see — `sum(buckets)` and
+  // `sum` ran *behind* `count`. With the release-count-last /
+  // acquire-count-first protocol the skew is one-directional: every
+  // counted observation is already in its bucket and in the sum.
+  obs::MetricsRegistry registry;
+  obs::Histogram& hist = registry.histogram("tear", {1.0, 4.0});
+  constexpr int kWriters = 4;
+  constexpr int kIterations = 20000;
+  constexpr double kValue = 0.5;  // 0.5 -> bucket 0; micros stay exact.
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  writers.reserve(kWriters);
+  for (int t = 0; t < kWriters; ++t) {
+    writers.emplace_back([&hist] {
+      for (int i = 0; i < kIterations; ++i) hist.Observe(kValue);
+    });
+  }
+  std::thread reader([&registry, &stop] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      obs::MetricsSnapshot snapshot = registry.Snapshot();
+      const auto& data = snapshot.histograms.at("tear");
+      uint64_t bucket_sum = 0;
+      for (uint64_t c : data.bucket_counts) bucket_sum += c;
+      // The invariants a mid-storm snapshot must keep.
+      EXPECT_GE(bucket_sum, data.count);
+      EXPECT_GE(data.sum + 1e-9, kValue * static_cast<double>(data.count));
+    }
+  });
+  for (std::thread& writer : writers) writer.join();
+  stop.store(true, std::memory_order_relaxed);
+  reader.join();
+  // Quiescent totals are exact.
+  obs::MetricsSnapshot final_snapshot = registry.Snapshot();
+  const auto& data = final_snapshot.histograms.at("tear");
+  constexpr uint64_t kTotal = static_cast<uint64_t>(kWriters) * kIterations;
+  EXPECT_EQ(data.count, kTotal);
+  EXPECT_EQ(data.bucket_counts[0], kTotal);
+  EXPECT_DOUBLE_EQ(data.sum, kValue * static_cast<double>(kTotal));
+}
+
 TEST(MetricsTest, SnapshotJsonIsStable) {
   obs::MetricsRegistry registry;
   registry.counter("b.count").Add(2);

@@ -1,0 +1,69 @@
+# Negative-compile harness for the annotated locking layer, run as the
+# `thread_safety_compile_test` ctest (tests/thread_safety/CMakeLists.txt).
+#
+#   cmake -DCOMPILER=<c++> -DMODE=<enforce|noop>
+#         -DSNIPPET_DIR=<this dir> -DINCLUDE_DIR=<repo>/src
+#         -P check_compile.cmake
+#
+# enforce (Clang): every fail_*.cc must FAIL to compile, and the failure
+#   must come from the thread-safety analysis (diagnostic text matched),
+#   while pass_*.cc must compile cleanly — proving the annotations bite
+#   and the annotated wrappers themselves are warning-free.
+# noop (non-Clang, where the PROST_* macros expand to nothing): every
+#   snippet must compile, proving the snippets are real C++ and the
+#   annotation layer is invisible to other compilers.
+
+if(NOT COMPILER OR NOT MODE OR NOT SNIPPET_DIR OR NOT INCLUDE_DIR)
+  message(FATAL_ERROR "usage: cmake -DCOMPILER=... -DMODE=enforce|noop "
+    "-DSNIPPET_DIR=... -DINCLUDE_DIR=... -P check_compile.cmake")
+endif()
+
+set(base_flags -std=c++20 -fsyntax-only -I${INCLUDE_DIR})
+if(MODE STREQUAL "enforce")
+  list(APPEND base_flags -Wthread-safety -Werror=thread-safety)
+elseif(NOT MODE STREQUAL "noop")
+  message(FATAL_ERROR "MODE must be enforce or noop, got '${MODE}'")
+endif()
+
+file(GLOB must_fail "${SNIPPET_DIR}/fail_*.cc")
+file(GLOB must_pass "${SNIPPET_DIR}/pass_*.cc")
+if(NOT must_fail OR NOT must_pass)
+  message(FATAL_ERROR "no snippets found under ${SNIPPET_DIR}")
+endif()
+
+set(problems "")
+foreach(snippet IN LISTS must_fail must_pass)
+  get_filename_component(name "${snippet}" NAME)
+  execute_process(
+    COMMAND ${COMPILER} ${base_flags} ${snippet}
+    RESULT_VARIABLE status
+    OUTPUT_VARIABLE out
+    ERROR_VARIABLE err)
+  set(expect_failure FALSE)
+  if(MODE STREQUAL "enforce" AND name MATCHES "^fail_")
+    set(expect_failure TRUE)
+  endif()
+  if(expect_failure)
+    if(status EQUAL 0)
+      list(APPEND problems
+        "${name}: compiled cleanly but must fail under -Werror=thread-safety")
+    elseif(NOT err MATCHES "thread-safety")
+      list(APPEND problems
+        "${name}: failed, but not from the thread-safety analysis:\n${err}")
+    else()
+      message(STATUS "${name}: rejected by the analysis, as required")
+    endif()
+  else()
+    if(NOT status EQUAL 0)
+      list(APPEND problems "${name}: must compile in ${MODE} mode:\n${err}")
+    else()
+      message(STATUS "${name}: compiles, as required")
+    endif()
+  endif()
+endforeach()
+
+if(problems)
+  list(JOIN problems "\n" report)
+  message(FATAL_ERROR "thread-safety compile checks failed:\n${report}")
+endif()
+message(STATUS "thread-safety compile checks passed (${MODE} mode)")

@@ -1,0 +1,19 @@
+// MUST NOT COMPILE under -Werror=thread-safety: acquires the same mutex
+// twice in one scope (prost::Mutex is non-recursive; at runtime this is
+// a self-deadlock, which the debug lock-rank checker also aborts on).
+#include "common/mutex.h"
+
+namespace {
+
+void DoubleAcquire(prost::MutexBase& mu) {
+  prost::MutexLock outer(mu);
+  prost::MutexLock inner(mu);  // error: mu is already held
+}
+
+}  // namespace
+
+int main() {
+  prost::Mutex<prost::LockRank::kLeaf> mu;
+  DoubleAcquire(mu);
+  return 0;
+}

@@ -1,0 +1,20 @@
+// MUST NOT COMPILE under -Werror=thread-safety: returns while still
+// holding a raw-Lock()ed mutex (no matching Unlock on the path), i.e. a
+// leaked critical section.
+#include "common/mutex.h"
+
+namespace {
+
+int LeakLock(prost::MutexBase& mu, int v) {
+  mu.Lock();
+  if (v > 0) return v;  // error: mu still held at end of function
+  mu.Unlock();
+  return 0;
+}
+
+}  // namespace
+
+int main() {
+  prost::Mutex<prost::LockRank::kLeaf> mu;
+  return LeakLock(mu, 0);
+}

@@ -1,0 +1,26 @@
+// MUST NOT COMPILE under -Werror=thread-safety: calls a
+// PROST_REQUIRES-annotated helper without holding the required mutex.
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace {
+
+class Queue {
+ public:
+  void Push(int v) { PushLocked(v); }  // error: PushLocked requires mu_
+
+ private:
+  void PushLocked(int v) PROST_REQUIRES(mu_) { items_[count_++ % 4] = v; }
+
+  prost::Mutex<prost::LockRank::kLeaf> mu_;
+  int items_[4] PROST_GUARDED_BY(mu_) = {};
+  int count_ PROST_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Queue queue;
+  queue.Push(7);
+  return 0;
+}

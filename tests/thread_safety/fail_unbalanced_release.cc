@@ -1,0 +1,19 @@
+// MUST NOT COMPILE under -Werror=thread-safety: releases a mutex the
+// thread does not hold (second Unlock).
+#include "common/mutex.h"
+
+namespace {
+
+void ReleaseTwice(prost::MutexBase& mu) {
+  mu.Lock();
+  mu.Unlock();
+  mu.Unlock();  // error: releasing mu, which is not held
+}
+
+}  // namespace
+
+int main() {
+  prost::Mutex<prost::LockRank::kLeaf> mu;
+  ReleaseTwice(mu);
+  return 0;
+}

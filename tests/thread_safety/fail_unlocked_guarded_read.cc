@@ -1,0 +1,26 @@
+// MUST NOT COMPILE under -Werror=thread-safety: reads and writes a
+// PROST_GUARDED_BY field without holding its mutex. (Valid C++ — it
+// compiles wherever the annotations are no-ops; tests/thread_safety/
+// check_compile.cmake asserts both directions.)
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace {
+
+class Stats {
+ public:
+  void Bump() { ++hits_; }          // error: writing hits_ requires mu_
+  int hits() const { return hits_; }  // error: reading hits_ requires mu_
+
+ private:
+  mutable prost::Mutex<prost::LockRank::kLeaf> mu_;
+  int hits_ PROST_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Stats stats;
+  stats.Bump();
+  return stats.hits();
+}

@@ -1,0 +1,28 @@
+// MUST NOT COMPILE under -Werror=thread-safety: touches a guarded field
+// while holding a *different* mutex than the one that guards it — the
+// classic wrong-lock race the annotations exist to catch.
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace {
+
+class TwoLocks {
+ public:
+  void Set(int v) {
+    prost::MutexLock lock(shard_mu_);
+    value_ = v;  // error: value_ is guarded by control_mu_, not shard_mu_
+  }
+
+ private:
+  prost::Mutex<prost::LockRank::kThreadPoolControl> control_mu_;
+  prost::Mutex<prost::LockRank::kThreadPoolShard> shard_mu_;
+  int value_ PROST_GUARDED_BY(control_mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  TwoLocks locks;
+  locks.Set(1);
+  return 0;
+}

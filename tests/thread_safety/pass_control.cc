@@ -1,0 +1,61 @@
+// MUST COMPILE CLEANLY under -Werror=thread-safety: exercises every
+// surface of the annotated locking layer the way the codebase uses it —
+// scoped MutexLock over guarded state, a PROST_REQUIRES helper, the
+// CondVar predicate-loop wait, the worker-loop Unlock()/Lock() pattern,
+// and conditional TryLock. If this control fails, the enforcement flags
+// are broken (and the must-fail results prove nothing).
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace {
+
+class Coordinator {
+ public:
+  void Produce() {
+    prost::MutexLock lock(mu_);
+    ++pending_;
+    BumpVersionLocked();
+    cv_.NotifyAll();
+  }
+
+  void WaitDrained() {
+    prost::MutexLock lock(mu_);
+    while (pending_ != 0) cv_.Wait(mu_);
+  }
+
+  void DrainThenAudit() {
+    prost::MutexLock lock(mu_);
+    pending_ = 0;
+    cv_.NotifyAll();
+    lock.Unlock();
+    // Lock-free section (the WorkerLoop pattern).
+    lock.Lock();
+    BumpVersionLocked();
+  }
+
+  bool TryProduce() {
+    if (!mu_.TryLock()) return false;
+    ++pending_;
+    mu_.Unlock();
+    return true;
+  }
+
+ private:
+  void BumpVersionLocked() PROST_REQUIRES(mu_) { ++version_; }
+
+  prost::Mutex<prost::LockRank::kThreadPoolControl> mu_;
+  prost::CondVar cv_;
+  int pending_ PROST_GUARDED_BY(mu_) = 0;
+  int version_ PROST_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Coordinator coordinator;
+  coordinator.Produce();
+  coordinator.TryProduce();
+  coordinator.DrainThenAudit();
+  coordinator.WaitDrained();
+  return 0;
+}

@@ -28,6 +28,23 @@ Checks, each with a short rule id used in diagnostics:
                        go through its factories. (The constructors are
                        private too; this catches friend-ship creep and
                        make_unique workarounds before the compiler.)
+  raw-concurrency      std::mutex / lock guards / condition variables (or
+                       their headers) outside src/common/mutex.{h,cc}.
+                       All locking goes through the annotated
+                       prost::Mutex layer so Clang's thread-safety
+                       analysis and the debug lock-rank checker see every
+                       acquisition. std::thread and std::atomic stay
+                       allowed.
+  thread-detach        std::thread::detach(): a detached thread outlives
+                       every shutdown contract in the codebase; join it
+                       (the ThreadPool pattern) instead.
+  mutable-unguarded    in a header whose class owns a prost::Mutex, a
+                       `mutable` field with no PROST_GUARDED_BY
+                       annotation. `mutable` is exactly the marker that
+                       const methods mutate it concurrently, so it must
+                       either name its guard or carry an "internally
+                       synchronized" comment (e.g. it is itself a
+                       MetricsRegistry).
 
 Exit status 0 when clean, 1 with one "path:line: [rule] message" per
 violation otherwise.
@@ -102,6 +119,22 @@ PLAN_NODE_CONSTRUCTION = re.compile(
 GTEST_HOOK = re.compile(r"\bvoid\s+(SetUp|TearDown)\s*\(\s*\)")
 REDUNDANT_VIRTUAL = re.compile(r"\bvirtual\b[^;{]*\boverride\b")
 INCLUDE = re.compile(r'^\s*#\s*include\s*(<[^>]+>|"[^"]+")')
+RAW_CONCURRENCY = re.compile(
+    r"std::(mutex|timed_mutex|recursive_mutex|recursive_timed_mutex|"
+    r"shared_mutex|shared_timed_mutex|lock_guard|unique_lock|scoped_lock|"
+    r"shared_lock|condition_variable|condition_variable_any)\b"
+    r"|#\s*include\s*<(mutex|shared_mutex|condition_variable)>"
+)
+THREAD_DETACH = re.compile(r"\.\s*detach\s*\(\s*\)")
+MUTEX_MEMBER = re.compile(r"\bMutex\s*<\s*(?:\w+::)*LockRank::")
+MUTABLE_FIELD = re.compile(r"^\s*mutable\s")
+MUTABLE_SYNC_PRIMITIVE = re.compile(r"^\s*mutable\s[\w:<,\s>]*"
+                                    r"\b(Mutex\s*<|CondVar\b)")
+# code_lines() blanks comments, so the suppression marker is checked on
+# the raw source line: a field documented "internally synchronized"
+# (its type owns its own locking, e.g. obs::MetricsRegistry) needs no
+# PROST_GUARDED_BY.
+INTERNALLY_SYNCHRONIZED = re.compile(r"[Ii]nternally\s+synchronized")
 
 
 def lint_lexical(path, lines, failures, check_value_rule, check_plan_rule):
@@ -150,6 +183,48 @@ def lint_lexical(path, lines, failures, check_value_rule, check_plan_rule):
                 f"{path}:{number}: [missing-override] `virtual` is "
                 "redundant on a member marked override"
             )
+
+
+def lint_concurrency(path, lines, raw_lines, failures, in_mutex_layer):
+    """Concurrency rules. `lines` are comment/string-blanked, `raw_lines`
+    the original text (the mutable-unguarded suppression marker lives in
+    doc comments)."""
+    for number, line in lines:
+        if not in_mutex_layer and RAW_CONCURRENCY.search(line):
+            failures.append(
+                f"{path}:{number}: [raw-concurrency] std synchronization "
+                "primitives live behind the annotated layer; use "
+                "prost::Mutex / MutexLock / CondVar from common/mutex.h"
+            )
+        if THREAD_DETACH.search(line):
+            failures.append(
+                f"{path}:{number}: [thread-detach] detached threads escape "
+                "every shutdown contract; join them instead"
+            )
+    # mutable-unguarded: headers only — a class that owns an annotated
+    # Mutex must say what guards each of its mutable fields. A field is
+    # exempt when it is itself a synchronization primitive, carries
+    # PROST_GUARDED_BY, or a doc comment within the three preceding lines
+    # (or the line itself) says "internally synchronized".
+    if path.suffix != ".h":
+        return
+    if not any(MUTEX_MEMBER.search(line) for _, line in lines):
+        return
+    for index, (number, line) in enumerate(lines):
+        if not MUTABLE_FIELD.match(line):
+            continue
+        if MUTABLE_SYNC_PRIMITIVE.match(line):
+            continue
+        if "PROST_GUARDED_BY" in line:
+            continue
+        context = raw_lines[max(0, index - 3) : index + 1]
+        if any(INTERNALLY_SYNCHRONIZED.search(raw) for raw in context):
+            continue
+        failures.append(
+            f"{path}:{number}: [mutable-unguarded] mutable field in a "
+            "Mutex-owning class needs PROST_GUARDED_BY(<mutex>) or an "
+            '"internally synchronized" doc comment'
+        )
 
 
 def lint_include_order(path, text, failures):
@@ -210,9 +285,15 @@ def main():
             relative = path.relative_to(root)
             lines = code_lines(text)
             in_plan = relative.parts[:2] == ("src", "plan")
+            in_mutex_layer = relative.as_posix() in (
+                "src/common/mutex.h",
+                "src/common/mutex.cc",
+            )
             lint_lexical(relative, lines, failures,
                          check_value_rule=directory == "src",
                          check_plan_rule=not in_plan)
+            lint_concurrency(relative, lines, text.splitlines(), failures,
+                             in_mutex_layer)
             lint_include_order(relative, text, failures)
 
     for failure in failures:
