@@ -1,0 +1,322 @@
+// Closed-loop serving throughput bench over serve::SessionManager: N
+// sessions (client threads) each issue mixed WatDiv basic queries
+// back-to-back against one shared PRoST instance, under admission
+// control, sweeping N over {1, 4, 8, 16}.
+//
+// Two measurements per sweep point, deliberately separated:
+//
+//  * Deterministic serving model (the headline `qps` / `p50_ms` /
+//    `p99_ms`): a discrete-event simulation of the same closed loop over
+//    each query's *simulated* execution time, with the same FIFO
+//    admission cap. Every admitted query occupies one of the
+//    `admission_cap` simulated execution slots for exactly its
+//    simulated_millis (per-query cost-model time — independent
+//    executions, so concurrent queries do not dilate each other);
+//    excess sessions queue FIFO, and latency = queue wait + service.
+//    This is exactly reproducible on any machine at any core count:
+//    throughput scales with the session count until the admission cap,
+//    then plateaus while queueing inflates latency — the serving curve
+//    the admission controller is supposed to produce.
+//
+//  * Real wall clock (`wall_qps` / `wall_p50_ms` / `wall_p99_ms`): the
+//    same per-session query streams actually executed through
+//    SessionManager by real threads. Honest but machine-dependent
+//    (single-core CI boxes will not show wall speedups).
+//
+// `--smoke` shrinks the loop for CI crash-checking; `--json [path]`
+// writes BENCH_serving.json.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <queue>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/io.h"
+#include "common/rng.h"
+#include "common/timer.h"
+#include "core/prost_db.h"
+#include "random_workload.h"
+#include "serve/session_manager.h"
+
+namespace prost::bench {
+namespace {
+
+/// Executions running concurrently in both the model and the real run.
+/// Below the largest sweep point on purpose: at 16 sessions the queue is
+/// non-empty and the latency curve shows admission control working.
+constexpr uint32_t kAdmissionCap = 8;
+
+constexpr int kSessionSweep[] = {1, 4, 8, 16};
+
+/// Per-session deterministic query stream: the sim and the real run
+/// replay the identical sequence.
+std::vector<size_t> SessionStream(const testing::QueryMixSampler& sampler,
+                                  int session, int queries_per_session) {
+  Rng rng(BenchSeed() * 1000003 + static_cast<uint64_t>(session) * 7919 + 1);
+  std::vector<size_t> stream;
+  stream.reserve(queries_per_session);
+  for (int i = 0; i < queries_per_session; ++i) {
+    stream.push_back(sampler.SampleIndex(rng));
+  }
+  return stream;
+}
+
+double Percentile(std::vector<double> values, double p) {
+  if (values.empty()) return 0;
+  std::sort(values.begin(), values.end());
+  size_t index = static_cast<size_t>(p * (values.size() - 1) + 0.5);
+  return values[std::min(index, values.size() - 1)];
+}
+
+struct SweepPoint {
+  int sessions = 0;
+  uint64_t completed = 0;
+  double qps = 0;      // Deterministic serving model.
+  double p50_ms = 0;
+  double p99_ms = 0;
+  double wall_qps = 0;  // Real threads, this machine.
+  double wall_p50_ms = 0;
+  double wall_p99_ms = 0;
+};
+
+/// Discrete-event simulation of the closed loop: `sessions` clients,
+/// kAdmissionCap execution slots, FIFO overflow queue, service time =
+/// the query's simulated_millis.
+void SimulateServing(const std::vector<std::vector<size_t>>& streams,
+                     const std::vector<double>& service_millis,
+                     SweepPoint* point) {
+  const size_t sessions = streams.size();
+  struct Completion {
+    double time;
+    size_t session;
+    bool operator>(const Completion& other) const {
+      return time != other.time ? time > other.time
+                                : session > other.session;
+    }
+  };
+  std::priority_queue<Completion, std::vector<Completion>,
+                      std::greater<Completion>>
+      completions;
+  std::queue<size_t> waiting;  // Sessions parked behind the cap, FIFO.
+  std::vector<size_t> position(sessions, 0);   // Next index in stream.
+  std::vector<double> request_time(sessions, 0);
+  std::vector<double> latencies;
+  double now = 0;
+  uint32_t in_flight = 0;
+
+  auto submit = [&](size_t session) {
+    request_time[session] = now;
+    // A parked waiter keeps FIFO priority over a resubmitting session,
+    // exactly like SessionManager's queued_-before-fast-path check.
+    if (in_flight < kAdmissionCap && waiting.empty()) {
+      ++in_flight;
+      double service = service_millis[streams[session][position[session]]];
+      completions.push({now + service, session});
+    } else {
+      waiting.push(session);
+    }
+  };
+
+  for (size_t s = 0; s < sessions; ++s) submit(s);
+  while (!completions.empty()) {
+    Completion done = completions.top();
+    completions.pop();
+    now = done.time;
+    --in_flight;
+    latencies.push_back(now - request_time[done.session]);
+    ++position[done.session];
+    if (position[done.session] < streams[done.session].size()) {
+      submit(done.session);
+    }
+    // A freed slot admits the queue head (its queue wait keeps accruing
+    // until this moment).
+    if (!waiting.empty() && in_flight < kAdmissionCap) {
+      size_t next = waiting.front();
+      waiting.pop();
+      ++in_flight;
+      double service = service_millis[streams[next][position[next]]];
+      completions.push({now + service, next});
+    }
+  }
+
+  point->completed = latencies.size();
+  point->qps = now > 0 ? 1000.0 * static_cast<double>(latencies.size()) / now
+                       : 0;
+  point->p50_ms = Percentile(latencies, 0.50);
+  point->p99_ms = Percentile(latencies, 0.99);
+}
+
+/// The same closed loop with real client threads through SessionManager.
+void RunServing(const core::ProstDb& db, const BenchWorkload& workload,
+                const std::vector<std::vector<size_t>>& streams,
+                SweepPoint* point) {
+  serve::AdmissionOptions admission;
+  admission.max_in_flight = kAdmissionCap;
+  admission.max_queued = static_cast<uint32_t>(streams.size());
+  serve::SessionManager manager(db, admission);
+
+  std::vector<std::vector<double>> latencies(streams.size());
+  std::vector<std::thread> clients;
+  clients.reserve(streams.size());
+  WallTimer wall;
+  for (size_t s = 0; s < streams.size(); ++s) {
+    clients.emplace_back([&, s] {
+      latencies[s].reserve(streams[s].size());
+      for (size_t index : streams[s]) {
+        double millis = 0;
+        {
+          ScopedTimer timer(&millis);
+          auto result = manager.Execute(workload.parsed[index]);
+          if (!result.ok()) {
+            std::fprintf(stderr, "[bench] FATAL: %s: %s\n",
+                         workload.queries[index].id.c_str(),
+                         result.status().ToString().c_str());
+            std::exit(1);
+          }
+        }
+        latencies[s].push_back(millis);
+      }
+    });
+  }
+  for (std::thread& client : clients) client.join();
+  double elapsed = wall.ElapsedMillis();
+  manager.Shutdown();
+
+  std::vector<double> all;
+  for (const std::vector<double>& per_session : latencies) {
+    all.insert(all.end(), per_session.begin(), per_session.end());
+  }
+  point->wall_qps =
+      elapsed > 0 ? 1000.0 * static_cast<double>(all.size()) / elapsed : 0;
+  point->wall_p50_ms = Percentile(all, 0.50);
+  point->wall_p99_ms = Percentile(all, 0.99);
+}
+
+void WriteServingJson(const std::string& path, const BenchWorkload& workload,
+                      int queries_per_session,
+                      const std::vector<SweepPoint>& sweep) {
+  std::string out = "{\n";
+  out += "  \"benchmark\": \"serving_throughput\",\n";
+  out += StrFormat("  \"triples\": %llu,\n",
+                   static_cast<unsigned long long>(workload.graph->size()));
+  out += StrFormat("  \"seed\": %llu,\n",
+                   static_cast<unsigned long long>(BenchSeed()));
+  out += "  \"workload\": \"watdiv_basic_mix_C1_F2_L4_S3\",\n";
+  out += StrFormat("  \"queries_per_session\": %d,\n", queries_per_session);
+  out += StrFormat("  \"admission_cap\": %u,\n", kAdmissionCap);
+  out +=
+      "  \"note\": \"qps/p50/p99 are the deterministic serving model over "
+      "simulated per-query times (reproducible anywhere); wall_* fields "
+      "are real threads on the build machine\",\n";
+  out += "  \"sweep\": [";
+  for (size_t i = 0; i < sweep.size(); ++i) {
+    const SweepPoint& p = sweep[i];
+    out += i == 0 ? "\n" : ",\n";
+    out += StrFormat(
+        "    {\"sessions\": %d, \"completed\": %llu, \"qps\": %.3f, "
+        "\"p50_ms\": %.3f, \"p99_ms\": %.3f, \"wall_qps\": %.3f, "
+        "\"wall_p50_ms\": %.3f, \"wall_p99_ms\": %.3f}",
+        p.sessions, static_cast<unsigned long long>(p.completed), p.qps,
+        p.p50_ms, p.p99_ms, p.wall_qps, p.wall_p50_ms, p.wall_p99_ms);
+  }
+  out += "\n  ]\n}\n";
+  Status written = WriteStringToFile(path, out);
+  if (!written.ok()) {
+    std::fprintf(stderr, "[bench] FATAL: writing %s: %s\n", path.c_str(),
+                 written.ToString().c_str());
+    std::exit(1);
+  }
+  std::fprintf(stderr, "[bench] wrote %s\n", path.c_str());
+}
+
+int Main(int argc, char** argv) {
+  bool smoke = false;
+  bool write_json = false;
+  std::string json_path = "BENCH_serving.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--json") == 0) {
+      write_json = true;
+      if (i + 1 < argc && argv[i + 1][0] != '-') json_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--smoke] [--json [path]]\n", argv[0]);
+      return 2;
+    }
+  }
+  const int queries_per_session = smoke ? 6 : 40;
+
+  BenchWorkload workload = BuildWorkload();
+  core::ProstDb::Options options;
+  options.cluster = ScaledCluster(workload);
+  options.exec.num_threads = 4;  // Shared pool, multiplexed per query.
+  auto db = core::ProstDb::LoadFromSharedGraph(workload.graph, options);
+  if (!db.ok()) {
+    std::fprintf(stderr, "[bench] FATAL: load: %s\n",
+                 db.status().ToString().c_str());
+    return 1;
+  }
+
+  // Per-query simulated service times: deterministic, measured once.
+  std::vector<double> service_millis;
+  service_millis.reserve(workload.parsed.size());
+  for (size_t i = 0; i < workload.parsed.size(); ++i) {
+    auto result = (*db)->Execute(workload.parsed[i]);
+    if (!result.ok()) {
+      std::fprintf(stderr, "[bench] FATAL: %s: %s\n",
+                   workload.queries[i].id.c_str(),
+                   result.status().ToString().c_str());
+      return 1;
+    }
+    service_millis.push_back(result->simulated_millis);
+  }
+
+  testing::QueryMixSampler sampler(workload.queries);
+  std::vector<SweepPoint> sweep;
+  std::printf("%-10s %12s %10s %10s %12s %12s %12s\n", "sessions", "qps",
+              "p50_ms", "p99_ms", "wall_qps", "wall_p50", "wall_p99");
+  PrintRule(84);
+  for (int sessions : kSessionSweep) {
+    std::vector<std::vector<size_t>> streams;
+    streams.reserve(sessions);
+    for (int s = 0; s < sessions; ++s) {
+      streams.push_back(
+          SessionStream(sampler, s, queries_per_session));
+    }
+    SweepPoint point;
+    point.sessions = sessions;
+    SimulateServing(streams, service_millis, &point);
+    RunServing(**db, workload, streams, &point);
+    std::printf("%-10d %12.3f %10.3f %10.3f %12.3f %12.3f %12.3f\n",
+                point.sessions, point.qps, point.p50_ms, point.p99_ms,
+                point.wall_qps, point.wall_p50_ms, point.wall_p99_ms);
+    sweep.push_back(point);
+  }
+
+  // The serving property the sweep must exhibit: throughput scales with
+  // concurrent sessions under the admission cap.
+  double base_qps = sweep.front().qps;
+  for (const SweepPoint& point : sweep) {
+    if (point.sessions == 8 && point.qps <= 2.0 * base_qps) {
+      std::fprintf(stderr,
+                   "[bench] FATAL: 8-session qps %.3f is not > 2x the "
+                   "1-session baseline %.3f\n",
+                   point.qps, base_qps);
+      return 1;
+    }
+  }
+
+  if (write_json) {
+    WriteServingJson(json_path, workload, queries_per_session, sweep);
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace prost::bench
+
+int main(int argc, char** argv) { return prost::bench::Main(argc, argv); }

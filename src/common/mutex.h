@@ -37,15 +37,18 @@ namespace prost {
 /// never nest (the checker enforces this too, which catches self-deadlock
 /// on a single mutex).
 enum class LockRank : int {
-  /// ProstDb::exec_mu_ — serializes pool-backed Execute calls.
-  /// Outermost: held across an entire parallel execution.
-  kProstDbExec = 100,
-  /// ThreadPool::mu_ — region control (generation/shutdown/fn handoff).
+  /// serve::SessionManager::mu_ — admission control (in-flight count,
+  /// queue tickets, lifecycle state). Outermost, but held only around
+  /// state transitions — never across a query execution — so the serve
+  /// layer adds queueing without ever stacking under the engine's locks.
+  kServeSession = 100,
+  /// ThreadPool::mu_ — the open-region list and shutdown flag.
   kThreadPoolControl = 300,
-  /// ThreadPool::Shard::mu — one participant's task deque. Acquired
-  /// under kThreadPoolControl when a region is seeded, and standalone
-  /// (one at a time) by NextTask's pop/steal.
-  kThreadPoolShard = 400,
+  /// ThreadPool::Region::mu — one region's completion latch (the
+  /// done flag its caller quiesces on). Never nested with
+  /// kThreadPoolControl in either order; ranked above it so the latch
+  /// could legally be taken under control if that ever changed.
+  kThreadPoolRegion = 400,
   /// obs::MetricsRegistry::mu_ — metric registration/snapshot. A leaf in
   /// practice (registries never call out while locked); ranked above the
   /// pool so load-time metric updates from inside parallel regions would

@@ -29,6 +29,8 @@ const char* StatusCodeToString(StatusCode code) {
       return "parse_error";
     case StatusCode::kResourceExhausted:
       return "resource_exhausted";
+    case StatusCode::kUnavailable:
+      return "unavailable";
   }
   return "unknown";
 }

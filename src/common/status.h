@@ -24,6 +24,7 @@ enum class StatusCode {
   kCorruption = 8,
   kParseError = 9,
   kResourceExhausted = 10,
+  kUnavailable = 11,
 };
 
 /// Returns the canonical lowercase name of a status code ("ok",
@@ -73,6 +74,9 @@ class [[nodiscard]] Status {
   }
   static Status ResourceExhausted(std::string msg) {
     return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -1,16 +1,14 @@
 #include "common/thread_pool.h"
 
+#include <algorithm>
+
 namespace prost {
 
 ThreadPool::ThreadPool(uint32_t num_threads)
     : num_threads_(num_threads == 0 ? 1 : num_threads) {
-  shards_.reserve(num_threads_);
-  for (uint32_t p = 0; p < num_threads_; ++p) {
-    shards_.push_back(std::make_unique<Shard>());
-  }
   threads_.reserve(num_threads_ - 1);
   for (uint32_t p = 1; p < num_threads_; ++p) {
-    threads_.emplace_back([this, p] { WorkerLoop(p); });
+    threads_.emplace_back([this] { WorkerLoop(); });
   }
 }
 
@@ -30,103 +28,79 @@ void ThreadPool::ParallelFor(size_t num_tasks,
     for (size_t i = 0; i < num_tasks; ++i) fn(i);
     return;
   }
+  std::shared_ptr<Region> region;
   {
     MutexLock lock(mu_);
-    // The previous region fully quiesced before its ParallelFor
-    // returned, so the shard locks below are uncontended; they are taken
-    // anyway because the deques are guarded state (control rank < shard
-    // rank, so holding both here is in hierarchy order). Contiguous
-    // blocks: participant 0 (the caller) gets the lowest indices.
-    size_t block = (num_tasks + num_threads_ - 1) / num_threads_;
-    for (uint32_t p = 0; p < num_threads_; ++p) {
-      size_t begin = p * block;
-      size_t end = begin + block < num_tasks ? begin + block : num_tasks;
-      Shard& shard = *shards_[p];
-      MutexLock shard_lock(shard.mu);
-      shard.tasks.clear();
-      for (size_t i = begin; i < end; ++i) shard.tasks.push_back(i);
-    }
-    fn_ = &fn;
-    // Relaxed is enough: workers only observe the region (and thus this
-    // store) after the mu_ handoff on the generation bump below.
-    remaining_.store(num_tasks, std::memory_order_relaxed);
-    ++generation_;
+    region = std::make_shared<Region>(num_tasks, fn, next_tag_++);
+    // The mu_ handoff publishes the region's fields to any worker that
+    // finds it in the open list.
+    open_regions_.push_back(region);
   }
   work_cv_.NotifyAll();
-  RunParticipant(0, fn);
-  MutexLock lock(mu_);
-  // Quiesce: every task done *and* every worker out of RunParticipant
-  // (a worker may still be probing empty shards after the last task).
-  // The acquire load pairs with the acq_rel decrements in RunParticipant
-  // so task-body writes are visible once this reads zero.
-  while (remaining_.load(std::memory_order_acquire) != 0 ||
-         active_workers_ != 0) {
-    done_cv_.Wait(mu_);
+  Participate(*region);
+  {
+    // Quiesce: wait until every claimed task has returned. The caller
+    // usually finishes the latch itself (it claims until the region is
+    // dry), so this wait is often satisfied on entry.
+    MutexLock lock(region->mu);
+    while (!region->done) region->done_cv.Wait(region->mu);
   }
-  fn_ = nullptr;
+  // Acquire-pair with the completion fetch-adds: after this load the
+  // caller may read every task's output slots lock-free.
+  region->completed.load(std::memory_order_acquire);
+  {
+    // Drop the region from the open list if no worker beat us to it
+    // (a worker that observed the claims exhausted removes it eagerly).
+    MutexLock lock(mu_);
+    auto it = std::find(open_regions_.begin(), open_regions_.end(), region);
+    if (it != open_regions_.end()) open_regions_.erase(it);
+  }
 }
 
-void ThreadPool::WorkerLoop(uint32_t participant) {
-  uint64_t seen_generation = 0;
+void ThreadPool::Participate(Region& region) {
+  for (;;) {
+    size_t task = region.next.fetch_add(1, std::memory_order_relaxed);
+    if (task >= region.num_tasks) return;
+    (*region.fn)(task);
+    // acq_rel: the release half publishes this task's writes to the
+    // caller's acquire load in ParallelFor; the acquire half keeps the
+    // increments totally ordered (release sequence), so the finisher's
+    // latch flip below happens-after every completion.
+    if (region.completed.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+        region.num_tasks) {
+      MutexLock lock(region.mu);
+      region.done = true;
+      region.done_cv.NotifyAll();
+    }
+  }
+}
+
+std::shared_ptr<ThreadPool::Region> ThreadPool::PickRegion() {
+  // Drop exhausted regions first (their callers may still be waiting on
+  // in-flight tasks — the completion latch, not list membership, gates
+  // their return), then pick round-robin among what remains so workers
+  // spread across concurrent regions instead of piling onto the oldest.
+  std::erase_if(open_regions_, [](const std::shared_ptr<Region>& r) {
+    return r->next.load(std::memory_order_relaxed) >= r->num_tasks;
+  });
+  if (open_regions_.empty()) return nullptr;
+  rr_cursor_ %= open_regions_.size();
+  return open_regions_[rr_cursor_++];
+}
+
+void ThreadPool::WorkerLoop() {
   MutexLock lock(mu_);
   for (;;) {
-    while (!shutdown_ && generation_ == seen_generation) {
+    std::shared_ptr<Region> region;
+    while (!shutdown_ && (region = PickRegion()) == nullptr) {
       work_cv_.Wait(mu_);
     }
     if (shutdown_) return;
-    seen_generation = generation_;
-    if (fn_ == nullptr) {
-      // The caller drained every task and retired this region before we
-      // woke (possible whenever num_tasks is small): nothing to run, and
-      // dereferencing fn_ would be use-after-clear. Re-wait for the next
-      // generation.
-      continue;
-    }
-    const std::function<void(size_t)>& fn = *fn_;
-    ++active_workers_;
     lock.Unlock();
-    RunParticipant(participant, fn);
+    Participate(*region);
+    region.reset();
     lock.Lock();
-    if (--active_workers_ == 0) done_cv_.NotifyAll();
   }
-}
-
-void ThreadPool::RunParticipant(uint32_t participant,
-                                const std::function<void(size_t)>& fn) {
-  size_t task = 0;
-  while (NextTask(participant, &task)) {
-    fn(task);
-    // acq_rel: the release half publishes this task's writes to the
-    // caller's acquire load in ParallelFor; the acquire half keeps the
-    // decrements themselves totally ordered (release sequence).
-    if (remaining_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-      // Last task overall: wake the caller (it may be waiting already).
-      MutexLock lock(mu_);
-      done_cv_.NotifyAll();
-    }
-  }
-}
-
-bool ThreadPool::NextTask(uint32_t participant, size_t* task) {
-  Shard& own = *shards_[participant];
-  {
-    MutexLock lock(own.mu);
-    if (!own.tasks.empty()) {
-      *task = own.tasks.front();
-      own.tasks.pop_front();
-      return true;
-    }
-  }
-  for (uint32_t offset = 1; offset < num_threads_; ++offset) {
-    Shard& victim = *shards_[(participant + offset) % num_threads_];
-    MutexLock lock(victim.mu);
-    if (!victim.tasks.empty()) {
-      *task = victim.tasks.back();
-      victim.tasks.pop_back();
-      return true;
-    }
-  }
-  return false;
 }
 
 }  // namespace prost

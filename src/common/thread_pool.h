@@ -4,7 +4,6 @@
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <memory>
 #include <thread>
@@ -15,31 +14,44 @@
 
 namespace prost {
 
-/// Work-stealing thread pool behind the morsel-driven parallel operators.
+/// Work-sharing thread pool behind the morsel-driven parallel operators.
 ///
 /// The pool owns `num_threads - 1` OS threads; the caller of ParallelFor
-/// participates as the remaining worker, so `num_threads` is the total
-/// parallelism. Tasks are dense indices: ParallelFor splits [0, num_tasks)
-/// into contiguous shards, one deque per participant. A participant pops
-/// from the front of its own shard (ascending indices, cache-friendly for
-/// morsels over adjacent rows) and steals from the *back* of the first
-/// non-empty victim once its own shard runs dry, so stragglers shed their
-/// coldest work first.
+/// participates as one more worker, so `num_threads` is the parallelism a
+/// single region can reach. Tasks are dense indices: each ParallelFor
+/// opens a *region* — a tagged claim counter over [0, num_tasks) — and
+/// every participant claims ascending indices from it with one atomic
+/// fetch-add per task (morsels are coarse, so per-task claim cost is
+/// noise, and ascending claims keep adjacent rows on the same thread in
+/// the common case).
+///
+/// Unlike the original single-region design (one generation-stamped
+/// region at a time, callers serialized), any number of regions may be
+/// open concurrently: each caller's ParallelFor is still synchronous and
+/// returns only after its own region quiesces, but regions from
+/// different callers — in practice, different queries — share the pool's
+/// workers. Idle workers pick an unfinished region round-robin, drain it
+/// until its claims run out, then move to the next, so one long query
+/// cannot starve the others of workers and a lone region still gets them
+/// all. This is what lets ProstDb::Execute run M queries concurrently on
+/// one pool (DESIGN.md §12).
 ///
 /// Scheduling never affects results: tasks are index-addressed, write to
 /// caller-provided slots, and the caller merges slots in index order —
 /// that merge order is the determinism contract of every parallel
-/// operator built on top.
+/// operator built on top, and it is untouched by which thread ran which
+/// index.
 ///
-/// ParallelFor is synchronous and not reentrant: one parallel region at a
-/// time per pool, and task bodies must not call back into the pool.
+/// ParallelFor is synchronous and not reentrant *per thread*: distinct
+/// threads may each be inside their own ParallelFor, but a task body
+/// must not call back into the pool.
 ///
-/// Locking (DESIGN.md §11): `mu_` (rank kThreadPoolControl) covers region
-/// control — generation handoff, shutdown, the region's `fn_`, and the
-/// active-worker count; each Shard's `mu` (rank kThreadPoolShard, below
-/// control in the hierarchy so seeding a region may hold both) covers
-/// that shard's deque. `remaining_` is the only lock-free cross-thread
-/// state; its ordering contract is documented at the field.
+/// Locking (DESIGN.md §11): `mu_` (rank kThreadPoolControl) covers the
+/// open-region list and shutdown; each Region's `mu` (rank
+/// kThreadPoolRegion, above control so nothing ever holds both — they
+/// are in fact never nested) covers only that region's completion latch.
+/// Claim and completion counters are lock-free; their ordering contracts
+/// are documented at the fields.
 class ThreadPool {
  public:
   /// Spawns `num_threads - 1` workers. `num_threads == 1` (or 0) spawns
@@ -53,51 +65,78 @@ class ThreadPool {
   uint32_t num_threads() const { return num_threads_; }
 
   /// Runs fn(i) exactly once for every i in [0, num_tasks), distributing
-  /// across all participants with stealing. Blocks until every task has
-  /// finished. `fn` must be safe to call concurrently from different
-  /// threads on different indices and must not throw.
+  /// across the caller and any workers not busy with other regions.
+  /// Blocks until every task has finished. `fn` must be safe to call
+  /// concurrently from different threads on different indices and must
+  /// not throw. Safe to call from any number of threads concurrently;
+  /// each call is an independent region.
   void ParallelFor(size_t num_tasks, const std::function<void(size_t)>& fn);
 
  private:
-  /// One participant's shard of the current region's task indices.
-  struct Shard {
-    Mutex<LockRank::kThreadPoolShard> mu;
-    std::deque<size_t> tasks PROST_GUARDED_BY(mu);
+  /// One open parallel region: a claim counter over its task indices
+  /// plus a completion latch. Heap-held via shared_ptr so a worker that
+  /// picked the region just as it drained can still probe it after the
+  /// caller returned and dropped it from the open list.
+  struct Region {
+    Region(size_t num_tasks_in, const std::function<void(size_t)>& fn_in,
+           uint64_t tag_in)
+        : num_tasks(num_tasks_in), fn(&fn_in), tag(tag_in) {}
+
+    const size_t num_tasks;
+    /// Caller-owned. Only dereferenced after a successful claim
+    /// (claimed index < num_tasks): such a task is not yet counted in
+    /// `completed`, so the owning ParallelFor cannot have returned and
+    /// the function is alive.
+    const std::function<void(size_t)>* const fn;
+    /// Region id, unique per pool lifetime. Tags the region for the
+    /// round-robin pick (and for debugging which query a region belongs
+    /// to: ids are handed out in open order).
+    const uint64_t tag;
+
+    /// Next unclaimed task index. Claims are relaxed fetch-adds — the
+    /// value only partitions indices between threads; publication of
+    /// the region itself happens via the mu_ handoff when the region is
+    /// added to the open list.
+    std::atomic<size_t> next{0};
+    /// Tasks whose fn(i) has returned. Each completion is an acq_rel
+    /// fetch-add, so the increments form a release sequence and any
+    /// thread that observes `completed == num_tasks` with an acquire
+    /// load happens-after every task body's writes (the caller reads
+    /// task output slots lock-free right after its quiesce wait).
+    std::atomic<size_t> completed{0};
+
+    /// Completion latch: the participant that completes the final task
+    /// sets `done` and notifies; the caller waits here. Never held
+    /// together with the pool's mu_.
+    Mutex<LockRank::kThreadPoolRegion> mu;
+    CondVar done_cv;
+    bool done PROST_GUARDED_BY(mu) = false;
   };
 
-  void WorkerLoop(uint32_t participant);
-  /// Drains tasks (own shard first, then stealing) until none are left.
-  void RunParticipant(uint32_t participant,
-                      const std::function<void(size_t)>& fn);
-  bool NextTask(uint32_t participant, size_t* task);
+  void WorkerLoop();
+  /// Claims and runs tasks from `region` until its claims are
+  /// exhausted; flips the completion latch if this participant finished
+  /// the last one.
+  void Participate(Region& region);
+  /// Picks the next open region with unclaimed work, round-robin from
+  /// rr_cursor_, or null if none. Called under mu_.
+  std::shared_ptr<Region> PickRegion() PROST_REQUIRES(mu_);
 
   const uint32_t num_threads_;
-  std::vector<std::unique_ptr<Shard>> shards_;
   std::vector<std::thread> threads_;
 
   Mutex<LockRank::kThreadPoolControl> mu_;
-  CondVar work_cv_;  // Workers wait here between regions.
-  CondVar done_cv_;  // ParallelFor waits here for quiesce.
-  /// Bumped once per region; workers compare against their last-seen
-  /// value to detect new work.
-  uint64_t generation_ PROST_GUARDED_BY(mu_) = 0;
+  CondVar work_cv_;  // Workers wait here when no region has work.
   bool shutdown_ PROST_GUARDED_BY(mu_) = false;
-  /// Current region's fn; null between regions. A worker that wakes
-  /// after the caller already drained a small region sees null and
-  /// re-waits (the retired-region case).
-  const std::function<void(size_t)>* fn_ PROST_GUARDED_BY(mu_) = nullptr;
-  /// Tasks not yet completed. Ordering contract: the relaxed seeding
-  /// store in ParallelFor is published to workers by the mu_
-  /// release/acquire on the generation bump; each completion decrements
-  /// with acq_rel, so the decrements form a release sequence and the
-  /// caller's acquire load that observes 0 happens-after every task
-  /// body's writes (the caller reads task output slots lock-free right
-  /// after its quiesce wait).
-  std::atomic<size_t> remaining_{0};
-  /// Pool threads currently inside RunParticipant; the quiesce wait
-  /// needs it because a worker can still be probing (empty) shards after
-  /// remaining_ hits zero.
-  uint32_t active_workers_ PROST_GUARDED_BY(mu_) = 0;
+  /// Regions that may still have unclaimed tasks. A region is pushed by
+  /// its ParallelFor, and removed either by the worker that observes
+  /// its claims exhausted or by its caller on the way out (whichever
+  /// comes first; removal is idempotent).
+  std::vector<std::shared_ptr<Region>> open_regions_ PROST_GUARDED_BY(mu_);
+  uint64_t next_tag_ PROST_GUARDED_BY(mu_) = 0;
+  /// Round-robin start offset so concurrent regions share workers
+  /// instead of all workers piling onto the oldest region.
+  size_t rr_cursor_ PROST_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace prost

@@ -1,6 +1,7 @@
 #include "core/executor.h"
 
 #include "analysis/plan_checker.h"
+#include "common/str_util.h"
 #include "core/modifiers.h"
 #include "obs/trace.h"
 #include "plan/planner.h"
@@ -98,6 +99,33 @@ class PlanInterpreter {
         profile_(engine::ProfileOf(exec)) {}
 
   Result<engine::Relation> Exec(const plan::PlanNode& node) {
+    PROST_ASSIGN_OR_RETURN(engine::Relation relation, Dispatch(node));
+    // Budget enforcement is deterministic by construction: it compares
+    // simulated quantities (operator cardinality, the accounted cluster
+    // clock) on the coordinating thread, so a budgeted query fails (or
+    // not) identically at any thread count and under any concurrency.
+    const engine::QueryBudget* budget = engine::BudgetOf(exec_);
+    if (budget != nullptr) {
+      if (budget->max_rows > 0 && relation.TotalRows() > budget->max_rows) {
+        return Status::ResourceExhausted(StrFormat(
+            "query row budget exceeded: %s produced %llu rows (budget %llu)",
+            node.Label().c_str(),
+            static_cast<unsigned long long>(relation.TotalRows()),
+            static_cast<unsigned long long>(budget->max_rows)));
+      }
+      if (budget->max_simulated_millis > 0 &&
+          cost_.AccountedMillis() > budget->max_simulated_millis) {
+        return Status::ResourceExhausted(StrFormat(
+            "query simulated-time budget exceeded after %s: %.3f ms "
+            "accounted (budget %.3f ms)",
+            node.Label().c_str(), cost_.AccountedMillis(),
+            budget->max_simulated_millis));
+      }
+    }
+    return relation;
+  }
+
+  Result<engine::Relation> Dispatch(const plan::PlanNode& node) {
     switch (node.kind) {
       case plan::PlanNodeKind::kVpScan:
       case plan::PlanNodeKind::kPtScan:

@@ -202,13 +202,20 @@ Result<plan::PlannedQuery> ProstDb::PlanPhysical(
 }
 
 Result<QueryResult> ProstDb::Execute(const sparql::Query& query) const {
-  return Execute(query, nullptr);
+  return Execute(query, nullptr, nullptr);
+}
+
+Result<QueryResult> ProstDb::Execute(const sparql::Query& query,
+                                     obs::QueryProfile* profile) const {
+  return Execute(query, profile, nullptr);
 }
 
 Result<QueryResult> ProstDb::RunPlan(const plan::PlannedQuery& planned,
-                                     obs::QueryProfile* profile) const {
+                                     obs::QueryProfile* profile,
+                                     const engine::QueryBudget* budget) const {
   cluster::CostModel cost(options_.cluster);
-  engine::ExecContext exec(pool_.get(), options_.exec.morsel_rows, profile);
+  engine::ExecContext exec(pool_.get(), options_.exec.morsel_rows, profile,
+                           budget);
   return ExecutePlan(
       planned.plan, vp_, options_.use_property_table ? &pt_ : nullptr,
       options_.use_reverse_property_table ? &reverse_pt_ : nullptr,
@@ -216,25 +223,22 @@ Result<QueryResult> ProstDb::RunPlan(const plan::PlannedQuery& planned,
 }
 
 Result<QueryResult> ProstDb::Execute(const sparql::Query& query,
-                                     obs::QueryProfile* profile) const {
+                                     obs::QueryProfile* profile,
+                                     const engine::QueryBudget* budget) const {
   PROST_ASSIGN_OR_RETURN(plan::PlannedQuery planned,
                          BuildOptimizedPlan(query,
                                             /*record_snapshots=*/false));
-  Result<QueryResult> result = [&]() -> Result<QueryResult> {
-    if (pool_ != nullptr) {
-      // The shared pool runs one parallel region at a time, so
-      // pool-backed executions must not overlap. exec_mu_ is the
-      // system's outermost lock (rank kProstDbExec); the pool's own
-      // locks nest under it.
-      MutexLock lock(exec_mu_);
-      return RunPlan(planned, profile);
-    }
-    // Serial-configured dbs keep lock-free concurrent Execute.
-    return RunPlan(planned, profile);
-  }();
-  // Metrics are internally synchronized and deliberately updated outside
-  // exec_mu_: the critical section stays execution-only, and concurrent
-  // serial Executes still count correctly.
+  // No execution lock: every call owns its cost model / profile, the
+  // storage structures are read-only, and the pool multiplexes one task
+  // region per concurrent query (common/thread_pool.h). The old
+  // exec_mu_ full serialization is gone — M racing Executes proceed in
+  // parallel and each stays bit-identical to its serial run
+  // (tests/serving_stress_test.cpp).
+  Result<QueryResult> result = RunPlan(planned, profile, budget);
+  // Metrics are internally synchronized (atomic instruments behind a
+  // leaf-ranked registration mutex), so per-query counter deltas stay
+  // exact under concurrent Execute (obs_test
+  // ConcurrentExecuteCountsAreExact).
   if (result.ok()) {
     metrics_.counter("query.executed").Increment();
     metrics_.counter("query.rows").Add(result->relation.TotalRows());

@@ -7,7 +7,6 @@
 #include <vector>
 
 #include "cluster/config.h"
-#include "common/mutex.h"
 #include "common/status.h"
 #include "common/thread_pool.h"
 #include "core/executor.h"
@@ -105,9 +104,13 @@ class ProstDb {
   Result<plan::PlannedQuery> PlanPhysical(const sparql::Query& query) const;
 
   /// Executes a parsed query. Each call runs on a fresh simulated clock.
-  /// Safe to call concurrently: with a parallel executor (resolved
-  /// num_threads > 1) concurrent calls serialize on the shared thread
-  /// pool; with num_threads == 1 they run fully concurrently as before.
+  /// Safe to call concurrently at any thread configuration: each call
+  /// is an independent execution (own cost model, own profile), and
+  /// pool-backed executions share the work-sharing pool through
+  /// per-query task regions (common/thread_pool.h) instead of
+  /// serializing, so M racing queries each stay bit-identical to their
+  /// serial runs. Admission control and budgets live one layer up, in
+  /// serve::SessionManager (DESIGN.md §12).
   Result<QueryResult> Execute(const sparql::Query& query) const;
 
   /// Same, recording an operator-level trace into `profile` (may be
@@ -115,6 +118,14 @@ class ProstDb {
   /// The profile must outlive the call and belongs to one execution.
   Result<QueryResult> Execute(const sparql::Query& query,
                               obs::QueryProfile* profile) const;
+
+  /// Same, additionally enforcing a per-query resource budget (may be
+  /// null — unlimited). A budget violation fails the query with
+  /// kResourceExhausted, deterministically (the budget is checked
+  /// against simulated quantities only; see engine::QueryBudget).
+  Result<QueryResult> Execute(const sparql::Query& query,
+                              obs::QueryProfile* profile,
+                              const engine::QueryBudget* budget) const;
 
   /// Parses and executes a SPARQL string.
   Result<QueryResult> ExecuteSparql(std::string_view sparql) const;
@@ -153,22 +164,16 @@ class ProstDb {
   Result<plan::PlannedQuery> BuildOptimizedPlan(const sparql::Query& query,
                                                 bool record_snapshots) const;
 
-  /// Runs an already-optimized plan on a fresh cost model. Callers with
-  /// a pool hold exec_mu_ around this (Execute); serial-configured dbs
-  /// call it lock-free.
+  /// Runs an already-optimized plan on a fresh cost model. Lock-free:
+  /// every execution is independent (storage is read-only, the pool
+  /// multiplexes concurrent per-query regions), so any number of
+  /// callers run this concurrently.
   Result<QueryResult> RunPlan(const plan::PlannedQuery& planned,
-                              obs::QueryProfile* profile) const;
+                              obs::QueryProfile* profile,
+                              const engine::QueryBudget* budget) const;
 
   Options options_;
   std::unique_ptr<ThreadPool> pool_;
-  /// Serializes pool-backed Execute calls: the pool supports one
-  /// parallel region at a time and is unsynchronized across callers.
-  /// Rank kProstDbExec — the outermost lock in the system, held across
-  /// the whole execution (so ThreadPool's control/shard locks nest under
-  /// it); never taken by serial-configured dbs. Guards the *pool's
-  /// single-region contract*, not any field, hence no PROST_GUARDED_BY
-  /// targets.
-  mutable Mutex<LockRank::kProstDbExec> exec_mu_;
   std::shared_ptr<const rdf::EncodedGraph> graph_;
   DatasetStatistics stats_;
   VpStore vp_;
@@ -176,8 +181,8 @@ class ProstDb {
   PropertyTable reverse_pt_;
   LoadReport load_report_;
   /// Mutable: Execute() is const but counts every query it runs.
-  /// Internally synchronized (own leaf mutex + atomic handles), so it is
-  /// updated outside exec_mu_ — concurrent serial Executes count safely.
+  /// Internally synchronized (own leaf mutex + atomic handles), so
+  /// concurrent Executes count safely with no outer lock.
   mutable obs::MetricsRegistry metrics_;
 };
 

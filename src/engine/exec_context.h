@@ -17,6 +17,25 @@ namespace prost::engine {
 /// per-task scheduling cost (one deque pop) is noise.
 inline constexpr uint32_t kDefaultMorselRows = 8192;
 
+/// Per-query resource budget, enforced deterministically between plan
+/// operators (core/executor.cc): both limits are checked against
+/// simulated quantities — intermediate/result row counts and the
+/// simulated cluster clock — never against host wall time, so the same
+/// query with the same budget either always completes or always fails
+/// with the same Status, at any thread count. Zero means unlimited.
+/// The serving layer (serve::SessionManager) attaches one per admitted
+/// query; direct ProstDb callers run unbudgeted.
+struct QueryBudget {
+  /// Ceiling on any single operator's output cardinality (result rows
+  /// included). Exceeding it fails the query with kResourceExhausted.
+  uint64_t max_rows = 0;
+  /// Ceiling on the query's simulated time: checked against the cost
+  /// model's accounted clock after every operator.
+  double max_simulated_millis = 0;
+
+  bool Unlimited() const { return max_rows == 0 && max_simulated_millis == 0; }
+};
+
 /// Executor knobs, threaded from ProstDb::Options down to the operators.
 struct ExecOptions {
   /// Intra-worker parallelism of the real C++ executor. 1 (the default)
@@ -44,12 +63,18 @@ class ExecContext {
   ExecContext() = default;
   explicit ExecContext(ThreadPool* pool,
                        uint32_t morsel_rows = kDefaultMorselRows,
-                       obs::QueryProfile* profile = nullptr)
+                       obs::QueryProfile* profile = nullptr,
+                       const QueryBudget* budget = nullptr)
       : pool_(pool),
         morsel_rows_(morsel_rows == 0 ? kDefaultMorselRows : morsel_rows),
-        profile_(profile) {}
+        profile_(profile),
+        budget_(budget) {}
 
   ThreadPool* pool() const { return pool_; }
+
+  /// Per-query budget, or null (unlimited). Checked by the executor on
+  /// the coordinating thread between operators.
+  const QueryBudget* budget() const { return budget_; }
 
   /// Observability sink, or null when profiling is off. Spans are opened
   /// and closed on the coordinating thread only (the same contract the
@@ -69,7 +94,13 @@ class ExecContext {
   ThreadPool* pool_ = nullptr;
   uint32_t morsel_rows_ = kDefaultMorselRows;
   obs::QueryProfile* profile_ = nullptr;
+  const QueryBudget* budget_ = nullptr;
 };
+
+/// The budget carried by `exec`, or null (unlimited).
+inline const QueryBudget* BudgetOf(const ExecContext* exec) {
+  return exec != nullptr ? exec->budget() : nullptr;
+}
 
 /// True when `exec` selects the parallel operator paths. Operators take a
 /// nullable pointer so every existing call site keeps its meaning.

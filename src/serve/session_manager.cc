@@ -1,0 +1,151 @@
+#include "serve/session_manager.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/str_util.h"
+#include "sparql/parser.h"
+
+namespace prost::serve {
+
+namespace {
+
+/// Simulated-time buckets, same geometry as the db's query.simulated_ms.
+const std::vector<double>& SimulatedMsBounds() {
+  static const std::vector<double> kBounds = {1, 10, 100, 1000, 10000, 100000};
+  return kBounds;
+}
+
+}  // namespace
+
+void SessionManager::Slot::Release() {
+  if (manager_ == nullptr) return;
+  manager_->ReleaseSlot();
+  manager_ = nullptr;
+}
+
+SessionManager::SessionManager(const core::ProstDb& db,
+                               AdmissionOptions options)
+    : db_(db), options_(options) {}
+
+SessionManager::~SessionManager() { Shutdown(); }
+
+Result<SessionManager::Slot> SessionManager::Admit() {
+  const uint32_t capacity = std::max<uint32_t>(1, options_.max_in_flight);
+  MutexLock lock(mu_);
+  if (state_ != State::kRunning) {
+    metrics_.counter("serve.rejected.shutdown").Increment();
+    return Status::Unavailable("session manager is shutting down");
+  }
+  // Fast path: free capacity and nobody queued ahead (the queued_ check
+  // keeps admission strictly FIFO — a fresh arrival must not overtake a
+  // parked waiter).
+  if (in_flight_ < capacity && queued_ == 0) {
+    ++in_flight_;
+    metrics_.counter("serve.admitted").Increment();
+    metrics_.gauge("serve.in_flight").Set(in_flight_);
+    return Slot(this);
+  }
+  if (!options_.queue_when_full || queued_ >= options_.max_queued) {
+    metrics_.counter("serve.rejected.queue_full").Increment();
+    return Status::Unavailable(StrFormat(
+        "admission queue full: %u in flight (max %u), %u queued (max %u)",
+        in_flight_, capacity, queued_,
+        options_.queue_when_full ? options_.max_queued : 0));
+  }
+  // Park FIFO: served only when this ticket reaches the queue front AND
+  // capacity frees up. Spurious wakeups and overtaking both fall out of
+  // the predicate.
+  const uint64_t ticket = next_ticket_++;
+  ++queued_;
+  metrics_.gauge("serve.queued").Set(queued_);
+  while (state_ == State::kRunning &&
+         !(ticket == front_ticket_ && in_flight_ < capacity)) {
+    admission_cv_.Wait(mu_);
+  }
+  --queued_;
+  ++front_ticket_;
+  metrics_.gauge("serve.queued").Set(queued_);
+  // The next ticket may now be at the front; drain watches queued_ too.
+  admission_cv_.NotifyAll();
+  if (queued_ == 0) drain_cv_.NotifyAll();
+  if (state_ != State::kRunning) {
+    metrics_.counter("serve.rejected.shutdown").Increment();
+    return Status::Unavailable("session manager shut down while queued");
+  }
+  ++in_flight_;
+  metrics_.counter("serve.admitted").Increment();
+  metrics_.gauge("serve.in_flight").Set(in_flight_);
+  return Slot(this);
+}
+
+void SessionManager::ReleaseSlot() {
+  MutexLock lock(mu_);
+  --in_flight_;
+  metrics_.gauge("serve.in_flight").Set(in_flight_);
+  admission_cv_.NotifyAll();
+  if (in_flight_ == 0) drain_cv_.NotifyAll();
+}
+
+Result<core::QueryResult> SessionManager::Execute(const sparql::Query& query,
+                                                  obs::QueryProfile* profile) {
+  PROST_ASSIGN_OR_RETURN(Slot slot, Admit());
+  const engine::QueryBudget* budget =
+      options_.budget.Unlimited() ? nullptr : &options_.budget;
+  // The slot stays held across the db call (that is what in-flight
+  // means), but mu_ is not: execution runs lock-free at this layer.
+  Result<core::QueryResult> result = db_.Execute(query, profile, budget);
+  slot.Release();
+  if (result.ok()) {
+    metrics_.counter("serve.completed").Increment();
+    metrics_.histogram("serve.simulated_ms", SimulatedMsBounds())
+        .Observe(result->simulated_millis);
+  } else {
+    metrics_.counter("serve.failed").Increment();
+    if (result.status().code() == StatusCode::kResourceExhausted) {
+      metrics_.counter("serve.budget_exhausted").Increment();
+    }
+  }
+  return result;
+}
+
+Result<core::QueryResult> SessionManager::ExecuteSparql(
+    std::string_view text) {
+  // Parsing is cheap, deterministic, and touches no shared state, so it
+  // runs before admission — a malformed query never occupies a slot.
+  PROST_ASSIGN_OR_RETURN(sparql::Query query, sparql::ParseQuery(text));
+  return Execute(query);
+}
+
+void SessionManager::Shutdown() {
+  MutexLock lock(mu_);
+  if (state_ == State::kStopped) return;
+  if (state_ == State::kRunning) {
+    state_ = State::kDraining;
+    // Wake every queued waiter; their predicate sees kDraining and they
+    // exit with kUnavailable.
+    admission_cv_.NotifyAll();
+  }
+  // Drain: in-flight queries run to completion, queued callers leave.
+  // Callers must still be joined before destroying the manager (they may
+  // be between their final unlock and returning), same as any monitor.
+  while (in_flight_ > 0 || queued_ > 0) drain_cv_.Wait(mu_);
+  state_ = State::kStopped;
+}
+
+uint32_t SessionManager::in_flight() const {
+  MutexLock lock(mu_);
+  return in_flight_;
+}
+
+uint32_t SessionManager::queued() const {
+  MutexLock lock(mu_);
+  return queued_;
+}
+
+bool SessionManager::draining() const {
+  MutexLock lock(mu_);
+  return state_ != State::kRunning;
+}
+
+}  // namespace prost::serve

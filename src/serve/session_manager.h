@@ -1,0 +1,171 @@
+#ifndef PROST_SERVE_SESSION_MANAGER_H_
+#define PROST_SERVE_SESSION_MANAGER_H_
+
+#include <cstdint>
+#include <string_view>
+
+#include "common/mutex.h"
+#include "common/status.h"
+#include "common/thread_annotations.h"
+#include "core/prost_db.h"
+#include "engine/exec_context.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace prost::serve {
+
+/// Admission policy for a SessionManager. Defaults model a small serving
+/// deployment: a handful of queries execute concurrently, a short FIFO
+/// queue absorbs bursts, and everything beyond that is rejected rather
+/// than buffered without bound.
+struct AdmissionOptions {
+  /// Queries executing concurrently. Further arrivals queue or reject.
+  /// 0 is normalized to 1 (an admission controller that admits nothing
+  /// would deadlock every caller).
+  uint32_t max_in_flight = 4;
+
+  /// Callers allowed to block waiting for an execution slot, FIFO. Only
+  /// consulted when queue_when_full is true.
+  uint32_t max_queued = 16;
+
+  /// Full capacity policy: true parks the caller in the FIFO queue
+  /// (until max_queued, then rejects); false rejects immediately with
+  /// kUnavailable — the load-shedding configuration.
+  bool queue_when_full = true;
+
+  /// Per-query resource budget applied to every admitted query.
+  /// Default-constructed means unlimited. Enforced deterministically
+  /// against simulated quantities (engine::QueryBudget), so admission
+  /// never turns a query flaky: the same query under the same budget
+  /// always completes or always fails with kResourceExhausted.
+  engine::QueryBudget budget;
+};
+
+/// The serving front end over one ProstDb: accepts N concurrent sessions
+/// (callers), applies admission control, and executes admitted queries
+/// concurrently on the db's shared pool (DESIGN.md §12).
+///
+/// Contracts:
+///  * Concurrency — Execute is safe from any number of threads. Admitted
+///    queries run genuinely in parallel (ProstDb::Execute no longer
+///    serializes); results are bit-identical to serial runs.
+///  * Admission — at most max_in_flight queries execute at once; waiters
+///    are served strictly FIFO (ticket order). When queueing is off or
+///    the queue is full, callers get kUnavailable immediately — never a
+///    silent drop, never an unbounded wait.
+///  * Shutdown — Shutdown() (or destruction) stops intake, fails queued
+///    callers with kUnavailable, and blocks until all in-flight queries
+///    drain. Idempotent; concurrent with Execute.
+///  * Locking — mu_ (rank kServeSession, the outermost rank) is held
+///    only across admission state transitions, never across an
+///    execution, so the serve layer adds queueing without stacking under
+///    the engine's locks.
+///
+///   serve::SessionManager manager(db, {.max_in_flight = 8});
+///   // from any number of client threads:
+///   auto result = manager.ExecuteSparql("SELECT ...");
+///   manager.Shutdown();
+class SessionManager {
+ public:
+  /// An RAII execution slot: while alive it occupies one in-flight unit.
+  /// Execute holds one around the db call; tests hold them directly to
+  /// pin the admission state deterministically (fill capacity, then
+  /// observe queue/reject behavior with no execution race).
+  class Slot {
+   public:
+    Slot(Slot&& other) noexcept : manager_(other.manager_) {
+      other.manager_ = nullptr;
+    }
+    Slot& operator=(Slot&& other) noexcept {
+      if (this != &other) {
+        Release();
+        manager_ = other.manager_;
+        other.manager_ = nullptr;
+      }
+      return *this;
+    }
+    Slot(const Slot&) = delete;
+    Slot& operator=(const Slot&) = delete;
+    ~Slot() { Release(); }
+
+    /// Returns the slot early (the destructor then does nothing).
+    void Release();
+
+   private:
+    friend class SessionManager;
+    explicit Slot(SessionManager* manager) : manager_(manager) {}
+    SessionManager* manager_;
+  };
+
+  /// `db` must outlive the manager.
+  SessionManager(const core::ProstDb& db, AdmissionOptions options);
+  /// Runs Shutdown(): blocks until in-flight queries drain.
+  ~SessionManager();
+  SessionManager(const SessionManager&) = delete;
+  SessionManager& operator=(const SessionManager&) = delete;
+
+  /// Admits one unit of work per the admission policy: returns a Slot
+  /// (possibly after a FIFO wait), or kUnavailable when rejected
+  /// (queue disabled/full, or shutting down).
+  Result<Slot> Admit();
+
+  /// Admission-controlled query execution: Admit, run on the db with the
+  /// configured budget, release. `profile` is optional per-query tracing
+  /// (must belong to this call only). Failure modes are the db's own
+  /// errors, kResourceExhausted (budget), or kUnavailable (admission).
+  Result<core::QueryResult> Execute(const sparql::Query& query,
+                                    obs::QueryProfile* profile = nullptr);
+
+  /// Parses and executes a SPARQL string under admission control.
+  Result<core::QueryResult> ExecuteSparql(std::string_view text);
+
+  /// Stops intake and drains: new and queued callers fail with
+  /// kUnavailable; returns once every in-flight query has finished.
+  /// Safe to call multiple times and from multiple threads.
+  void Shutdown();
+
+  uint32_t in_flight() const;
+  uint32_t queued() const;
+  bool draining() const;
+  const AdmissionOptions& options() const { return options_; }
+
+  /// Serving metrics, separate from the db's query metrics:
+  /// serve.admitted / completed / failed / budget_exhausted counters,
+  /// serve.rejected.queue_full / serve.rejected.shutdown counters,
+  /// serve.in_flight / serve.queued gauges, and a serve.simulated_ms
+  /// histogram over admitted-and-completed queries. Thread-safe.
+  const obs::MetricsRegistry& metrics() const { return metrics_; }
+
+ private:
+  enum class State { kRunning, kDraining, kStopped };
+
+  /// Decrements in-flight and wakes the queue head / drain waiter.
+  void ReleaseSlot();
+
+  const core::ProstDb& db_;
+  const AdmissionOptions options_;
+
+  mutable Mutex<LockRank::kServeSession> mu_;
+  /// Queue-head and capacity waiters; broadcast on every release and on
+  /// state changes (waiters filter by ticket).
+  CondVar admission_cv_;
+  /// Shutdown's wait for in_flight_ == 0.
+  CondVar drain_cv_;
+  State state_ PROST_GUARDED_BY(mu_) = State::kRunning;
+  uint32_t in_flight_ PROST_GUARDED_BY(mu_) = 0;
+  uint32_t queued_ PROST_GUARDED_BY(mu_) = 0;
+  /// FIFO tickets: an arrival that must wait takes next_ticket_++ and is
+  /// admitted only when its ticket reaches front_ticket_ *and* capacity
+  /// frees up, so waiters cannot overtake each other.
+  uint64_t next_ticket_ PROST_GUARDED_BY(mu_) = 0;
+  uint64_t front_ticket_ PROST_GUARDED_BY(mu_) = 0;
+
+  /// Internally synchronized (own leaf mutex + atomic handles); updated
+  /// both under mu_ (admission decisions) and outside it (post-execution
+  /// accounting in Execute).
+  mutable obs::MetricsRegistry metrics_;
+};
+
+}  // namespace prost::serve
+
+#endif  // PROST_SERVE_SESSION_MANAGER_H_

@@ -578,7 +578,7 @@ TEST(MutexTest, TryLockRefusedWhileHeldElsewhere) {
 TEST(MutexTest, OrderedNestingAndNonLifoReleaseAreLegal) {
   // Ascending-rank nesting is the sanctioned order; releases may happen
   // in any order (the rank checker matches releases by rank, not LIFO).
-  Mutex<LockRank::kProstDbExec> outer;
+  Mutex<LockRank::kServeSession> outer;
   Mutex<LockRank::kThreadPoolControl> inner;
   outer.Lock();
   inner.Lock();
@@ -597,6 +597,75 @@ TEST(MutexLockTest, UnlockRelockWindow) {
   counter.Increment();  // kLeaf-ranked acquire while holding nothing.
   lock.Lock();
   EXPECT_EQ(counter.Get(), 1);
+}
+
+TEST(MutexTest, TryLockUnderContentionNeverBreaksExclusion) {
+  // Hammer TryLock from several threads against a blocking holder: a
+  // successful TryLock must really own the mutex (the critical-section
+  // counter may never see two owners), failures are clean no-ops, and
+  // every thread eventually succeeds at least once (no livelock — Lock
+  // releases often enough that a polling TryLock gets through).
+  Mutex<LockRank::kLeaf> mu;
+  int owners = 0;       // Guarded by mu (a local, so no annotation).
+  int max_owners = 0;   // Ditto.
+  constexpr int kThreads = 4;
+  constexpr int kSuccessesPerThread = 200;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      int successes = 0;
+      while (successes < kSuccessesPerThread) {
+        if (!mu.TryLock()) continue;
+        ++owners;
+        if (owners > max_owners) max_owners = owners;
+        --owners;
+        mu.Unlock();
+        ++successes;
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(max_owners, 1);
+  EXPECT_EQ(owners, 0);
+}
+
+TEST(CondVarTest, MultiWaiterWakeupRespectsTicketOrder) {
+  // N waiters park on one CondVar, each admitted only when the shared
+  // `turn` reaches its ticket — the SessionManager FIFO-admission shape.
+  // NotifyAll plus a per-ticket predicate must release them in exactly
+  // ticket order regardless of scheduling, and no waiter may proceed
+  // before its turn.
+  Mutex<LockRank::kThreadPoolControl> mu;
+  CondVar cv;
+  constexpr int kWaiters = 6;
+  int turn = 0;                 // Guarded by mu.
+  int started = 0;              // Guarded by mu.
+  std::vector<int> wake_order;  // Guarded by mu.
+  std::vector<std::thread> waiters;
+  waiters.reserve(kWaiters);
+  for (int ticket = 0; ticket < kWaiters; ++ticket) {
+    waiters.emplace_back([&, ticket] {
+      MutexLock lock(mu);
+      ++started;
+      cv.NotifyAll();  // Unblocks the main thread's "all parked" wait.
+      while (turn != ticket) cv.Wait(mu);
+      wake_order.push_back(ticket);
+      ++turn;
+      cv.NotifyAll();
+    });
+  }
+  {
+    MutexLock lock(mu);
+    // Park until every waiter has entered the monitor at least once, so
+    // later NotifyAll calls genuinely fan out to multiple waiters.
+    while (started < kWaiters) cv.Wait(mu);
+  }
+  for (std::thread& waiter : waiters) waiter.join();
+  MutexLock lock(mu);
+  ASSERT_EQ(wake_order.size(), static_cast<size_t>(kWaiters));
+  for (int i = 0; i < kWaiters; ++i) EXPECT_EQ(wake_order[i], i);
+  EXPECT_EQ(turn, kWaiters);
 }
 
 TEST(CondVarTest, HandoffWakesWaiter) {
@@ -635,7 +704,7 @@ void AcquireBoth(MutexBase& first,
 
 TEST(LockRankDeathTest, OutOfOrderAcquisitionAborts) {
   Mutex<LockRank::kThreadPoolControl> later;
-  Mutex<LockRank::kProstDbExec> earlier;
+  Mutex<LockRank::kServeSession> earlier;
   EXPECT_DEATH(AcquireBoth(later, earlier), "lock-rank violation");
 }
 
@@ -643,8 +712,8 @@ TEST(LockRankDeathTest, SameRankNestingAborts) {
   // Two distinct mutexes of one rank must never nest (no relative order
   // is defined, so two threads nesting them in opposite orders would
   // deadlock).
-  Mutex<LockRank::kThreadPoolShard> a;
-  Mutex<LockRank::kThreadPoolShard> b;
+  Mutex<LockRank::kThreadPoolRegion> a;
+  Mutex<LockRank::kThreadPoolRegion> b;
   EXPECT_DEATH(AcquireBoth(a, b), "lock-rank violation");
 }
 
@@ -669,7 +738,7 @@ TEST(LockRankDeathTest, TryLockRankIsStillRecorded) {
   // TryLock itself is exempt from the order abort (it cannot deadlock),
   // but the rank it acquired must constrain later blocking acquires.
   Mutex<LockRank::kMetricsRegistry> high;
-  Mutex<LockRank::kProstDbExec> low;
+  Mutex<LockRank::kServeSession> low;
   ASSERT_TRUE(TryAcquire(high));
   EXPECT_EQ(internal::RankHeldDepth(), 1);
   EXPECT_DEATH(AcquireBoth(low, low), "lock-rank violation");
@@ -678,7 +747,7 @@ TEST(LockRankDeathTest, TryLockRankIsStillRecorded) {
 }
 
 TEST(LockRankTest, HeldDepthTracksTheStack) {
-  Mutex<LockRank::kProstDbExec> outer;
+  Mutex<LockRank::kServeSession> outer;
   Mutex<LockRank::kMetricsRegistry> inner;
   EXPECT_EQ(internal::RankHeldDepth(), 0);
   {

@@ -380,6 +380,70 @@ TEST_F(ObsIntegrationTest, ExecuteUpdatesDbMetrics) {
             before.counter("query.executed") + 1);
 }
 
+TEST_F(ObsIntegrationTest, ConcurrentExecuteCountsAreExact) {
+  // Execute() no longer serializes, so the lifetime metrics must stay
+  // exact when many queries race: counters are single atomic words (no
+  // increment can be lost or torn) and the simulated_ms histogram seals
+  // each observation with a release increment of its count. Mix
+  // succeeding runs with deterministic budget failures and check the
+  // per-query deltas add up to the thread count exactly.
+  size_t victim = queries_.size();
+  sparql::Query query;
+  uint64_t rows_per_query = 0;
+  for (size_t i = 0; i < queries_.size(); ++i) {
+    auto parsed = sparql::ParseQuery(queries_[i].sparql);
+    ASSERT_TRUE(parsed.ok()) << queries_[i].id << ": " << parsed.status();
+    auto result = db_->Execute(*parsed);
+    ASSERT_TRUE(result.ok()) << queries_[i].id << ": " << result.status();
+    if (result->relation.TotalRows() >= 2) {
+      victim = i;
+      query = std::move(parsed).value();
+      rows_per_query = result->relation.TotalRows();
+      break;
+    }
+  }
+  ASSERT_LT(victim, queries_.size()) << "no multi-row query in the set";
+
+  engine::QueryBudget tight;
+  tight.max_rows = 1;  // Trips deterministically: the query has >= 2 rows.
+  constexpr int kThreads = 4;
+  constexpr int kOkPerThread = 6;
+  constexpr int kFailPerThread = 3;
+
+  obs::MetricsSnapshot before = db_->metrics().Snapshot();
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kOkPerThread; ++i) {
+        auto result = db_->Execute(query);
+        ASSERT_TRUE(result.ok()) << result.status();
+      }
+      for (int i = 0; i < kFailPerThread; ++i) {
+        auto result = db_->Execute(query, nullptr, &tight);
+        ASSERT_FALSE(result.ok());
+        ASSERT_EQ(result.status().code(), StatusCode::kResourceExhausted)
+            << result.status();
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  obs::MetricsSnapshot after = db_->metrics().Snapshot();
+  const uint64_t executed = kThreads * kOkPerThread;
+  const uint64_t failed = kThreads * kFailPerThread;
+  EXPECT_EQ(after.counter("query.executed"),
+            before.counter("query.executed") + executed);
+  EXPECT_EQ(after.counter("query.failed"),
+            before.counter("query.failed") + failed);
+  EXPECT_EQ(after.counter("query.rows"),
+            before.counter("query.rows") + executed * rows_per_query);
+  // Every successful execution lands exactly one histogram observation;
+  // failures land none.
+  EXPECT_EQ(after.histograms.at("query.simulated_ms").count,
+            before.histograms.at("query.simulated_ms").count + executed);
+}
+
 TEST_F(ObsIntegrationTest, ProfileJsonIsWellFormed) {
   auto parsed = sparql::ParseQuery(queries_[0].sparql);
   ASSERT_TRUE(parsed.ok());

@@ -141,10 +141,12 @@ INSTANTIATE_TEST_SUITE_P(Seeds, ParallelDifferentialTest,
 
 TEST(ParallelExecConcurrencyTest, ConcurrentExecuteSharesOnePoolSafely) {
   // Execute() is const and safe to call concurrently; on a
-  // parallel-configured db every call shares the one thread pool, so
-  // executions serialize internally instead of racing on it. Hammer a
-  // single db from several threads and check each result bit-for-bit
-  // against the serial engine.
+  // parallel-configured db every call shares the one thread pool, each
+  // execution running as its own task region (no serialization — the
+  // regions genuinely overlap). Hammer a single db from several threads
+  // and check each result bit-for-bit against the serial engine.
+  // serving_stress_test covers the same property at scale through
+  // serve::SessionManager.
   Rng rng(4242);
   auto graph = std::make_shared<const rdf::EncodedGraph>(
       testing::RandomGraph(rng, 400, 30, 5));

@@ -14,6 +14,7 @@
 #include "common/str_util.h"
 #include "rdf/graph.h"
 #include "sparql/algebra.h"
+#include "watdiv/queries.h"
 
 namespace prost::testing {
 
@@ -116,6 +117,52 @@ inline sparql::Query RandomQuery(Rng& rng, const rdf::EncodedGraph& graph,
   query.distinct = rng.NextBernoulli(0.3);
   return query;
 }
+
+/// Weighted sampler over the WatDiv basic query set, modeling a serving
+/// mix: star and linear lookups dominate, snowflakes are common, complex
+/// analytics are rare (the usual read-heavy serving skew). Draws return
+/// *indices* into the query vector handed to the constructor, so callers
+/// can pair every draw with a precomputed per-query reference result —
+/// the serving stress test samples the same deterministic stream per
+/// client and checks each answer bitwise.
+class QueryMixSampler {
+ public:
+  /// Relative weight of one WatDiv query class in the serving mix.
+  static uint32_t ClassWeight(char query_class) {
+    switch (query_class) {
+      case 'C':
+        return 1;  // Complex: rare analytics.
+      case 'F':
+        return 2;  // Snowflake.
+      case 'L':
+        return 4;  // Linear: the point-lookup bread and butter.
+      case 'S':
+        return 3;  // Star.
+      default:
+        return 1;
+    }
+  }
+
+  explicit QueryMixSampler(const std::vector<watdiv::WatDivQuery>& queries) {
+    cumulative_.reserve(queries.size());
+    uint64_t total = 0;
+    for (const watdiv::WatDivQuery& query : queries) {
+      total += ClassWeight(query.query_class);
+      cumulative_.push_back(total);
+    }
+  }
+
+  /// Index of the next sampled query, weighted by class.
+  size_t SampleIndex(Rng& rng) const {
+    uint64_t pick = rng.NextBounded(cumulative_.back());
+    size_t index = 0;
+    while (cumulative_[index] <= pick) ++index;
+    return index;
+  }
+
+ private:
+  std::vector<uint64_t> cumulative_;  // Per-query cumulative weights.
+};
 
 }  // namespace prost::testing
 

@@ -1,0 +1,386 @@
+// Deterministic serving stress harness for serve::SessionManager over a
+// concurrently-shared ProstDb.
+//
+// The load is a seeded randomized mix of WatDiv basic queries (weighted
+// by query class — testing::QueryMixSampler), hammered from 2/4/8 client
+// threads against one parallel-configured db. The checks are stronger
+// than "no crash":
+//
+//  1. Every concurrent result is *bit-identical* to its precomputed
+//     serial reference (chunk layout, row order, columns) and carries
+//     the identical simulated time — concurrency must be invisible to
+//     both answers and the simulated clock.
+//  2. Admission edge cases behave deterministically: per-query budgets
+//     fail with the same kResourceExhausted status concurrent or
+//     serial, a full queue rejects with kUnavailable (never blocks
+//     forever, never drops silently), and shutdown mid-flight drains
+//     in-flight queries while failing queued/new callers cleanly.
+//
+// Runs under the TSan CI leg (label `stress`), so every assertion here
+// doubles as a data-race probe on the multi-region thread pool.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/prost_db.h"
+#include "random_workload.h"
+#include "serve/session_manager.h"
+#include "sparql/parser.h"
+#include "watdiv/generator.h"
+#include "watdiv/queries.h"
+
+namespace prost {
+namespace {
+
+using SharedGraph = std::shared_ptr<const rdf::EncodedGraph>;
+
+std::unique_ptr<core::ProstDb> MakeDb(const SharedGraph& graph,
+                                      uint32_t num_threads) {
+  core::ProstDb::Options options;
+  options.exec.num_threads = num_threads;
+  // Small morsels so even modest relations split into many concurrent
+  // tasks — maximum pressure on the shared pool's region multiplexing.
+  options.exec.morsel_rows = 256;
+  auto db = core::ProstDb::LoadFromSharedGraph(graph, options);
+  EXPECT_TRUE(db.ok()) << db.status();
+  return db.ok() ? std::move(db).value() : nullptr;
+}
+
+/// Bit-identity: same column names, same chunk count, every chunk's every
+/// column the same vector — row order included.
+void ExpectBitIdentical(const engine::Relation& actual,
+                        const engine::Relation& expected,
+                        const std::string& context) {
+  ASSERT_EQ(actual.column_names(), expected.column_names()) << context;
+  ASSERT_EQ(actual.num_chunks(), expected.num_chunks()) << context;
+  for (uint32_t w = 0; w < expected.num_chunks(); ++w) {
+    const engine::RelationChunk& a = actual.chunks()[w];
+    const engine::RelationChunk& e = expected.chunks()[w];
+    ASSERT_EQ(a.columns.size(), e.columns.size()) << context << ", chunk "
+                                                  << w;
+    for (size_t c = 0; c < e.columns.size(); ++c) {
+      EXPECT_EQ(a.columns[c], e.columns[c])
+          << context << ", chunk " << w << ", column "
+          << expected.column_names()[c];
+    }
+  }
+}
+
+/// Bounded wait for an externally-driven condition (queue occupancy,
+/// drain progress). Generous deadline: sanitizer builds are slow.
+bool WaitUntil(const std::function<bool()>& pred) {
+  auto deadline = std::chrono::steady_clock::now() +
+                  std::chrono::seconds(60);
+  while (!pred()) {
+    if (std::chrono::steady_clock::now() > deadline) return false;
+    std::this_thread::yield();
+  }
+  return true;
+}
+
+class ServingStressTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    watdiv::WatDivConfig config;
+    config.target_triples = 20000;
+    config.seed = 11;
+    watdiv::WatDivDataset dataset = watdiv::Generate(config);
+    dataset.graph.SortAndDedupe();
+    graph_ = std::make_shared<const rdf::EncodedGraph>(
+        std::move(dataset.graph));
+    watdiv::WatDivDataset sizing_only;  // Queries depend only on IRIs.
+    raw_queries_ = watdiv::BasicQuerySet(sizing_only);
+    for (const watdiv::WatDivQuery& wq : raw_queries_) {
+      auto parsed = sparql::ParseQuery(wq.sparql);
+      ASSERT_TRUE(parsed.ok()) << wq.id << ": " << parsed.status();
+      queries_.push_back(std::move(parsed).value());
+    }
+    // Serial reference: the ground truth every concurrent result must
+    // match bitwise.
+    serial_ = MakeDb(graph_, 1);
+    ASSERT_NE(serial_, nullptr);
+    for (size_t i = 0; i < queries_.size(); ++i) {
+      auto result = serial_->Execute(queries_[i]);
+      ASSERT_TRUE(result.ok()) << raw_queries_[i].id << ": "
+                               << result.status();
+      reference_.push_back(std::move(result).value());
+    }
+  }
+
+  static void TearDownTestSuite() {
+    serial_.reset();
+    reference_.clear();
+    queries_.clear();
+    raw_queries_.clear();
+    graph_.reset();
+  }
+
+  static SharedGraph graph_;
+  static std::vector<watdiv::WatDivQuery> raw_queries_;
+  static std::vector<sparql::Query> queries_;
+  static std::vector<core::QueryResult> reference_;
+  static std::unique_ptr<core::ProstDb> serial_;
+};
+
+SharedGraph ServingStressTest::graph_;
+std::vector<watdiv::WatDivQuery> ServingStressTest::raw_queries_;
+std::vector<sparql::Query> ServingStressTest::queries_;
+std::vector<core::QueryResult> ServingStressTest::reference_;
+std::unique_ptr<core::ProstDb> ServingStressTest::serial_;
+
+class ServingMixTest : public ServingStressTest,
+                       public ::testing::WithParamInterface<int> {};
+
+TEST_P(ServingMixTest, MixedWorkloadIsBitIdenticalToSerial) {
+  const int kClients = GetParam();
+  const int kQueriesPerClient = 12;
+  auto db = MakeDb(graph_, 4);
+  ASSERT_NE(db, nullptr);
+
+  serve::AdmissionOptions admission;
+  admission.max_in_flight = static_cast<uint32_t>(kClients);
+  admission.max_queued = static_cast<uint32_t>(kClients) * 2;
+  serve::SessionManager manager(*db, admission);
+
+  testing::QueryMixSampler sampler(raw_queries_);
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int t = 0; t < kClients; ++t) {
+    clients.emplace_back([&, t] {
+      // Per-client deterministic stream: the sampled indices depend only
+      // on (suite seed, client id), never on interleaving.
+      Rng rng(991 * (t + 1) + 17);
+      for (int iter = 0; iter < kQueriesPerClient; ++iter) {
+        size_t q = sampler.SampleIndex(rng);
+        auto result = manager.Execute(queries_[q]);
+        ASSERT_TRUE(result.ok()) << "client " << t << " iter " << iter
+                                 << " query " << raw_queries_[q].id << ": "
+                                 << result.status();
+        ExpectBitIdentical(result->relation, reference_[q].relation,
+                           "client " + std::to_string(t) + " iter " +
+                               std::to_string(iter) + " query " +
+                               raw_queries_[q].id);
+        EXPECT_DOUBLE_EQ(result->simulated_millis,
+                         reference_[q].simulated_millis)
+            << "client " << t << " query " << raw_queries_[q].id;
+      }
+    });
+  }
+  for (std::thread& client : clients) client.join();
+
+  const uint64_t total =
+      static_cast<uint64_t>(kClients) * kQueriesPerClient;
+  obs::MetricsSnapshot snapshot = manager.metrics().Snapshot();
+  EXPECT_EQ(snapshot.counter("serve.admitted"), total);
+  EXPECT_EQ(snapshot.counter("serve.completed"), total);
+  EXPECT_EQ(snapshot.counter("serve.failed"), 0u);
+  EXPECT_EQ(snapshot.histograms.at("serve.simulated_ms").count, total);
+  EXPECT_EQ(manager.in_flight(), 0u);
+  EXPECT_EQ(manager.queued(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Clients, ServingMixTest,
+                         ::testing::Values(2, 4, 8));
+
+TEST_F(ServingStressTest, BudgetExceededFailsWithCleanStatus) {
+  auto db = MakeDb(graph_, 4);
+  ASSERT_NE(db, nullptr);
+
+  // A query with at least two result rows trips a one-row budget.
+  size_t victim = queries_.size();
+  for (size_t i = 0; i < queries_.size(); ++i) {
+    if (reference_[i].num_rows() >= 2) {
+      victim = i;
+      break;
+    }
+  }
+  ASSERT_LT(victim, queries_.size()) << "no multi-row reference query";
+
+  serve::AdmissionOptions admission;
+  admission.budget.max_rows = 1;
+  serve::SessionManager manager(*db, admission);
+  auto result = manager.Execute(queries_[victim]);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted)
+      << result.status();
+  // Deterministic enforcement: the serial engine under the same budget
+  // fails with the *identical* status (code and message).
+  auto serial_budgeted =
+      serial_->Execute(queries_[victim], nullptr, &admission.budget);
+  ASSERT_FALSE(serial_budgeted.ok());
+  EXPECT_EQ(result.status(), serial_budgeted.status());
+
+  // Simulated-time budgets trip the same way: every query costs more
+  // than a micro-millisecond of simulated time.
+  serve::AdmissionOptions time_admission;
+  time_admission.budget.max_simulated_millis = 0.0001;
+  serve::SessionManager time_manager(*db, time_admission);
+  auto timed_out = time_manager.Execute(queries_[victim]);
+  ASSERT_FALSE(timed_out.ok());
+  EXPECT_EQ(timed_out.status().code(), StatusCode::kResourceExhausted);
+
+  obs::MetricsSnapshot snapshot = manager.metrics().Snapshot();
+  EXPECT_EQ(snapshot.counter("serve.failed"), 1u);
+  EXPECT_EQ(snapshot.counter("serve.budget_exhausted"), 1u);
+  EXPECT_EQ(snapshot.counter("serve.completed"), 0u);
+
+  // The failure is the query's, not the session's: the manager keeps
+  // serving, and an unbudgeted run of the same query succeeds.
+  serve::AdmissionOptions unlimited;
+  serve::SessionManager ok_manager(*db, unlimited);
+  auto ok_result = ok_manager.Execute(queries_[victim]);
+  ASSERT_TRUE(ok_result.ok()) << ok_result.status();
+  ExpectBitIdentical(ok_result->relation, reference_[victim].relation,
+                     "post-budget-failure execution");
+}
+
+TEST_F(ServingStressTest, FullQueueRejectsWithUnavailable) {
+  auto db = MakeDb(graph_, 2);
+  ASSERT_NE(db, nullptr);
+  serve::AdmissionOptions admission;
+  admission.max_in_flight = 1;
+  admission.max_queued = 1;
+  serve::SessionManager manager(*db, admission);
+
+  // Pin the admission state: one slot held, one caller parked FIFO.
+  auto held = manager.Admit();
+  ASSERT_TRUE(held.ok()) << held.status();
+  std::thread parked([&] {
+    auto slot = manager.Admit();  // Queued behind `held`.
+    EXPECT_TRUE(slot.ok()) << slot.status();
+  });
+  ASSERT_TRUE(WaitUntil([&] { return manager.queued() == 1; }));
+
+  // Queue full: the third arrival rejects immediately — no blocking.
+  auto rejected = manager.Admit();
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.status().code(), StatusCode::kUnavailable)
+      << rejected.status();
+
+  held->Release();  // The parked caller is admitted FIFO and finishes.
+  parked.join();
+
+  obs::MetricsSnapshot snapshot = manager.metrics().Snapshot();
+  EXPECT_EQ(snapshot.counter("serve.admitted"), 2u);
+  EXPECT_EQ(snapshot.counter("serve.rejected.queue_full"), 1u);
+}
+
+TEST_F(ServingStressTest, NoQueuePolicyShedsLoadImmediately) {
+  auto db = MakeDb(graph_, 2);
+  ASSERT_NE(db, nullptr);
+  serve::AdmissionOptions admission;
+  admission.max_in_flight = 1;
+  admission.queue_when_full = false;
+  serve::SessionManager manager(*db, admission);
+
+  auto held = manager.Admit();
+  ASSERT_TRUE(held.ok()) << held.status();
+  auto shed = manager.Admit();
+  ASSERT_FALSE(shed.ok());
+  EXPECT_EQ(shed.status().code(), StatusCode::kUnavailable);
+  held->Release();
+
+  // Capacity free again: admission resumes.
+  auto readmitted = manager.Admit();
+  ASSERT_TRUE(readmitted.ok()) << readmitted.status();
+}
+
+TEST_F(ServingStressTest, ShutdownDrainsInFlightAndRejectsQueued) {
+  auto db = MakeDb(graph_, 2);
+  ASSERT_NE(db, nullptr);
+  serve::AdmissionOptions admission;
+  admission.max_in_flight = 1;
+  admission.max_queued = 4;
+  serve::SessionManager manager(*db, admission);
+
+  auto in_flight = manager.Admit();
+  ASSERT_TRUE(in_flight.ok()) << in_flight.status();
+  std::thread queued_caller([&] {
+    auto slot = manager.Admit();
+    ASSERT_FALSE(slot.ok());  // Shutdown arrives while parked.
+    EXPECT_EQ(slot.status().code(), StatusCode::kUnavailable);
+  });
+  ASSERT_TRUE(WaitUntil([&] { return manager.queued() == 1; }));
+
+  std::thread stopper([&] { manager.Shutdown(); });
+  ASSERT_TRUE(WaitUntil([&] { return manager.draining(); }));
+
+  // New arrivals fail fast while draining.
+  auto late = manager.Admit();
+  ASSERT_FALSE(late.ok());
+  EXPECT_EQ(late.status().code(), StatusCode::kUnavailable);
+
+  // Shutdown must wait for the in-flight unit...
+  queued_caller.join();
+  EXPECT_EQ(manager.in_flight(), 1u);
+  // ...and return once it drains.
+  in_flight->Release();
+  stopper.join();
+  EXPECT_EQ(manager.in_flight(), 0u);
+  EXPECT_EQ(manager.queued(), 0u);
+
+  obs::MetricsSnapshot snapshot = manager.metrics().Snapshot();
+  EXPECT_EQ(snapshot.counter("serve.rejected.shutdown"), 2u);
+}
+
+TEST_F(ServingStressTest, ShutdownMidWorkloadDrainsCleanly) {
+  // Race a real mixed workload against Shutdown: clients treat
+  // kUnavailable as a clean stop; every successful answer must still be
+  // bitwise-correct, and after Shutdown returns the accounting is
+  // settled (no in-flight work, admitted == completed + failed).
+  auto db = MakeDb(graph_, 4);
+  ASSERT_NE(db, nullptr);
+  serve::AdmissionOptions admission;
+  admission.max_in_flight = 2;
+  admission.max_queued = 4;
+  serve::SessionManager manager(*db, admission);
+
+  constexpr int kClients = 4;
+  testing::QueryMixSampler sampler(raw_queries_);
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int t = 0; t < kClients; ++t) {
+    clients.emplace_back([&, t] {
+      Rng rng(7 * (t + 1) + 3);
+      for (int iter = 0; iter < 64; ++iter) {
+        size_t q = sampler.SampleIndex(rng);
+        auto result = manager.Execute(queries_[q]);
+        if (!result.ok()) {
+          // The only clean failure in this workload is admission
+          // shutdown; anything else is a real bug.
+          ASSERT_EQ(result.status().code(), StatusCode::kUnavailable)
+              << result.status();
+          return;
+        }
+        ExpectBitIdentical(result->relation, reference_[q].relation,
+                           "client " + std::to_string(t) + " query " +
+                               raw_queries_[q].id);
+      }
+    });
+  }
+  // Let some queries complete, then pull the plug mid-flight.
+  ASSERT_TRUE(WaitUntil([&] {
+    return manager.metrics().Snapshot().counter("serve.completed") >= 4;
+  }));
+  manager.Shutdown();
+  for (std::thread& client : clients) client.join();
+
+  EXPECT_EQ(manager.in_flight(), 0u);
+  EXPECT_EQ(manager.queued(), 0u);
+  obs::MetricsSnapshot snapshot = manager.metrics().Snapshot();
+  EXPECT_EQ(snapshot.counter("serve.admitted"),
+            snapshot.counter("serve.completed") +
+                snapshot.counter("serve.failed"));
+  EXPECT_EQ(snapshot.counter("serve.failed"), 0u);
+  EXPECT_GE(snapshot.counter("serve.rejected.shutdown"), 1u);
+}
+
+}  // namespace
+}  // namespace prost

@@ -9,13 +9,13 @@ namespace {
 class TwoLocks {
  public:
   void Set(int v) {
-    prost::MutexLock lock(shard_mu_);
-    value_ = v;  // error: value_ is guarded by control_mu_, not shard_mu_
+    prost::MutexLock lock(region_mu_);
+    value_ = v;  // error: value_ is guarded by control_mu_, not region_mu_
   }
 
  private:
   prost::Mutex<prost::LockRank::kThreadPoolControl> control_mu_;
-  prost::Mutex<prost::LockRank::kThreadPoolShard> shard_mu_;
+  prost::Mutex<prost::LockRank::kThreadPoolRegion> region_mu_;
   int value_ PROST_GUARDED_BY(control_mu_) = 0;
 };
 
