@@ -37,10 +37,18 @@ namespace prost {
 /// never nest (the checker enforces this too, which catches self-deadlock
 /// on a single mutex).
 enum class LockRank : int {
+  /// net::Server::mu_ — the network front end's lifecycle state, pending
+  /// accepted-connection queue, and handler bookkeeping. Outermost of
+  /// all: a connection handler holding nothing else calls down into
+  /// serve::SessionManager (kServeSession), so the net rank sits below
+  /// every other rank in the hierarchy. Never held across a request
+  /// execution or a socket write.
+  kNetServer = 50,
   /// serve::SessionManager::mu_ — admission control (in-flight count,
-  /// queue tickets, lifecycle state). Outermost, but held only around
-  /// state transitions — never across a query execution — so the serve
-  /// layer adds queueing without ever stacking under the engine's locks.
+  /// queue tickets, lifecycle state). Outermost below the net front end,
+  /// and held only around state transitions — never across a query
+  /// execution — so the serve layer adds queueing without ever stacking
+  /// under the engine's locks.
   kServeSession = 100,
   /// ThreadPool::mu_ — the open-region list and shutdown flag.
   kThreadPoolControl = 300,

@@ -31,6 +31,8 @@ const char* StatusCodeToString(StatusCode code) {
       return "resource_exhausted";
     case StatusCode::kUnavailable:
       return "unavailable";
+    case StatusCode::kDeadlineExceeded:
+      return "deadline_exceeded";
   }
   return "unknown";
 }

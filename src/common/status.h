@@ -25,6 +25,7 @@ enum class StatusCode {
   kParseError = 9,
   kResourceExhausted = 10,
   kUnavailable = 11,
+  kDeadlineExceeded = 12,
 };
 
 /// Returns the canonical lowercase name of a status code ("ok",
@@ -77,6 +78,9 @@ class [[nodiscard]] Status {
   }
   static Status Unavailable(std::string msg) {
     return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -1,0 +1,67 @@
+#ifndef PROST_NET_RESULT_WRITER_H_
+#define PROST_NET_RESULT_WRITER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "core/prost_db.h"
+#include "engine/relation.h"
+
+/// Result serialization for the SPARQL protocol endpoint: a Relation
+/// (projected variables as columns, dictionary-encoded ids as values)
+/// becomes SPARQL 1.1 Query Results JSON or TSV, chosen by the request's
+/// Accept header. The inverse parser exists so tests and the bench can
+/// deserialize a response back into lexical rows and compare them
+/// row-identically against in-process execution.
+
+namespace prost::net {
+
+enum class ResultFormat {
+  kJson,  // application/sparql-results+json (the default).
+  kTsv,   // text/tab-separated-values.
+};
+
+/// A deserialized result set: variable names plus rows of N-Triples
+/// lexical terms ("<iri>", "\"lit\"^^<dt>", "_:b0"), in response order.
+struct SparqlResultSet {
+  std::vector<std::string> vars;
+  std::vector<std::vector<std::string>> rows;
+};
+
+class SparqlResultWriter {
+ public:
+  /// Content negotiation over the Accept header: the first recognized
+  /// media type wins ("application/sparql-results+json" or
+  /// "application/json" → JSON; "text/tab-separated-values" → TSV);
+  /// anything else — including an absent or wildcard Accept — falls back
+  /// to JSON, the format every SPARQL client speaks.
+  static ResultFormat Negotiate(std::string_view accept_header);
+
+  static const char* ContentType(ResultFormat format);
+
+  /// Serializes `relation` in `format`, decoding ids through `db`'s
+  /// dictionary. Row order is the relation's CollectRows order — the
+  /// same order ProstDb::DecodeRows yields — so a network client and an
+  /// in-process caller see identical row sequences.
+  static Result<std::string> Serialize(const core::ProstDb& db,
+                                       const engine::Relation& relation,
+                                       ResultFormat format);
+
+  /// Parses a SPARQL 1.1 JSON results document (the writer's own output
+  /// shape) back into lexical rows. Binding terms are reassembled into
+  /// canonical N-Triples.
+  static Result<SparqlResultSet> ParseJson(std::string_view json);
+
+  /// Parses the TSV serialization back into lexical rows.
+  static Result<SparqlResultSet> ParseTsv(std::string_view tsv);
+};
+
+/// Escapes `text` for embedding inside a JSON string literal (quotes,
+/// backslash, control characters). UTF-8 passes through untouched.
+std::string JsonEscape(std::string_view text);
+
+}  // namespace prost::net
+
+#endif  // PROST_NET_RESULT_WRITER_H_

@@ -18,6 +18,23 @@ const std::vector<double>& SimulatedMsBounds() {
 
 }  // namespace
 
+/// Updates both queue-occupancy exports together: serve.queued (the
+/// original gauge) and serve.queue_depth (the admission-state alias the
+/// /metrics endpoint documents). They are always set to the same value
+/// under mu_, so any snapshot shows them equal.
+void SessionManager::SetQueueGauges(uint32_t depth) {
+  metrics_.gauge("serve.queued").Set(depth);
+  metrics_.gauge("serve.queue_depth").Set(depth);
+}
+
+/// One rejection: the per-reason counter plus the aggregate, so once the
+/// rejecting callers have returned, serve.rejected_total ==
+/// serve.rejected.queue_full + serve.rejected.shutdown exactly.
+void SessionManager::CountRejection(const char* reason) {
+  metrics_.counter(std::string("serve.rejected.") + reason).Increment();
+  metrics_.counter("serve.rejected_total").Increment();
+}
+
 void SessionManager::Slot::Release() {
   if (manager_ == nullptr) return;
   manager_->ReleaseSlot();
@@ -34,7 +51,7 @@ Result<SessionManager::Slot> SessionManager::Admit() {
   const uint32_t capacity = std::max<uint32_t>(1, options_.max_in_flight);
   MutexLock lock(mu_);
   if (state_ != State::kRunning) {
-    metrics_.counter("serve.rejected.shutdown").Increment();
+    CountRejection("shutdown");
     return Status::Unavailable("session manager is shutting down");
   }
   // Fast path: free capacity and nobody queued ahead (the queued_ check
@@ -47,7 +64,7 @@ Result<SessionManager::Slot> SessionManager::Admit() {
     return Slot(this);
   }
   if (!options_.queue_when_full || queued_ >= options_.max_queued) {
-    metrics_.counter("serve.rejected.queue_full").Increment();
+    CountRejection("queue_full");
     return Status::Unavailable(StrFormat(
         "admission queue full: %u in flight (max %u), %u queued (max %u)",
         in_flight_, capacity, queued_,
@@ -58,19 +75,19 @@ Result<SessionManager::Slot> SessionManager::Admit() {
   // the predicate.
   const uint64_t ticket = next_ticket_++;
   ++queued_;
-  metrics_.gauge("serve.queued").Set(queued_);
+  SetQueueGauges(queued_);
   while (state_ == State::kRunning &&
          !(ticket == front_ticket_ && in_flight_ < capacity)) {
     admission_cv_.Wait(mu_);
   }
   --queued_;
   ++front_ticket_;
-  metrics_.gauge("serve.queued").Set(queued_);
+  SetQueueGauges(queued_);
   // The next ticket may now be at the front; drain watches queued_ too.
   admission_cv_.NotifyAll();
   if (queued_ == 0) drain_cv_.NotifyAll();
   if (state_ != State::kRunning) {
-    metrics_.counter("serve.rejected.shutdown").Increment();
+    CountRejection("shutdown");
     return Status::Unavailable("session manager shut down while queued");
   }
   ++in_flight_;

@@ -129,11 +129,19 @@ class SessionManager {
   bool draining() const;
   const AdmissionOptions& options() const { return options_; }
 
+  /// The database every admitted query runs against. The network front
+  /// end (net::Server) uses it to decode result relations back to
+  /// lexical terms for serialization.
+  const core::ProstDb& db() const { return db_; }
+
   /// Serving metrics, separate from the db's query metrics:
   /// serve.admitted / completed / failed / budget_exhausted counters,
-  /// serve.rejected.queue_full / serve.rejected.shutdown counters,
-  /// serve.in_flight / serve.queued gauges, and a serve.simulated_ms
-  /// histogram over admitted-and-completed queries. Thread-safe.
+  /// serve.rejected.queue_full / serve.rejected.shutdown counters plus
+  /// the serve.rejected_total aggregate (rejected_total always equals
+  /// queue_full + shutdown exactly), serve.in_flight / serve.queued
+  /// gauges and the serve.queue_depth alias exported for the /metrics
+  /// endpoint, and a serve.simulated_ms histogram over
+  /// admitted-and-completed queries. Thread-safe.
   const obs::MetricsRegistry& metrics() const { return metrics_; }
 
  private:
@@ -141,6 +149,11 @@ class SessionManager {
 
   /// Decrements in-flight and wakes the queue head / drain waiter.
   void ReleaseSlot();
+
+  /// Sets serve.queued and its serve.queue_depth alias to `depth`.
+  void SetQueueGauges(uint32_t depth) PROST_REQUIRES(mu_);
+  /// Bumps serve.rejected.<reason> and serve.rejected_total together.
+  void CountRejection(const char* reason) PROST_REQUIRES(mu_);
 
   const core::ProstDb& db_;
   const AdmissionOptions options_;

@@ -10,6 +10,7 @@
 #include <map>
 #include <set>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "common/compression.h"
@@ -50,11 +51,12 @@ TEST(StatusTest, AllFactoriesProduceDistinctCodes) {
         Status::AlreadyExists(""), Status::OutOfRange(""),
         Status::Unimplemented(""), Status::Internal(""), Status::IOError(""),
         Status::Corruption(""), Status::ParseError(""),
-        Status::ResourceExhausted("")}) {
+        Status::ResourceExhausted(""), Status::Unavailable(""),
+        Status::DeadlineExceeded("")}) {
     EXPECT_FALSE(status.ok());
     codes.insert(status.code());
   }
-  EXPECT_EQ(codes.size(), 10u);
+  EXPECT_EQ(codes.size(), 12u);
 }
 
 TEST(StatusTest, EqualityComparesCodeAndMessage) {
@@ -67,6 +69,42 @@ TEST(StatusCodeTest, NamesAreStable) {
   EXPECT_STREQ(StatusCodeToString(StatusCode::kOk), "ok");
   EXPECT_STREQ(StatusCodeToString(StatusCode::kCorruption), "corruption");
   EXPECT_STREQ(StatusCodeToString(StatusCode::kParseError), "parse_error");
+}
+
+TEST(StatusCodeTest, EveryCodeRoundTripsThroughItsName) {
+  // code → factory → code() → name: each enumerator keeps a distinct,
+  // stable lowercase name (nothing falls through to "unknown").
+  const std::pair<StatusCode, const char*> kCodes[] = {
+      {StatusCode::kOk, "ok"},
+      {StatusCode::kInvalidArgument, "invalid_argument"},
+      {StatusCode::kNotFound, "not_found"},
+      {StatusCode::kAlreadyExists, "already_exists"},
+      {StatusCode::kOutOfRange, "out_of_range"},
+      {StatusCode::kUnimplemented, "unimplemented"},
+      {StatusCode::kInternal, "internal"},
+      {StatusCode::kIOError, "io_error"},
+      {StatusCode::kCorruption, "corruption"},
+      {StatusCode::kParseError, "parse_error"},
+      {StatusCode::kResourceExhausted, "resource_exhausted"},
+      {StatusCode::kUnavailable, "unavailable"},
+      {StatusCode::kDeadlineExceeded, "deadline_exceeded"},
+  };
+  for (const auto& [code, name] : kCodes) {
+    EXPECT_STREQ(StatusCodeToString(code), name);
+    EXPECT_EQ(Status(code, "m").code(), code);
+    // An ok Status renders as bare "ok" — it never carries a message.
+    std::string expected =
+        code == StatusCode::kOk ? "ok" : std::string(name) + ": m";
+    EXPECT_EQ(Status(code, "m").ToString(), expected);
+  }
+}
+
+TEST(StatusTest, DeadlineExceededFactory) {
+  Status status = Status::DeadlineExceeded("socket read deadline exceeded");
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(status.ToString(),
+            "deadline_exceeded: socket read deadline exceeded");
 }
 
 // ---------------------------------------------------------------- Result

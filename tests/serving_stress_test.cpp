@@ -257,6 +257,11 @@ TEST_F(ServingStressTest, FullQueueRejectsWithUnavailable) {
     EXPECT_TRUE(slot.ok()) << slot.status();
   });
   ASSERT_TRUE(WaitUntil([&] { return manager.queued() == 1; }));
+  // The queue-occupancy gauges export the parked caller exactly (both
+  // are set in the same critical section that incremented queued_).
+  obs::MetricsSnapshot parked_snapshot = manager.metrics().Snapshot();
+  EXPECT_DOUBLE_EQ(parked_snapshot.gauge("serve.queue_depth"), 1.0);
+  EXPECT_DOUBLE_EQ(parked_snapshot.gauge("serve.queued"), 1.0);
 
   // Queue full: the third arrival rejects immediately — no blocking.
   auto rejected = manager.Admit();
@@ -270,6 +275,14 @@ TEST_F(ServingStressTest, FullQueueRejectsWithUnavailable) {
   obs::MetricsSnapshot snapshot = manager.metrics().Snapshot();
   EXPECT_EQ(snapshot.counter("serve.admitted"), 2u);
   EXPECT_EQ(snapshot.counter("serve.rejected.queue_full"), 1u);
+  // Exactness: the aggregate equals the sum of per-reason counters, and
+  // the queue gauges are back to zero now that the queue emptied.
+  EXPECT_EQ(snapshot.counter("serve.rejected_total"),
+            snapshot.counter("serve.rejected.queue_full") +
+                snapshot.counter("serve.rejected.shutdown"));
+  EXPECT_EQ(snapshot.counter("serve.rejected_total"), 1u);
+  EXPECT_DOUBLE_EQ(snapshot.gauge("serve.queue_depth"), 0.0);
+  EXPECT_DOUBLE_EQ(snapshot.gauge("serve.queued"), 0.0);
 }
 
 TEST_F(ServingStressTest, NoQueuePolicyShedsLoadImmediately) {
@@ -328,6 +341,11 @@ TEST_F(ServingStressTest, ShutdownDrainsInFlightAndRejectsQueued) {
 
   obs::MetricsSnapshot snapshot = manager.metrics().Snapshot();
   EXPECT_EQ(snapshot.counter("serve.rejected.shutdown"), 2u);
+  // Exactness after all rejecting callers returned: the aggregate is
+  // precisely per-reason sums, and the queue gauges read empty.
+  EXPECT_EQ(snapshot.counter("serve.rejected_total"), 2u);
+  EXPECT_EQ(snapshot.counter("serve.rejected.queue_full"), 0u);
+  EXPECT_DOUBLE_EQ(snapshot.gauge("serve.queue_depth"), 0.0);
 }
 
 TEST_F(ServingStressTest, ShutdownMidWorkloadDrainsCleanly) {
@@ -380,6 +398,11 @@ TEST_F(ServingStressTest, ShutdownMidWorkloadDrainsCleanly) {
                 snapshot.counter("serve.failed"));
   EXPECT_EQ(snapshot.counter("serve.failed"), 0u);
   EXPECT_GE(snapshot.counter("serve.rejected.shutdown"), 1u);
+  EXPECT_EQ(snapshot.counter("serve.rejected_total"),
+            snapshot.counter("serve.rejected.queue_full") +
+                snapshot.counter("serve.rejected.shutdown"));
+  EXPECT_DOUBLE_EQ(snapshot.gauge("serve.queue_depth"),
+                   snapshot.gauge("serve.queued"));
 }
 
 }  // namespace

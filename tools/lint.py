@@ -38,6 +38,12 @@ Checks, each with a short rule id used in diagnostics:
   thread-detach        std::thread::detach(): a detached thread outlives
                        every shutdown contract in the codebase; join it
                        (the ThreadPool pattern) instead.
+  raw-socket           BSD socket headers (<sys/socket.h>, <netinet/*>,
+                       <arpa/inet.h>, <netdb.h>) or socket(2) calls
+                       outside src/net/. All wire I/O goes through
+                       net::Socket / net::ListenSocket so deadlines,
+                       EINTR handling, and shutdown semantics stay in
+                       one audited place.
   mutable-unguarded    in a header whose class owns a prost::Mutex, a
                        `mutable` field with no PROST_GUARDED_BY
                        annotation. `mutable` is exactly the marker that
@@ -56,7 +62,7 @@ import sys
 from pathlib import Path
 
 CPP_SUFFIXES = {".h", ".cc", ".cpp"}
-ALL_DIRS = ["src", "tests", "bench", "examples"]
+ALL_DIRS = ["src", "tests", "bench", "examples", "tools"]
 
 
 def code_lines(text):
@@ -126,6 +132,10 @@ RAW_CONCURRENCY = re.compile(
     r"|#\s*include\s*<(mutex|shared_mutex|condition_variable)>"
 )
 THREAD_DETACH = re.compile(r"\.\s*detach\s*\(\s*\)")
+RAW_SOCKET = re.compile(
+    r"#\s*include\s*<(sys/socket\.h|netinet/[^>]+|arpa/inet\.h|netdb\.h)>"
+    r"|(?<![\w:.])(?:::)?\s*\bsocket\s*\(\s*AF_"
+)
 MUTEX_MEMBER = re.compile(r"\bMutex\s*<\s*(?:\w+::)*LockRank::")
 MUTABLE_FIELD = re.compile(r"^\s*mutable\s")
 MUTABLE_SYNC_PRIMITIVE = re.compile(r"^\s*mutable\s[\w:<,\s>]*"
@@ -185,16 +195,23 @@ def lint_lexical(path, lines, failures, check_value_rule, check_plan_rule):
             )
 
 
-def lint_concurrency(path, lines, raw_lines, failures, in_mutex_layer):
-    """Concurrency rules. `lines` are comment/string-blanked, `raw_lines`
-    the original text (the mutable-unguarded suppression marker lives in
-    doc comments)."""
+def lint_concurrency(path, lines, raw_lines, failures, in_mutex_layer,
+                     in_net_layer):
+    """Concurrency and I/O-layer rules. `lines` are comment/string-blanked,
+    `raw_lines` the original text (the mutable-unguarded suppression marker
+    lives in doc comments)."""
     for number, line in lines:
         if not in_mutex_layer and RAW_CONCURRENCY.search(line):
             failures.append(
                 f"{path}:{number}: [raw-concurrency] std synchronization "
                 "primitives live behind the annotated layer; use "
                 "prost::Mutex / MutexLock / CondVar from common/mutex.h"
+            )
+        if not in_net_layer and RAW_SOCKET.search(line):
+            failures.append(
+                f"{path}:{number}: [raw-socket] BSD socket APIs live "
+                "behind src/net/; use net::Socket / net::ListenSocket / "
+                "net::Client"
             )
         if THREAD_DETACH.search(line):
             failures.append(
@@ -289,11 +306,12 @@ def main():
                 "src/common/mutex.h",
                 "src/common/mutex.cc",
             )
+            in_net_layer = relative.parts[:2] == ("src", "net")
             lint_lexical(relative, lines, failures,
                          check_value_rule=directory == "src",
                          check_plan_rule=not in_plan)
             lint_concurrency(relative, lines, text.splitlines(), failures,
-                             in_mutex_layer)
+                             in_mutex_layer, in_net_layer)
             lint_include_order(relative, text, failures)
 
     for failure in failures:
