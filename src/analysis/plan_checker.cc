@@ -564,6 +564,16 @@ Status CheckPhysicalNode(const plan::PlanNode& node, bool is_root,
     PROST_RETURN_IF_ERROR(CheckPhysicalNode(*child, /*is_root=*/false, walk));
   }
 
+  // Scans must carry a real estimate (checked below); everywhere else the
+  // join_order pass either annotated a finite estimate or left the "no
+  // estimate" sentinel (any negative value). NaN/infinity is a bug in the
+  // estimator arithmetic wherever it appears.
+  if (!is_scan && !std::isfinite(node.estimated_rows)) {
+    return PhysicalError(
+        node, StrFormat("cardinality estimate %g is not finite",
+                        node.estimated_rows));
+  }
+
   switch (node.kind) {
     case plan::PlanNodeKind::kVpScan:
     case plan::PlanNodeKind::kPtScan: {
@@ -629,10 +639,15 @@ Status CheckPhysicalNode(const plan::PlanNode& node, bool is_root,
                              "layout [" +
                                  StrJoin(expected, ",") + "]");
       }
-      if (node.planner_bytes != engine::Relation::kUnknownPlannerBytes) {
+      // Join outputs default to an unknown planner size; the join_order
+      // pass may stamp an exact-statistics estimate so joins above can
+      // broadcast small intermediates. An annotated size without the
+      // matching cardinality estimate means some other component wrote it.
+      if (node.planner_bytes != engine::Relation::kUnknownPlannerBytes &&
+          node.estimated_rows < 0) {
         return PhysicalError(node,
-                             "join outputs must carry an unknown planner "
-                             "size (they are never broadcast)");
+                             "join carries a planner size but no "
+                             "cardinality estimate");
       }
       return Status::OK();
     }

@@ -1,7 +1,5 @@
 #include "baselines/s2rdf.h"
 
-#include <unordered_set>
-
 #include "columnar/lexical_format.h"
 #include "common/io.h"
 #include "common/str_util.h"
@@ -9,6 +7,7 @@
 #include "core/modifiers.h"
 #include "core/translator.h"
 #include "engine/operators.h"
+#include "stats/predicate_index.h"
 
 namespace prost::baselines {
 
@@ -30,19 +29,9 @@ Result<std::unique_ptr<RdfSystem>> S2RdfSystem::Load(
   system->stats_ = core::DatasetStatistics::Compute(g);
   system->vp_ = VpStore::Build(g, workers);
 
-  // Per predicate: rows plus subject/object membership sets.
-  struct PredicateData {
-    std::vector<std::pair<rdf::TermId, rdf::TermId>> rows;
-    std::unordered_set<rdf::TermId> subjects;
-    std::unordered_set<rdf::TermId> objects;
-  };
-  std::map<rdf::TermId, PredicateData> data;
-  for (const rdf::EncodedTriple& t : g.triples()) {
-    PredicateData& d = data[t.predicate];
-    d.rows.emplace_back(t.subject, t.object);
-    d.subjects.insert(t.subject);
-    d.objects.insert(t.object);
-  }
+  // Per predicate: rows plus subject/object membership sets, from the
+  // shared statistics layer.
+  stats::PredicateIndex index = stats::PredicateIndex::Build(g);
 
   // ExtVP construction: semi-join every ordered predicate pair in the
   // three correlation directions. This is the O(|P|²) precomputation that
@@ -59,8 +48,8 @@ Result<std::unique_ptr<RdfSystem>> S2RdfSystem::Load(
   obs::Histogram& selectivity_hist = system->metrics_.histogram(
       "s2rdf.extvp.selectivity", {0.1, 0.25, 0.5, 0.75, 0.95, 1.0});
   uint64_t semi_join_work = 0;
-  for (const auto& [p, p_data] : data) {
-    for (const auto& [q, q_data] : data) {
+  for (const auto& [p, p_data] : index.entries()) {
+    for (const auto& [q, q_data] : index.entries()) {
       if (p == q) continue;
       for (Correlation corr :
            {Correlation::kSS, Correlation::kSO, Correlation::kOS}) {

@@ -55,11 +55,25 @@ Result<std::unique_ptr<RdfSystem>> MakeProstVpOnly(
       new ProstSystem("PRoST-VP-only", std::move(db)));
 }
 
+Result<std::unique_ptr<RdfSystem>> MakeProstVpOnlyHeuristicOrder(
+    SharedGraph graph, const cluster::ClusterConfig& cluster) {
+  core::ProstDb::Options options;
+  options.cluster = cluster;
+  options.use_property_table = false;
+  options.passes.join_order = false;
+  PROST_ASSIGN_OR_RETURN(
+      std::unique_ptr<core::ProstDb> db,
+      core::ProstDb::LoadFromSharedGraph(std::move(graph), options));
+  return std::unique_ptr<RdfSystem>(
+      new ProstSystem("PRoST-VP-only (heuristic order)", std::move(db)));
+}
+
 Result<std::unique_ptr<RdfSystem>> MakeProstNoOptimizer(
     SharedGraph graph, const cluster::ClusterConfig& cluster) {
   core::ProstDb::Options options;
   options.cluster = cluster;
   options.passes.filter_pushdown = false;
+  options.passes.join_order = false;
   options.passes.resolve_join_strategy = false;
   options.passes.early_projection = false;
   PROST_ASSIGN_OR_RETURN(

@@ -50,6 +50,15 @@ Result<std::unique_ptr<RdfSystem>> MakeProst(
 Result<std::unique_ptr<RdfSystem>> MakeProstVpOnly(
     SharedGraph graph, const cluster::ClusterConfig& cluster);
 
+/// PRoST restricted to Vertical Partitioning with cost-based join
+/// ordering disabled: scans execute in the translator's §3.3 heuristic
+/// order. Against MakeProstVpOnly this isolates what DP enumeration over
+/// real statistics contributes — VP-only is the mode where every star
+/// opens into reorderable scans, so it is where ordering actually bites
+/// (the fourth bench_fig2 ablation).
+Result<std::unique_ptr<RdfSystem>> MakeProstVpOnlyHeuristicOrder(
+    SharedGraph graph, const cluster::ClusterConfig& cluster);
+
 /// PRoST with every optimizer pass disabled (plan/passes.h PassOptions
 /// all false): the translated Join Tree executes exactly as built.
 /// Results are bit-identical to MakeProst; only the simulated cost

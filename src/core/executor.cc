@@ -183,6 +183,7 @@ class PlanInterpreter {
   Result<engine::Relation> ExecJoin(const plan::HashJoinNode& node) {
     obs::OperatorSpan span(profile_, cost_, obs::SpanKind::kJoin,
                            node.Label());
+    span.SetEstimatedRows(node.estimated_rows);
     PROST_ASSIGN_OR_RETURN(engine::Relation left, Exec(*node.children[0]));
     PROST_ASSIGN_OR_RETURN(engine::Relation right, Exec(*node.children[1]));
     span.SetRowsIn(left.TotalRows() + right.TotalRows());
@@ -196,6 +197,13 @@ class PlanInterpreter {
                        : "shuffle");
     span.SetRowsOut(joined.relation.TotalRows());
     strategies_.push_back(joined.strategy);
+    // The join_order pass stamps exact star intermediates with a planner
+    // size; carrying it onto the relation lets the join above broadcast
+    // this output, and keeps the run-time strategy derivation identical
+    // to the one the join_strategy pass took from these plan nodes.
+    if (node.planner_bytes != engine::Relation::kUnknownPlannerBytes) {
+      joined.relation.set_planner_bytes(node.planner_bytes);
+    }
     PROST_VALIDATE_RELATION(joined.relation);
     return std::move(joined.relation);
   }
@@ -204,6 +212,7 @@ class PlanInterpreter {
     obs::OperatorSpan span(profile_, cost_, obs::SpanKind::kFilter,
                            node.Label());
     span.SetDetail("FILTER");
+    span.SetEstimatedRows(node.estimated_rows);
     PROST_ASSIGN_OR_RETURN(engine::Relation relation, Exec(*node.children[0]));
     span.SetRowsIn(relation.TotalRows());
     PROST_ASSIGN_OR_RETURN(

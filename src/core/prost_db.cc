@@ -73,6 +73,12 @@ Result<std::unique_ptr<ProstDb>> ProstDb::LoadFromSharedGraph(
   db->stats_ = options.collect_precise_statistics
                    ? DatasetStatistics::ComputeWithPairwise(*db->graph_)
                    : DatasetStatistics::Compute(*db->graph_);
+  // Characteristic sets ride the same in-memory pass over the triples as
+  // the §3.3 statistics (one grouping by subject), so like them they add
+  // no separate simulated loading stage.
+  db->char_sets_ = stats::CharacteristicSets::Compute(*db->graph_);
+  db->estimator_ = std::make_unique<stats::CardinalityEstimator>(
+      &db->stats_.per_predicate(), &db->char_sets_);
 
   // Build storage.
   db->vp_ = VpStore::Build(*db->graph_, workers);
@@ -189,6 +195,7 @@ Result<plan::PlannedQuery> ProstDb::BuildOptimizedPlan(
   plan::PassContext context;
   context.join = options_.join;
   context.cluster = &options_.cluster;
+  context.estimator = estimator_.get();
   PROST_RETURN_IF_ERROR(manager.Run(physical, context));
   plan::PlannedQuery planned;
   planned.plan = std::move(physical);
@@ -290,10 +297,15 @@ Result<uint64_t> ProstDb::PersistTo(const std::string& dir) const {
     PROST_RETURN_IF_ERROR(
         reverse_pt_.WriteTo(dir + "/ptrev", graph_->dictionary()));
   }
+  // Characteristic sets persist keyed on lexical predicates: term ids are
+  // re-assigned when the store is re-interned on open.
+  PROST_RETURN_IF_ERROR(
+      char_sets_.WriteTo(dir + "/charsets.txt", graph_->dictionary()));
   std::string manifest = StrFormat(
-      "prostdb 1\nworkers %u\npt %d\nptrev %d\n",
+      "prostdb 1\nworkers %u\npt %d\nptrev %d\nstats %d\n",
       options_.cluster.num_workers, options_.use_property_table ? 1 : 0,
-      options_.use_reverse_property_table ? 1 : 0);
+      options_.use_reverse_property_table ? 1 : 0,
+      char_sets_.num_sets() > 0 ? 1 : 0);
   PROST_RETURN_IF_ERROR(WriteStringToFile(dir + "/MANIFEST", manifest));
   return DirectorySize(dir);
 }
@@ -307,6 +319,9 @@ Result<std::unique_ptr<ProstDb>> ProstDb::OpenFrom(const std::string& dir,
   PROST_RETURN_IF_ERROR(ReadFileToString(dir + "/MANIFEST", &manifest));
   uint32_t workers = 0;
   int pt_flag = -1, ptrev_flag = -1;
+  // Older stores predate persisted characteristic sets; absent flag means
+  // "recompute from the VP tables below".
+  int stats_flag = 0;
   for (const std::string& line : StrSplit(StrTrim(manifest), '\n')) {
     std::vector<std::string> parts = StrSplit(line, ' ');
     if (parts.size() != 2) continue;
@@ -317,6 +332,8 @@ Result<std::unique_ptr<ProstDb>> ProstDb::OpenFrom(const std::string& dir,
       pt_flag = parts[1] == "1";
     } else if (parts[0] == "ptrev") {
       ptrev_flag = parts[1] == "1";
+    } else if (parts[0] == "stats") {
+      stats_flag = parts[1] == "1";
     }
   }
   if (workers == 0 || pt_flag < 0 || ptrev_flag < 0) {
@@ -384,6 +401,7 @@ Result<std::unique_ptr<ProstDb>> ProstDb::OpenFrom(const std::string& dir,
   std::vector<uint32_t> term_lengths = dictionary.TermLengths();
   std::map<rdf::TermId, VpStore::PredicateTable> tables;
   std::map<rdf::TermId, rdf::PredicateStats> per_predicate;
+  stats::CharacteristicSets::Builder char_set_builder;
   for (PendingTable& p : pending) {
     VpStore::PredicateTable table;
     rdf::PredicateStats stats;
@@ -393,7 +411,13 @@ Result<std::unique_ptr<ProstDb>> ProstDb::OpenFrom(const std::string& dir,
       table.partition_bytes.push_back(
           columnar::LexicalColumnSizeEstimate(part.column(0), term_lengths) +
           columnar::LexicalColumnSizeEstimate(part.column(1), term_lengths));
-      for (rdf::TermId id : part.column(0).ids()) subjects.insert(id);
+      for (rdf::TermId id : part.column(0).ids()) {
+        subjects.insert(id);
+        // Every VP row is one (subject, predicate) pair, so the
+        // characteristic sets can be rebuilt exactly when the persisted
+        // file is missing.
+        if (stats_flag == 0) char_set_builder.Add(id, p.predicate);
+      }
       for (rdf::TermId id : part.column(1).ids()) {
         objects.insert(id);
         if (dictionary.IsLiteralId(id)) ++stats.literal_objects;
@@ -411,6 +435,16 @@ Result<std::unique_ptr<ProstDb>> ProstDb::OpenFrom(const std::string& dir,
   db->options_ = options;
   db->InitThreadPool();
   db->stats_ = DatasetStatistics::FromPerPredicate(std::move(per_predicate));
+  if (stats_flag == 1) {
+    PROST_ASSIGN_OR_RETURN(
+        db->char_sets_,
+        stats::CharacteristicSets::ReadFrom(dir + "/charsets.txt",
+                                            dictionary));
+  } else {
+    db->char_sets_ = std::move(char_set_builder).Build();
+  }
+  db->estimator_ = std::make_unique<stats::CardinalityEstimator>(
+      &db->stats_.per_predicate(), &db->char_sets_);
   db->vp_ = VpStore::Assemble(workers, std::move(tables));
   if (options.use_property_table) {
     PROST_ASSIGN_OR_RETURN(

@@ -20,6 +20,8 @@
 #include "plan/passes.h"
 #include "rdf/graph.h"
 #include "sparql/algebra.h"
+#include "stats/cardinality_estimator.h"
+#include "stats/characteristic_sets.h"
 
 namespace prost::core {
 
@@ -141,6 +143,14 @@ class ProstDb {
 
   const LoadReport& load_report() const { return load_report_; }
   const DatasetStatistics& statistics() const { return stats_; }
+  /// Characteristic sets collected at load (or reloaded from the
+  /// persisted store) — the star-cardinality side of the estimator.
+  const stats::CharacteristicSets& characteristic_sets() const {
+    return char_sets_;
+  }
+  /// The cardinality estimator the join_order pass plans with. Valid for
+  /// the lifetime of the database; immutable after load.
+  const stats::CardinalityEstimator& estimator() const { return *estimator_; }
   const rdf::Dictionary& dictionary() const { return graph_->dictionary(); }
   const Options& options() const { return options_; }
   const VpStore& vp_store() const { return vp_; }
@@ -176,6 +186,10 @@ class ProstDb {
   std::unique_ptr<ThreadPool> pool_;
   std::shared_ptr<const rdf::EncodedGraph> graph_;
   DatasetStatistics stats_;
+  stats::CharacteristicSets char_sets_;
+  /// Borrows stats_'s per-predicate map and char_sets_; built last in
+  /// every load path, never mutated afterwards.
+  std::unique_ptr<stats::CardinalityEstimator> estimator_;
   VpStore vp_;
   PropertyTable pt_;
   PropertyTable reverse_pt_;

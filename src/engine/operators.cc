@@ -384,8 +384,9 @@ Result<JoinResult> HashJoin(const Relation& left, const Relation& right,
         StrJoin(right.column_names(), ",") + "]");
   }
   const cluster::ClusterConfig& config = cost.config();
-  // Broadcast planning uses the *planner* estimates (base-relation sizes;
-  // join outputs are "unknown" and never broadcast — Spark 2.1 semantics).
+  // Broadcast planning uses the *planner* estimates: base-relation sizes
+  // from storage, join outputs "unknown" (never broadcast, Spark 2.1
+  // semantics) unless the optimizer stamped an exact-statistics size.
   uint64_t left_planner = left.PlannerBytes(config);
   uint64_t right_planner = right.PlannerBytes(config);
   uint32_t num_workers = config.num_workers;

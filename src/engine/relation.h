@@ -62,8 +62,10 @@ class Relation {
   /// The *planner's* size estimate, used for broadcast decisions. Scans
   /// set it from storage statistics; derived relations (join outputs)
   /// carry kUnknownPlannerBytes, mirroring Spark 2.1's static planning
-  /// where only base relations have trustworthy sizeInBytes. When never
-  /// set, falls back to the actual estimated size.
+  /// where only base relations have trustworthy sizeInBytes — except
+  /// join outputs the optimizer priced exactly from characteristic
+  /// sets, which the executor stamps with that size. When never set,
+  /// falls back to the actual estimated size.
   uint64_t PlannerBytes(const cluster::ClusterConfig& config) const {
     return planner_bytes_set_ ? planner_bytes_ : EstimatedBytes(config);
   }

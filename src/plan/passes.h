@@ -11,13 +11,20 @@
 #include "engine/operators.h"
 #include "plan/plan_ir.h"
 
+namespace prost::stats {
+class CardinalityEstimator;
+}  // namespace prost::stats
+
 namespace prost::plan {
 
 /// What a pass may consult: the join knobs (A2 ablation / threshold
-/// override) and the cluster whose broadcast threshold applies.
+/// override), the cluster whose broadcast threshold applies, and the
+/// store's cardinality estimator (null when the caller has no statistics;
+/// the join_order pass then keeps the translator's heuristic order).
 struct PassContext {
   engine::JoinOptions join;
   const cluster::ClusterConfig* cluster = nullptr;
+  const stats::CardinalityEstimator* estimator = nullptr;
 };
 
 /// A rule-based plan rewrite. Passes mutate the plan in place and must
@@ -72,6 +79,28 @@ class PassManager {
 /// joins). Variable-vs-variable filters stay in the tail, in order.
 std::unique_ptr<OptimizerPass> MakeFilterPushdownPass();
 
+/// Cost-based join reordering. Re-enumerates the join tree over the
+/// scan leaves — DPsize over connected subgraphs up to
+/// kJoinOrderDpThreshold leaves, greedy operator ordering beyond —
+/// producing bushy trees costed with the cluster::CostModel recipe
+/// (scan + shuffle + broadcast charges) over stats::CardinalityEstimator
+/// row estimates. Keeps the translator's heuristic order whenever the
+/// model does not predict a strictly cheaper tree, and annotates every
+/// node's estimated_rows on the way out. Runs before join-strategy
+/// resolution; leaves strategies and downstream passes untouched.
+std::unique_ptr<OptimizerPass> MakeJoinOrderPass();
+
+/// Leaf count above which the join_order pass switches from exhaustive
+/// DPsize enumeration to greedy operator ordering.
+inline constexpr size_t kJoinOrderDpThreshold = 10;
+
+/// Relative model-cost advantage the enumerated tree must show over the
+/// translator's heuristic order before the pass rewrites. Margins below
+/// this are estimate noise (constants and cross-star correlations are
+/// not priced exactly), where "wins" flip sign at run time as often as
+/// not; real improvements clear it by an order of magnitude.
+inline constexpr double kJoinOrderRewriteMargin = 0.02;
+
 /// Resolves each join's broadcast/shuffle choice at plan time from the
 /// children's planner_bytes — the same numbers HashJoin would use — so
 /// EXPLAIN shows the strategy before anything executes.
@@ -86,15 +115,17 @@ std::unique_ptr<OptimizerPass> MakeEarlyProjectionPass();
 /// All-false reproduces the seed execution path byte for byte.
 struct PassOptions {
   bool filter_pushdown = true;
+  bool join_order = true;
   bool resolve_join_strategy = true;
   bool early_projection = true;
 };
 
 /// Registers the enabled passes in their contract order: pushdown first
-/// (filters must settle before liveness is computed), then strategy
-/// resolution (planner_bytes are fixed from here on), then early
-/// projection (prunes never change planner_bytes, so the resolved
-/// strategies stay valid).
+/// (filters must settle before the cost model sees leaf selectivities),
+/// then cost-based join ordering (the tree shape must be final before
+/// strategies bind), then strategy resolution (planner_bytes are fixed
+/// from here on), then early projection (prunes never change
+/// planner_bytes, so the resolved strategies stay valid).
 void AddDefaultPasses(PassManager& manager, const PassOptions& options);
 
 /// An optimized plan plus the per-pass snapshots that produced it.

@@ -88,6 +88,12 @@ std::string NodeLine(const PlanNode& node) {
       break;
     }
   }
+  // Scans always render their translator estimate above; every other node
+  // gains an estimate only once the join_order pass has annotated it.
+  if (node.kind != PlanNodeKind::kVpScan && node.kind != PlanNodeKind::kPtScan &&
+      node.estimated_rows >= 0) {
+    out += StrFormat("  est=%.1f", node.estimated_rows);
+  }
   out += "  cols=" + ColumnList(node.output_columns);
   return out;
 }

@@ -1,6 +1,7 @@
 #include "rdf/graph.h"
 
 #include <algorithm>
+#include <unordered_map>
 #include <unordered_set>
 
 #include "rdf/ntriples.h"
@@ -26,13 +27,13 @@ std::map<TermId, PredicateStats> EncodedGraph::ComputePredicateStats() const {
   for (const auto& [predicate, group] : by_predicate) {
     PredicateStats s;
     s.triple_count = group.size();
-    std::unordered_set<TermId> subjects;
-    std::unordered_set<TermId> objects;
+    std::unordered_map<TermId, uint64_t> subjects;
+    std::unordered_map<TermId, uint64_t> objects;
     subjects.reserve(group.size());
     objects.reserve(group.size());
     for (const EncodedTriple* t : group) {
-      subjects.insert(t->subject);
-      objects.insert(t->object);
+      s.max_subject_fanout = std::max(s.max_subject_fanout, ++subjects[t->subject]);
+      s.max_object_fanout = std::max(s.max_object_fanout, ++objects[t->object]);
       if (dictionary_.IsLiteralId(t->object)) ++s.literal_objects;
     }
     s.distinct_subjects = subjects.size();

@@ -27,6 +27,13 @@ struct PredicateStats {
   /// (S2RDF-style: a literal-valued predicate can never join a subject
   /// position).
   uint64_t literal_objects = 0;
+  /// Worst-case multiplicities: the most triples any single subject
+  /// (resp. object) carries under this predicate. These bound join
+  /// fan-out where averages cannot — a skewed predicate (reviews
+  /// concentrated on popular products) joins far above the
+  /// independence estimate, but never above these caps.
+  uint64_t max_subject_fanout = 0;
+  uint64_t max_object_fanout = 0;
 
   /// True when at least one subject has more than one object value — the
   /// multi-valued case that forces list columns in the Property Table.

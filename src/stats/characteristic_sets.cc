@@ -1,0 +1,184 @@
+#include "stats/characteristic_sets.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <string>
+#include <utility>
+
+#include "common/io.h"
+#include "common/str_util.h"
+
+namespace prost::stats {
+namespace {
+
+// Returns the sorted distinct ids of `predicates`.
+std::vector<rdf::TermId> Canonical(std::vector<rdf::TermId> predicates) {
+  std::sort(predicates.begin(), predicates.end());
+  predicates.erase(std::unique(predicates.begin(), predicates.end()),
+                   predicates.end());
+  return predicates;
+}
+
+// True when sorted `sub` is a subset of sorted `super`.
+bool IsSubsetOf(const std::vector<rdf::TermId>& sub,
+                const std::vector<rdf::TermId>& super) {
+  return std::includes(super.begin(), super.end(), sub.begin(), sub.end());
+}
+
+}  // namespace
+
+void CharacteristicSets::Builder::Add(rdf::TermId subject,
+                                      rdf::TermId predicate) {
+  ++by_subject_[subject][predicate];
+}
+
+CharacteristicSets CharacteristicSets::Builder::Build() && {
+  // Group subjects by their (sorted) distinct-predicate signature and
+  // accumulate per-predicate triple totals.
+  struct Accumulator {
+    uint64_t subject_count = 0;
+    std::vector<uint64_t> occurrences;
+  };
+  std::map<std::vector<rdf::TermId>, Accumulator> by_signature;
+  for (const auto& [subject, predicate_counts] : by_subject_) {
+    (void)subject;
+    std::vector<rdf::TermId> signature;
+    signature.reserve(predicate_counts.size());
+    for (const auto& [predicate, count] : predicate_counts) {
+      (void)count;
+      signature.push_back(predicate);
+    }
+    Accumulator& acc = by_signature[signature];
+    if (acc.occurrences.empty()) acc.occurrences.resize(signature.size(), 0);
+    ++acc.subject_count;
+    size_t i = 0;
+    for (const auto& [predicate, count] : predicate_counts) {
+      (void)predicate;
+      acc.occurrences[i++] += count;
+    }
+  }
+
+  CharacteristicSets result;
+  result.sets_.reserve(by_signature.size());
+  for (auto& [signature, acc] : by_signature) {
+    CharacteristicSet set;
+    set.predicates = signature;
+    set.subject_count = acc.subject_count;
+    set.occurrences = std::move(acc.occurrences);
+    result.total_subjects_ += set.subject_count;
+    result.sets_.push_back(std::move(set));
+  }
+  return result;
+}
+
+CharacteristicSets CharacteristicSets::Compute(const rdf::EncodedGraph& graph) {
+  Builder builder;
+  for (const auto& triple : graph.triples()) {
+    builder.Add(triple.subject, triple.predicate);
+  }
+  return std::move(builder).Build();
+}
+
+uint64_t CharacteristicSets::CountStarSubjects(
+    const std::vector<rdf::TermId>& predicates) const {
+  const std::vector<rdf::TermId> query = Canonical(predicates);
+  uint64_t subjects = 0;
+  for (const CharacteristicSet& set : sets_) {
+    if (set.predicates.size() < query.size()) continue;
+    if (IsSubsetOf(query, set.predicates)) subjects += set.subject_count;
+  }
+  return subjects;
+}
+
+double CharacteristicSets::EstimateStarRows(
+    const std::vector<rdf::TermId>& predicates) const {
+  const std::vector<rdf::TermId> query = Canonical(predicates);
+  double rows = 0.0;
+  for (const CharacteristicSet& set : sets_) {
+    if (set.predicates.size() < query.size()) continue;
+    if (!IsSubsetOf(query, set.predicates)) continue;
+    // count(S) subjects each contribute the product of their average
+    // per-predicate multiplicities occ_p(S) / count(S).
+    double per_subject = 1.0;
+    for (rdf::TermId predicate : query) {
+      const auto it = std::lower_bound(set.predicates.begin(),
+                                       set.predicates.end(), predicate);
+      const size_t index =
+          static_cast<size_t>(it - set.predicates.begin());
+      per_subject *= static_cast<double>(set.occurrences[index]) /
+                     static_cast<double>(set.subject_count);
+    }
+    rows += static_cast<double>(set.subject_count) * per_subject;
+  }
+  return rows;
+}
+
+Status CharacteristicSets::WriteTo(const std::string& path,
+                                   const rdf::Dictionary& dictionary) const {
+  std::string out;
+  out += StrFormat("charsets 1 %zu\n", sets_.size());
+  for (const CharacteristicSet& set : sets_) {
+    out += StrFormat("%llu\t%zu",
+                             static_cast<unsigned long long>(set.subject_count),
+                             set.predicates.size());
+    for (size_t i = 0; i < set.predicates.size(); ++i) {
+      auto lexical = dictionary.LookupId(set.predicates[i]);
+      if (!lexical.ok()) return lexical.status();
+      out += StrFormat(
+          "\t%s\t%llu", std::string(lexical.value()).c_str(),
+          static_cast<unsigned long long>(set.occurrences[i]));
+    }
+    out += '\n';
+  }
+  return WriteStringToFile(path, out);
+}
+
+Result<CharacteristicSets> CharacteristicSets::ReadFrom(
+    const std::string& path, rdf::Dictionary& dictionary) {
+  std::string contents;
+  PROST_RETURN_IF_ERROR(ReadFileToString(path, &contents));
+  std::vector<std::string> lines = StrSplit(contents, '\n');
+  if (lines.empty() || lines[0].rfind("charsets 1 ", 0) != 0) {
+    return Status::Corruption("characteristic-set file header missing: " +
+                              path);
+  }
+  CharacteristicSets result;
+  for (size_t line_no = 1; line_no < lines.size(); ++line_no) {
+    const std::string& line = lines[line_no];
+    if (line.empty()) continue;
+    std::vector<std::string> parts = StrSplit(line, '\t');
+    if (parts.size() < 2) {
+      return Status::Corruption("bad characteristic-set line in " + path);
+    }
+    CharacteristicSet set;
+    set.subject_count = std::strtoull(parts[0].c_str(), nullptr, 10);
+    const size_t num_predicates = std::strtoull(parts[1].c_str(), nullptr, 10);
+    if (parts.size() != 2 + 2 * num_predicates || set.subject_count == 0) {
+      return Status::Corruption("bad characteristic-set line in " + path);
+    }
+    // Re-intern: ids in the file's writing session are meaningless here.
+    std::vector<std::pair<rdf::TermId, uint64_t>> entries;
+    entries.reserve(num_predicates);
+    for (size_t i = 0; i < num_predicates; ++i) {
+      const rdf::TermId id = dictionary.Intern(parts[2 + 2 * i]);
+      entries.emplace_back(id,
+                           std::strtoull(parts[3 + 2 * i].c_str(), nullptr, 10));
+    }
+    std::sort(entries.begin(), entries.end());
+    for (const auto& [id, occ] : entries) {
+      set.predicates.push_back(id);
+      set.occurrences.push_back(occ);
+    }
+    result.total_subjects_ += set.subject_count;
+    result.sets_.push_back(std::move(set));
+  }
+  // Keep the in-memory order canonical (sorted by signature) so a
+  // round-trip is structurally identical to a fresh Compute().
+  std::sort(result.sets_.begin(), result.sets_.end(),
+            [](const CharacteristicSet& a, const CharacteristicSet& b) {
+              return a.predicates < b.predicates;
+            });
+  return result;
+}
+
+}  // namespace prost::stats

@@ -1,0 +1,87 @@
+#ifndef PROST_STATS_CHARACTERISTIC_SETS_H_
+#define PROST_STATS_CHARACTERISTIC_SETS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "rdf/dictionary.h"
+#include "rdf/graph.h"
+
+namespace prost::stats {
+
+/// One characteristic set (Neumann & Moerkotte, "Characteristic Sets:
+/// Accurate Cardinality Estimation for RDF Queries with Multiple Joins",
+/// ICDE 2011): the exact set of predicates emitted by some group of
+/// subjects, how many subjects share that signature, and how many triples
+/// those subjects contribute per predicate. Star-shaped query cardinality
+/// is then a sum over the signatures that are supersets of the query's
+/// predicate set — exact for the subject-count part, and off only by
+/// per-predicate multiplicity correlation for the row-count part.
+struct CharacteristicSet {
+  /// Sorted, distinct predicate ids forming the signature.
+  std::vector<rdf::TermId> predicates;
+  /// Subjects whose distinct-predicate set is exactly `predicates`.
+  uint64_t subject_count = 0;
+  /// Total triples those subjects hold per predicate, aligned with
+  /// `predicates` (>= subject_count per entry; > means multi-valued).
+  std::vector<uint64_t> occurrences;
+};
+
+/// The full collection of characteristic sets for one dataset. Immutable
+/// after construction, so it is safe to share across concurrent queries.
+class CharacteristicSets {
+ public:
+  /// Incremental construction from (subject, predicate) pairs. Used both
+  /// at initial load (from the encoded graph) and when re-opening a
+  /// persisted store whose raw triples are gone but whose VP partitions
+  /// still carry every (subject, predicate) pair.
+  class Builder {
+   public:
+    void Add(rdf::TermId subject, rdf::TermId predicate);
+    CharacteristicSets Build() &&;
+
+   private:
+    std::map<rdf::TermId, std::map<rdf::TermId, uint64_t>> by_subject_;
+  };
+
+  CharacteristicSets() = default;
+
+  static CharacteristicSets Compute(const rdf::EncodedGraph& graph);
+
+  const std::vector<CharacteristicSet>& sets() const { return sets_; }
+  size_t num_sets() const { return sets_.size(); }
+  uint64_t total_subjects() const { return total_subjects_; }
+
+  /// Number of distinct subjects that carry *every* predicate in
+  /// `predicates` (ids need not be sorted; duplicates are ignored).
+  /// This is exact, not an estimate.
+  uint64_t CountStarSubjects(const std::vector<rdf::TermId>& predicates) const;
+
+  /// Expected output rows of a subject-star join over `predicates`
+  /// (one scan per predicate, all joined on a shared subject):
+  ///   sum over supersets S of count(S) * prod_p occ_p(S) / count(S),
+  /// i.e. subjects weighted by their expected per-predicate multiplicity
+  /// product. Returns 0 when no signature covers the set.
+  double EstimateStarRows(const std::vector<rdf::TermId>& predicates) const;
+
+  /// Persists the sets keyed on *lexical* predicate forms, because term
+  /// ids are re-assigned when a persisted store is re-interned on open.
+  Status WriteTo(const std::string& path,
+                 const rdf::Dictionary& dictionary) const;
+
+  /// Reads a file written by WriteTo, interning predicate lexical forms
+  /// into `dictionary` (which may assign different ids than the writer).
+  static Result<CharacteristicSets> ReadFrom(const std::string& path,
+                                             rdf::Dictionary& dictionary);
+
+ private:
+  std::vector<CharacteristicSet> sets_;
+  uint64_t total_subjects_ = 0;
+};
+
+}  // namespace prost::stats
+
+#endif  // PROST_STATS_CHARACTERISTIC_SETS_H_

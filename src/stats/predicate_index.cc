@@ -1,0 +1,21 @@
+#include "stats/predicate_index.h"
+
+namespace prost::stats {
+
+PredicateIndex PredicateIndex::Build(const rdf::EncodedGraph& graph) {
+  PredicateIndex index;
+  for (const auto& triple : graph.triples()) {
+    PredicateEntry& entry = index.entries_[triple.predicate];
+    entry.rows.emplace_back(triple.subject, triple.object);
+    entry.subjects.insert(triple.subject);
+    entry.objects.insert(triple.object);
+  }
+  return index;
+}
+
+const PredicateEntry* PredicateIndex::Find(rdf::TermId predicate) const {
+  const auto it = entries_.find(predicate);
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+}  // namespace prost::stats

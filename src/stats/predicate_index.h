@@ -1,0 +1,44 @@
+#ifndef PROST_STATS_PREDICATE_INDEX_H_
+#define PROST_STATS_PREDICATE_INDEX_H_
+
+#include <cstdint>
+#include <map>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "rdf/graph.h"
+#include "rdf/triple.h"
+
+namespace prost::stats {
+
+/// Per-predicate (subject, object) rows plus membership sets over both
+/// columns. This is the raw material for selectivity computations that
+/// need actual term sets rather than just counts: semi-join reductions
+/// (S2RDF's ExtVP tables), distinct counts, and overlap estimates.
+struct PredicateEntry {
+  std::vector<std::pair<rdf::TermId, rdf::TermId>> rows;
+  std::unordered_set<rdf::TermId> subjects;
+  std::unordered_set<rdf::TermId> objects;
+};
+
+/// One pass over the encoded graph, grouped by predicate. Immutable after
+/// Build, so it is safe to share across threads.
+class PredicateIndex {
+ public:
+  static PredicateIndex Build(const rdf::EncodedGraph& graph);
+
+  /// Returns the entry for `predicate`, or nullptr when absent.
+  const PredicateEntry* Find(rdf::TermId predicate) const;
+
+  const std::map<rdf::TermId, PredicateEntry>& entries() const {
+    return entries_;
+  }
+
+ private:
+  std::map<rdf::TermId, PredicateEntry> entries_;
+};
+
+}  // namespace prost::stats
+
+#endif  // PROST_STATS_PREDICATE_INDEX_H_

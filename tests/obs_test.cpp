@@ -8,8 +8,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <memory>
 #include <regex>
+#include <set>
 #include <string>
 #include <thread>
 #include <vector>
@@ -304,10 +306,12 @@ TEST_F(ObsIntegrationTest, SpanTreeMatchesPlanOnEveryQuery) {
     // rooted tree: the query span has exactly one child (the plan root).
     ASSERT_EQ(root.children.size(), 1u);
 
-    // One scan span per join-tree node, in plan order, labelled like the
-    // node, with the planner's estimate attached; one join span per
-    // non-leading node. The modifier tail executes as plan nodes on this
-    // path, so no kModifiers container span appears.
+    // One scan span per join-tree node, labelled like the node, with the
+    // planner's estimate attached; one join span per non-leading node.
+    // The cost-based join_order pass may permute the scans, so labels
+    // are compared as a multiset rather than positionally. The modifier
+    // tail executes as plan nodes on this path, so no kModifiers
+    // container span appears.
     std::vector<const obs::Span*> scans;
     std::vector<const obs::Span*> joins;
     for (const obs::Span& span : profile.spans()) {
@@ -327,12 +331,18 @@ TEST_F(ObsIntegrationTest, SpanTreeMatchesPlanOnEveryQuery) {
     }
     ASSERT_EQ(scans.size(), tree->nodes.size());
     EXPECT_EQ(joins.size(), tree->nodes.size() - 1);
-    for (size_t i = 0; i < tree->nodes.size(); ++i) {
-      EXPECT_EQ(scans[i]->label, tree->nodes[i].Label()) << "node " << i;
-      // Estimated-vs-actual cardinality is recorded per node.
-      EXPECT_DOUBLE_EQ(scans[i]->estimated_rows,
-                       tree->nodes[i].estimated_cardinality)
-          << "node " << i;
+    std::multiset<std::string> tree_labels, scan_labels;
+    for (const core::JoinTreeNode& node : tree->nodes) {
+      tree_labels.insert(node.Label());
+    }
+    for (size_t i = 0; i < scans.size(); ++i) {
+      scan_labels.insert(scans[i]->label);
+      // Estimated-vs-actual cardinality is recorded per node. With the
+      // statistics subsystem in place the estimate is the refined one
+      // (characteristic sets + pushed-filter selectivity), not the raw
+      // §3.3 priority, so assert validity rather than exact equality.
+      EXPECT_TRUE(std::isfinite(scans[i]->estimated_rows)) << "node " << i;
+      EXPECT_GT(scans[i]->estimated_rows, 0.0) << "node " << i;
       // Scans are leaves of the join chain: each nests under a join span
       // or under the optimizer-inserted prune feeding one (single-pattern
       // plans nest directly under the tail chain instead).
@@ -346,6 +356,7 @@ TEST_F(ObsIntegrationTest, SpanTreeMatchesPlanOnEveryQuery) {
             << "node " << i << ": parent " << obs::SpanKindName(parent.kind);
       }
     }
+    EXPECT_EQ(scan_labels, tree_labels);
     for (const obs::Span* join : joins) {
       // The strategy the optimizer resolved at plan time is what executed
       // (the interpreter asserts planned == derived in paranoid builds).
@@ -493,9 +504,9 @@ TEST_F(ObsIntegrationTest, GoldenExplainAnalyzeForWatDivL2) {
       R"(EXPLAIN ANALYZE  (simulated #ms, 1 stages, charged #ms)
 query  rows=1  charge=#ms (total=#ms)  scanned=175.5 KB  broadcast=216 B
 └─ project v1,v2  rows=1  charge=#ms (total=#ms)  scanned=175.5 KB  broadcast=216 B
-   └─ join PT(?v2 <http://db.uwaterloo.ca/~galuc/wsdbm/likes> <http://db.uwaterloo.ca/~galuc/wsdbm/Product0> ; ?v2 <http://schema.org/nationality> ?v1) [broadcast]  rows=1 (in=98)  charge=#ms (total=#ms)  scanned=175.5 KB  broadcast=216 B
+   └─ join PT(?v2 <http://db.uwaterloo.ca/~galuc/wsdbm/likes> <http://db.uwaterloo.ca/~galuc/wsdbm/Product0> ; ?v2 <http://schema.org/nationality> ?v1) [broadcast]  rows=1 (in=98)  est=1.0  charge=#ms (total=#ms)  scanned=175.5 KB  broadcast=216 B
       ├─ scan VP(<http://db.uwaterloo.ca/~galuc/wsdbm/City0> <http://www.geonames.org/ontology#parentCountry> ?v1) [VP]  rows=1 (in=20)  est=1.0  charge=#ms  scanned=1.7 KB
-      └─ scan PT(?v2 <http://db.uwaterloo.ca/~galuc/wsdbm/likes> <http://db.uwaterloo.ca/~galuc/wsdbm/Product0> ; ?v2 <http://schema.org/nationality> ?v1) [PT]  rows=97 (in=2279)  est=6.3  charge=#ms  scanned=173.8 KB
+      └─ scan PT(?v2 <http://db.uwaterloo.ca/~galuc/wsdbm/likes> <http://db.uwaterloo.ca/~galuc/wsdbm/Product0> ; ?v2 <http://schema.org/nationality> ?v1) [PT]  rows=97 (in=2279)  est=4.0  charge=#ms  scanned=173.8 KB
 )"));
 }
 

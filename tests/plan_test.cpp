@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <map>
 #include <memory>
 #include <set>
@@ -15,6 +16,7 @@
 
 #include "analysis/plan_checker.h"
 #include "core/prost_db.h"
+#include "engine/relation.h"
 #include "plan/passes.h"
 #include "plan/plan_ir.h"
 #include "plan/planner.h"
@@ -28,15 +30,23 @@ namespace {
 
 // ----------------------------------------------------------- Workload
 
-/// One WatDiv dataset, the 20 basic queries, and two PRoST instances
-/// over the same graph: optimizer passes on (the default) and all off
-/// (the seed execution path). Built once for the whole suite.
+/// One WatDiv dataset, the 20 basic queries, and five PRoST instances
+/// over the same graph: optimizer passes on (the default), all off (the
+/// seed execution path), everything on except cost-based join ordering
+/// (the translator's heuristic order), plus the same on/heuristic pair
+/// in pure vertical-partitioning mode. The VP pair is the join-order
+/// differential baseline: without the Property Table every star opens
+/// into individually reorderable scans, which is where ordering (and
+/// exact star statistics) actually bite. Built once for the whole suite.
 struct PlanWorkload {
   std::shared_ptr<const rdf::EncodedGraph> graph;
   std::vector<watdiv::WatDivQuery> queries;
   std::vector<sparql::Query> parsed;
   std::unique_ptr<core::ProstDb> on;
   std::unique_ptr<core::ProstDb> off;
+  std::unique_ptr<core::ProstDb> heuristic;
+  std::unique_ptr<core::ProstDb> vp_on;
+  std::unique_ptr<core::ProstDb> vp_heuristic;
 };
 
 PlanWorkload BuildPlanWorkload() {
@@ -60,15 +70,34 @@ PlanWorkload BuildPlanWorkload() {
   auto on = core::ProstDb::LoadFromSharedGraph(built.graph, options);
   core::ProstDb::Options off_options = options;
   off_options.passes.filter_pushdown = false;
+  off_options.passes.join_order = false;
   off_options.passes.resolve_join_strategy = false;
   off_options.passes.early_projection = false;
   auto off = core::ProstDb::LoadFromSharedGraph(built.graph, off_options);
-  if (!on.ok() || !off.ok()) {
-    ADD_FAILURE() << "load: " << (on.ok() ? off.status() : on.status());
+  core::ProstDb::Options heuristic_options = options;
+  heuristic_options.passes.join_order = false;
+  auto heuristic =
+      core::ProstDb::LoadFromSharedGraph(built.graph, heuristic_options);
+  core::ProstDb::Options vp_options = options;
+  vp_options.use_property_table = false;
+  auto vp_on = core::ProstDb::LoadFromSharedGraph(built.graph, vp_options);
+  core::ProstDb::Options vp_heuristic_options = vp_options;
+  vp_heuristic_options.passes.join_order = false;
+  auto vp_heuristic =
+      core::ProstDb::LoadFromSharedGraph(built.graph, vp_heuristic_options);
+  if (!on.ok() || !off.ok() || !heuristic.ok() || !vp_on.ok() ||
+      !vp_heuristic.ok()) {
+    ADD_FAILURE() << "load: "
+                  << (!on.ok() ? on.status()
+                               : (!off.ok() ? off.status()
+                                            : heuristic.status()));
     std::exit(1);
   }
   built.on = std::move(on).value();
   built.off = std::move(off).value();
+  built.heuristic = std::move(heuristic).value();
+  built.vp_on = std::move(vp_on).value();
+  built.vp_heuristic = std::move(vp_heuristic).value();
   return built;
 }
 
@@ -136,6 +165,37 @@ std::vector<const plan::FilterNode*> TailFilters(const plan::PlanNode& root) {
   return filters;
 }
 
+/// All rows of a relation, columns permuted into `column_order`, sorted.
+/// Join reordering permutes both row order and chunk boundaries, so the
+/// differential suite compares results as sorted row multisets keyed by
+/// column name.
+std::vector<engine::Row> SortedRows(
+    const engine::Relation& relation,
+    const std::vector<std::string>& column_order) {
+  std::vector<size_t> permutation;
+  permutation.reserve(column_order.size());
+  for (const std::string& name : column_order) {
+    for (size_t c = 0; c < relation.column_names().size(); ++c) {
+      if (relation.column_names()[c] == name) {
+        permutation.push_back(c);
+        break;
+      }
+    }
+  }
+  EXPECT_EQ(permutation.size(), column_order.size());
+  std::vector<engine::Row> rows;
+  for (const engine::RelationChunk& chunk : relation.chunks()) {
+    for (size_t r = 0; r < chunk.num_rows(); ++r) {
+      engine::Row row;
+      row.reserve(permutation.size());
+      for (size_t c : permutation) row.push_back(chunk.columns[c][r]);
+      rows.push_back(std::move(row));
+    }
+  }
+  std::sort(rows.begin(), rows.end());
+  return rows;
+}
+
 // ------------------------------------------------- Pass pipeline shape
 
 TEST(PassPipelineTest, SnapshotsChainOnePerPass) {
@@ -144,15 +204,17 @@ TEST(PassPipelineTest, SnapshotsChainOnePerPass) {
     SCOPED_TRACE(workload.queries[i].id);
     auto planned = workload.on->PlanPhysical(workload.parsed[i]);
     ASSERT_TRUE(planned.ok()) << planned.status();
-    ASSERT_EQ(planned->snapshots.size(), 3u);
+    ASSERT_EQ(planned->snapshots.size(), 4u);
     EXPECT_EQ(planned->snapshots[0].pass, "filter_pushdown");
-    EXPECT_EQ(planned->snapshots[1].pass, "join_strategy");
-    EXPECT_EQ(planned->snapshots[2].pass, "early_projection");
+    EXPECT_EQ(planned->snapshots[1].pass, "join_order");
+    EXPECT_EQ(planned->snapshots[2].pass, "join_strategy");
+    EXPECT_EQ(planned->snapshots[3].pass, "early_projection");
     // Snapshots chain: each pass starts from the previous one's output,
     // and the last "after" is the plan Execute() runs.
     EXPECT_EQ(planned->snapshots[0].after, planned->snapshots[1].before);
     EXPECT_EQ(planned->snapshots[1].after, planned->snapshots[2].before);
-    EXPECT_EQ(planned->snapshots[2].after, planned->plan.ToString());
+    EXPECT_EQ(planned->snapshots[2].after, planned->snapshots[3].before);
+    EXPECT_EQ(planned->snapshots[3].after, planned->plan.ToString());
 
     // The first "before" is the unoptimized plan straight out of the
     // planner lowering.
@@ -211,10 +273,11 @@ TEST(PassPipelineTest, InvariantsHoldBeforeAndAfterEveryPass) {
     plan::PassContext context;
     context.join = workload.on->options().join;
     context.cluster = &workload.on->options().cluster;
+    context.estimator = &workload.on->estimator();
     Status run = manager.Run(*physical, context);
     EXPECT_TRUE(run.ok()) << run;
-    // Once before the first pass, once after each of the three.
-    EXPECT_EQ(validations, 4);
+    // Once before the first pass, once after each of the four.
+    EXPECT_EQ(validations, 5);
   }
 }
 
@@ -469,17 +532,16 @@ TEST(PlanDifferentialTest, PassesOnIsBitIdenticalAndNeverSlower) {
     ASSERT_TRUE(on.ok()) << on.status();
     ASSERT_TRUE(off.ok()) << off.status();
 
-    // Bit-identical rows: same columns, same chunking, same TermIds.
-    EXPECT_EQ(on->relation.column_names(), off->relation.column_names());
-    ASSERT_EQ(on->relation.num_chunks(), off->relation.num_chunks());
-    for (uint32_t c = 0; c < on->relation.num_chunks(); ++c) {
-      EXPECT_EQ(on->relation.chunks()[c].columns,
-                off->relation.chunks()[c].columns)
-          << "chunk " << c;
-    }
-    // Plan-time strategy resolution picks exactly what the seed derived
-    // at run time.
-    EXPECT_EQ(on->join_strategies, off->join_strategies);
+    // Identical answers: same columns, same TermId rows. Join reordering
+    // may permute row order and chunk boundaries, so rows are compared
+    // as a sorted multiset in the off plan's column order.
+    std::vector<std::string> on_names = on->relation.column_names();
+    std::vector<std::string> off_names = off->relation.column_names();
+    std::sort(on_names.begin(), on_names.end());
+    std::sort(off_names.begin(), off_names.end());
+    EXPECT_EQ(on_names, off_names);
+    EXPECT_EQ(SortedRows(on->relation, off->relation.column_names()),
+              SortedRows(off->relation, off->relation.column_names()));
 
     // The optimizer never loses simulated time.
     EXPECT_LE(on->simulated_millis, off->simulated_millis + 1e-9);
@@ -488,10 +550,55 @@ TEST(PlanDifferentialTest, PassesOnIsBitIdenticalAndNeverSlower) {
       winners += workload.queries[i].id + " ";
     }
   }
-  // Early projection + pushdown must pay off outright on a healthy
-  // slice of the query set (C1/C2/F2/F4/L1 carry dead columns through
-  // their join chains at this scale).
+  // Early projection + pushdown + join ordering must pay off outright on
+  // a healthy slice of the query set (C1/C2/F2/F4/L1 carry dead columns
+  // through their join chains at this scale).
   EXPECT_GE(strictly_faster, 5) << "strict wins: " << winners;
+}
+
+TEST(PlanDifferentialTest, JoinOrderBeatsHeuristicAndNeverLoses) {
+  // Cost-based join ordering against the translator's §3.3 heuristic
+  // order, with every other pass identical on both sides: answers are
+  // the same row multiset on all 20 queries, the simulated time never
+  // regresses (the pass keeps the heuristic tree unless its model
+  // predicts a strictly cheaper one, and only when the margin clears
+  // estimate noise), and the complex snowflake queries — where the
+  // heuristic's star-size priority is blind to join selectivity — must
+  // win outright. Runs in pure VP mode: the Property Table collapses
+  // stars into single scans, which hides exactly the ordering decisions
+  // this differential exists to exercise.
+  const PlanWorkload& workload = Workload();
+  std::string winners;
+  std::set<std::string> strict_wins;
+  for (size_t i = 0; i < workload.parsed.size(); ++i) {
+    SCOPED_TRACE(workload.queries[i].id);
+    auto on = workload.vp_on->Execute(workload.parsed[i]);
+    auto heuristic = workload.vp_heuristic->Execute(workload.parsed[i]);
+    ASSERT_TRUE(on.ok()) << on.status();
+    ASSERT_TRUE(heuristic.ok()) << heuristic.status();
+
+    std::vector<std::string> on_names = on->relation.column_names();
+    std::vector<std::string> heuristic_names =
+        heuristic->relation.column_names();
+    std::sort(on_names.begin(), on_names.end());
+    std::sort(heuristic_names.begin(), heuristic_names.end());
+    EXPECT_EQ(on_names, heuristic_names);
+    EXPECT_EQ(
+        SortedRows(on->relation, heuristic->relation.column_names()),
+        SortedRows(heuristic->relation, heuristic->relation.column_names()));
+
+    EXPECT_LE(on->simulated_millis, heuristic->simulated_millis + 1e-9)
+        << "cost-based order lost to the heuristic";
+    if (on->simulated_millis < heuristic->simulated_millis - 1e-9) {
+      strict_wins.insert(workload.queries[i].id);
+      winners += workload.queries[i].id + " ";
+    }
+  }
+  for (const char* id : {"C1", "C2", "C3"}) {
+    EXPECT_EQ(strict_wins.count(id), 1u)
+        << id << " should improve under cost-based ordering; wins: "
+        << winners;
+  }
 }
 
 // ------------------------------------------------- Builder error paths

@@ -44,6 +44,15 @@ Checks, each with a short rule id used in diagnostics:
                        net::Socket / net::ListenSocket so deadlines,
                        EINTR handling, and shutdown semantics stay in
                        one audited place.
+  stats-in-engine      `stats::` (or a "stats/..." include) inside
+                       src/engine/. The engine executes physical plans;
+                       cardinality estimation and characteristic sets
+                       feed the planner, which communicates its
+                       conclusions through plan-node annotations
+                       (estimated_rows, planner_bytes). An engine
+                       operator consulting statistics directly would
+                       bypass the plan as the single source of planning
+                       truth.
   mutable-unguarded    in a header whose class owns a prost::Mutex, a
                        `mutable` field with no PROST_GUARDED_BY
                        annotation. `mutable` is exactly the marker that
@@ -132,6 +141,7 @@ RAW_CONCURRENCY = re.compile(
     r"|#\s*include\s*<(mutex|shared_mutex|condition_variable)>"
 )
 THREAD_DETACH = re.compile(r"\.\s*detach\s*\(\s*\)")
+STATS_IN_ENGINE = re.compile(r"\bstats\s*::|#\s*include\s*\"stats/")
 RAW_SOCKET = re.compile(
     r"#\s*include\s*<(sys/socket\.h|netinet/[^>]+|arpa/inet\.h|netdb\.h)>"
     r"|(?<![\w:.])(?:::)?\s*\bsocket\s*\(\s*AF_"
@@ -244,6 +254,26 @@ def lint_concurrency(path, lines, raw_lines, failures, in_mutex_layer,
         )
 
 
+def lint_stats_in_engine(path, lines, raw_lines, failures):
+    """The engine must not consult statistics directly: planning
+    conclusions reach it only as plan-node annotations. `stats::` is
+    checked on blanked lines (comments may discuss it), the include on
+    raw lines (blanking empties string literals)."""
+    for number, line in lines:
+        if re.search(r"\bstats\s*::", line):
+            failures.append(
+                f"{path}:{number}: [stats-in-engine] the engine executes "
+                "plans; statistics inform the planner, which speaks "
+                "through plan-node annotations"
+            )
+    for number, raw in enumerate(raw_lines, start=1):
+        if re.match(r'\s*#\s*include\s*"stats/', raw):
+            failures.append(
+                f"{path}:{number}: [stats-in-engine] src/engine/ must not "
+                "include stats/ headers"
+            )
+
+
 def lint_include_order(path, text, failures):
     blocks = []
     current = []
@@ -312,6 +342,9 @@ def main():
                          check_plan_rule=not in_plan)
             lint_concurrency(relative, lines, text.splitlines(), failures,
                              in_mutex_layer, in_net_layer)
+            if relative.parts[:2] == ("src", "engine"):
+                lint_stats_in_engine(relative, lines, text.splitlines(),
+                                     failures)
             lint_include_order(relative, text, failures)
 
     for failure in failures:
