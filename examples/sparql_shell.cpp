@@ -8,6 +8,8 @@
 //   ./build/examples/sparql_shell --persist mydb data.nt   (load + save)
 //   ./build/examples/sparql_shell --open mydb              (reopen)
 //   ./build/examples/sparql_shell --threads 4 data.nt      (parallel exec)
+//   ./build/examples/sparql_shell --pool-bytes 1048576 --watdiv 100000
+//                                           (beyond-RAM: paged storage)
 //   ./build/examples/sparql_shell --explain data.nt        (plan only)
 //   ./build/examples/sparql_shell --explain-analyze data.nt
 //   ./build/examples/sparql_shell --metrics-json data.nt   (JSON at exit)
@@ -90,6 +92,19 @@ int main(int argc, char** argv) {
       persist_dir = argv[2];
       argv += 2;
       argc -= 2;
+    } else if (argc >= 3 && std::strcmp(argv[1], "--pool-bytes") == 0) {
+      // Beyond-RAM mode (DESIGN.md §15): page storage through a buffer
+      // pool of this byte budget. Results are identical; .analyze shows
+      // the zone-map/bloom skips.
+      options.storage.buffer_pool_bytes =
+          std::strtoull(argv[2], nullptr, 10);
+      argv += 2;
+      argc -= 2;
+    } else if (argc >= 3 && std::strcmp(argv[1], "--row-group-rows") == 0) {
+      options.storage.row_group_rows =
+          static_cast<uint32_t>(std::strtoul(argv[2], nullptr, 10));
+      argv += 2;
+      argc -= 2;
     } else if (std::strcmp(argv[1], "--explain") == 0) {
       explain = plan_only = true;
       argv += 1;
@@ -125,7 +140,8 @@ int main(int argc, char** argv) {
     db = core::ProstDb::LoadFromNTriples(text, options);
   } else {
     std::fprintf(stderr,
-                 "usage: %s [--threads n] [--persist dir] [--explain] "
+                 "usage: %s [--threads n] [--persist dir] [--pool-bytes n] "
+                 "[--row-group-rows n] [--explain] "
                  "[--explain-analyze] [--metrics-json] "
                  "(<file.nt> | --watdiv [n]) | --open dir\n",
                  argv[0]);

@@ -24,6 +24,9 @@ class ProstSystem : public RdfSystem {
   Result<uint64_t> PersistTo(const std::string& dir) const override {
     return db_->PersistTo(dir);
   }
+  const obs::MetricsRegistry* metrics() const override {
+    return &db_->metrics();
+  }
 
  private:
   std::string name_;
@@ -53,6 +56,20 @@ Result<std::unique_ptr<RdfSystem>> MakeProstVpOnly(
       core::ProstDb::LoadFromSharedGraph(std::move(graph), options));
   return std::unique_ptr<RdfSystem>(
       new ProstSystem("PRoST-VP-only", std::move(db)));
+}
+
+Result<std::unique_ptr<RdfSystem>> MakeProstPaged(
+    SharedGraph graph, const cluster::ClusterConfig& cluster,
+    uint64_t pool_bytes, uint32_t row_group_rows) {
+  core::ProstDb::Options options;
+  options.cluster = cluster;
+  options.storage.buffer_pool_bytes = pool_bytes;
+  options.storage.row_group_rows = row_group_rows;
+  PROST_ASSIGN_OR_RETURN(
+      std::unique_ptr<core::ProstDb> db,
+      core::ProstDb::LoadFromSharedGraph(std::move(graph), options));
+  return std::unique_ptr<RdfSystem>(
+      new ProstSystem("PRoST (paged)", std::move(db)));
 }
 
 Result<std::unique_ptr<RdfSystem>> MakeProstVpOnlyHeuristicOrder(

@@ -50,6 +50,15 @@ Result<std::unique_ptr<RdfSystem>> MakeProst(
 Result<std::unique_ptr<RdfSystem>> MakeProstVpOnly(
     SharedGraph graph, const cluster::ClusterConfig& cluster);
 
+/// PRoST (mixed VP + PT) running beyond-RAM storage (DESIGN.md §15):
+/// paged row groups behind a BufferPool of `pool_bytes`, zone-map and
+/// bloom skipping on. Results are bit-identical to MakeProst; the
+/// bytes_scanned counter and the storage.* metrics show what paging
+/// skipped. `row_group_rows` = 0 uses columnar::kRowGroupSize.
+Result<std::unique_ptr<RdfSystem>> MakeProstPaged(
+    SharedGraph graph, const cluster::ClusterConfig& cluster,
+    uint64_t pool_bytes, uint32_t row_group_rows = 0);
+
 /// PRoST restricted to Vertical Partitioning with cost-based join
 /// ordering disabled: scans execute in the translator's §3.3 heuristic
 /// order. Against MakeProstVpOnly this isolates what DP enumeration over

@@ -14,22 +14,22 @@ namespace {
 constexpr uint32_t kTableMagic = 0x50525354;  // "PRST"
 constexpr uint8_t kFormatVersion = 1;
 
-void WriteStats(const ColumnStats& stats, ByteWriter& writer) {
+}  // namespace
+
+void WriteColumnStats(const ColumnStats& stats, ByteWriter& writer) {
   writer.PutVarint(stats.min_id);
   writer.PutVarint(stats.max_id);
   writer.PutVarint(stats.null_count);
   writer.PutVarint(stats.value_count);
 }
 
-Status ReadStats(ByteReader& reader, ColumnStats* stats) {
+Status ReadColumnStats(ByteReader& reader, ColumnStats* stats) {
   PROST_RETURN_IF_ERROR(reader.GetVarint(&stats->min_id));
   PROST_RETURN_IF_ERROR(reader.GetVarint(&stats->max_id));
   PROST_RETURN_IF_ERROR(reader.GetVarint(&stats->null_count));
   PROST_RETURN_IF_ERROR(reader.GetVarint(&stats->value_count));
   return Status::OK();
 }
-
-}  // namespace
 
 StoredTable::StoredTable(Schema schema, std::vector<Column> columns)
     : schema_(std::move(schema)), columns_(std::move(columns)) {}
@@ -83,7 +83,7 @@ void StoredTable::Serialize(std::string* out) const {
       if (column.kind() == ColumnKind::kId) {
         IdVector slice(column.ids().begin() + begin,
                        column.ids().begin() + end);
-        WriteStats(ComputeStats(slice), writer);
+        WriteColumnStats(ComputeStats(slice), writer);
         EncodeIdsAdaptive(slice, writer);
       } else {
         const IdListColumn& lists = column.lists();
@@ -95,7 +95,7 @@ void StoredTable::Serialize(std::string* out) const {
         }
         slice.values.assign(lists.values.begin() + base,
                             lists.values.begin() + lists.offsets[end]);
-        WriteStats(ComputeStats(slice), writer);
+        WriteColumnStats(ComputeStats(slice), writer);
         EncodeIdList(slice, writer);
       }
     }
@@ -158,7 +158,7 @@ Result<StoredTable> StoredTable::Deserialize(std::string_view data) {
     rows_seen += group_rows;
     for (uint64_t c = 0; c < num_fields; ++c) {
       ColumnStats stats;
-      PROST_RETURN_IF_ERROR(ReadStats(reader, &stats));
+      PROST_RETURN_IF_ERROR(ReadColumnStats(reader, &stats));
       if (schema.field(c).kind == ColumnKind::kId) {
         IdVector chunk;
         PROST_RETURN_IF_ERROR(DecodeIds(reader, group_rows, &chunk));

@@ -6,9 +6,15 @@
 
 #include "columnar/column.h"
 #include "columnar/types.h"
+#include "common/io.h"
 #include "common/status.h"
 
 namespace prost::columnar {
+
+/// (De)serializes per-chunk ColumnStats in the varint wire form shared by
+/// the StoredTable and PagedTable formats.
+void WriteColumnStats(const ColumnStats& stats, ByteWriter& writer);
+Status ReadColumnStats(ByteReader& reader, ColumnStats* stats);
 
 /// Rows per row group in the serialized table format. Column chunks are
 /// encoded (and carry statistics) per row group, like Parquet pages.

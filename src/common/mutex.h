@@ -57,6 +57,14 @@ enum class LockRank : int {
   /// kThreadPoolControl in either order; ranked above it so the latch
   /// could legally be taken under control if that ever changed.
   kThreadPoolRegion = 400,
+  /// columnar::BufferPool::mu_ — frame map, LRU state, resident-byte
+  /// accounting. Acquired by scan workers inside parallel regions (hence
+  /// above kThreadPoolRegion) and never held across a chunk decode (the
+  /// pool drops it around decoding, see BufferPool::Pin), so nothing
+  /// below it is ever requested while it is held; metric updates from
+  /// pool paths go through lock-free counter handles, not the registry
+  /// mutex, but kMetricsRegistry stays legally acquirable above.
+  kBufferPool = 450,
   /// obs::MetricsRegistry::mu_ — metric registration/snapshot. A leaf in
   /// practice (registries never call out while locked); ranked above the
   /// pool so load-time metric updates from inside parallel regions would

@@ -25,11 +25,13 @@ Result<engine::Relation> ScanNode(const JoinTreeNode& node, const VpStore& vp,
                                   const PropertyTable* property_table,
                                   const PropertyTable* reverse_property_table,
                                   cluster::CostModel& cost,
-                                  const engine::ExecContext* exec) {
+                                  const engine::ExecContext* exec,
+                                  const ScanHints* hints,
+                                  ScanTelemetry* telemetry) {
   switch (node.kind) {
     case NodeKind::kVerticalPartitioning:
       return vp.Scan(node.patterns[0].predicate, node.patterns[0].subject,
-                     node.patterns[0].object, cost, exec);
+                     node.patterns[0].object, cost, exec, hints, telemetry);
     case NodeKind::kPropertyTable: {
       if (property_table == nullptr) {
         return Status::Internal("join tree has a PT node but no PT");
@@ -40,7 +42,7 @@ Result<engine::Relation> ScanNode(const JoinTreeNode& node, const VpStore& vp,
         patterns.push_back({p.predicate, p.object});
       }
       return property_table->Scan(node.patterns[0].subject, patterns, cost,
-                                  exec);
+                                  exec, hints, telemetry);
     }
     case NodeKind::kReversePropertyTable: {
       if (reverse_property_table == nullptr) {
@@ -52,7 +54,7 @@ Result<engine::Relation> ScanNode(const JoinTreeNode& node, const VpStore& vp,
         patterns.push_back({p.predicate, p.subject});
       }
       return reverse_property_table->Scan(node.patterns[0].object, patterns,
-                                          cost, exec);
+                                          cost, exec, hints, telemetry);
     }
   }
   return Status::Internal("unknown node kind");
@@ -93,6 +95,7 @@ class PlanInterpreter {
         property_table_(property_table),
         reverse_property_table_(reverse_property_table),
         join_options_(join_options),
+        dictionary_(dictionary),
         filters_(dictionary),
         cost_(cost),
         exec_(exec),
@@ -160,10 +163,29 @@ class PlanInterpreter {
     span.SetEstimatedRows(node.estimated_rows);
     span.SetRowsIn(NodeInputRows(node.source, vp_, property_table_,
                                  reverse_property_table_));
+    // Equality pushed filters double as paged-scan pruning hints: the
+    // scan may skip row groups / partitions whose zone maps or bloom
+    // filters exclude the constant, because those rows would be dropped
+    // by the very filters applied below.
+    ScanHints hints;
+    for (const sparql::FilterConstraint& filter : node.pushed_filters) {
+      rdf::TermId id = rdf::kNullTermId;
+      if (FilterEqualityPruneId(filter, dictionary_, &id)) {
+        hints.equals.push_back({filter.variable, id});
+      }
+    }
+    ScanTelemetry telemetry;
     PROST_ASSIGN_OR_RETURN(
         engine::Relation relation,
         ScanNode(node.source, vp_, property_table_, reverse_property_table_,
-                 cost_, exec_));
+                 cost_, exec_, &hints, &telemetry));
+    if (telemetry.row_groups_total > 0) {
+      // The scan ran paged: surface estimate-vs-actual and skips in
+      // EXPLAIN ANALYZE.
+      span.SetStorage(relation.planner_bytes_raw(),
+                      telemetry.row_groups_skipped,
+                      telemetry.partitions_skipped);
+    }
     // Pushed-down constant filters evaluate right here, inside the scan's
     // span, before anything is joined or shuffled.
     for (const sparql::FilterConstraint& filter : node.pushed_filters) {
@@ -291,6 +313,7 @@ class PlanInterpreter {
   const PropertyTable* property_table_;
   const PropertyTable* reverse_property_table_;
   const engine::JoinOptions& join_options_;
+  const rdf::Dictionary& dictionary_;
   FilterEvaluator filters_;
   cluster::CostModel& cost_;
   const engine::ExecContext* exec_;

@@ -99,6 +99,20 @@ bool EvalOp(sparql::CompareOp op, int cmp) {
 
 }  // namespace
 
+bool FilterEqualityPruneId(const sparql::FilterConstraint& filter,
+                           const rdf::Dictionary& dictionary,
+                           rdf::TermId* id) {
+  if (filter.op != sparql::CompareOp::kEq || filter.rhs_is_variable) {
+    return false;
+  }
+  TermKey key = KeyOfTerm(filter.rhs_term);
+  if (key.is_numeric) return false;
+  // Non-numeric `=` compares canonical lexical forms, and the dictionary
+  // is keyed on exactly that form — so equality is id equality.
+  *id = dictionary.Lookup(key.lexical);
+  return true;
+}
+
 struct FilterEvaluator::Impl {
   explicit Impl(const rdf::Dictionary& dictionary) : keys(dictionary) {}
   KeyCache keys;

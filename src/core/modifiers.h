@@ -50,6 +50,19 @@ class FilterEvaluator {
   std::unique_ptr<Impl> impl_;
 };
 
+/// True when `filter` pins its variable to exactly one stored term id —
+/// i.e. it is `?var = <non-numeric constant>` — making it usable as a
+/// paged-scan pruning hint (core::ScanEqualityHint). `*id` receives the
+/// constant's dictionary id, or rdf::kNullTermId when the constant is
+/// not interned (then no stored row can satisfy the filter at all).
+///
+/// Numeric-literal constants never qualify: SPARQL numeric equality is
+/// value-based ("1"^^xsd:integer equals "01"^^xsd:integer under a
+/// different id), so rows with other ids could still pass the filter.
+bool FilterEqualityPruneId(const sparql::FilterConstraint& filter,
+                           const rdf::Dictionary& dictionary,
+                           rdf::TermId* id);
+
 /// Collapses the solutions to one COUNT / COUNT DISTINCT row carrying a
 /// virtual integer id. A non-zero OFFSET slices the single row away, so
 /// it folds in here and the plan needs no node after the aggregate.

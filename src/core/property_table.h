@@ -6,9 +6,12 @@
 #include <vector>
 
 #include "cluster/cost_model.h"
+#include "columnar/buffer_pool.h"
+#include "columnar/paged_table.h"
 #include "columnar/table.h"
 #include "common/status.h"
 #include "core/pattern_term.h"
+#include "core/scan_support.h"
 #include "core/statistics.h"
 #include "engine/exec_context.h"
 #include "engine/relation.h"
@@ -68,11 +71,20 @@ class PropertyTable {
   /// cheap to scan despite its width. A parallel `exec` scans partitions
   /// concurrently (each writes its own output chunk, so output is
   /// bit-identical to serial); cost charges stay on the calling thread.
+  /// When the table is paged (EnablePaging), row groups are skipped
+  /// before decode whenever (a) a zone map excludes a constant or an
+  /// equality-`hint` id for the column its variable binds, or (b) any
+  /// touched predicate column is all-NULL in the group (every row of the
+  /// group would lose that pattern anyway); the key bloom filter skips
+  /// whole partitions on constant-key lookups. Results are bit-identical
+  /// to the in-memory path; skips lower the scan's cost charges and are
+  /// reported through `telemetry` when given.
   Result<engine::Relation> Scan(const PatternTerm& key,
                                 const std::vector<ColumnPattern>& patterns,
                                 cluster::CostModel& cost,
-                                const engine::ExecContext* exec = nullptr)
-      const;
+                                const engine::ExecContext* exec = nullptr,
+                                const ScanHints* hints = nullptr,
+                                ScanTelemetry* telemetry = nullptr) const;
 
   /// The planner-visible size of a Scan over `patterns` — exactly the
   /// `Relation::PlannerBytes` the scan output will carry: the key column
@@ -80,6 +92,14 @@ class PropertyTable {
   /// whose predicate has no column (or whose constant cannot exist) touch
   /// nothing, matching the Scan charging rules.
   uint64_t ScanPlannerBytes(const std::vector<ColumnPattern>& patterns) const;
+
+  /// Switches to paged row-group execution: partitions are repacked
+  /// into PagedTables, decoded columns are released, and scans decode
+  /// chunks through `pool` pins. Call once, after construction; `pool`
+  /// must outlive the table.
+  void EnablePaging(columnar::BufferPool* pool, uint32_t row_group_rows = 0);
+
+  bool paged_mode() const { return !paged_.empty(); }
 
   uint32_t num_workers() const { return num_workers_; }
   uint64_t num_rows() const { return num_rows_; }
@@ -98,8 +118,21 @@ class PropertyTable {
   uint32_t num_workers_ = 0;
   uint64_t num_rows_ = 0;
   bool keyed_on_object_ = false;
+  /// Rows in partition `w` (representation-independent).
+  size_t PartitionRows(uint32_t w) const {
+    return paged_mode() ? paged_[w].num_rows() : partitions_[w].num_rows();
+  }
+  /// The shared partition schema (representation-independent).
+  const columnar::Schema& PartitionSchema() const {
+    return paged_mode() ? paged_[0].schema() : partitions_[0].schema();
+  }
+
   /// partitions_[w]: column 0 is the key ("s"), then predicate columns.
+  /// Emptied to schema-shaped husks once EnablePaging ran.
   std::vector<columnar::StoredTable> partitions_;
+  /// Paged (encoded row-group) form; non-empty once EnablePaging ran.
+  std::vector<columnar::PagedTable> paged_;
+  columnar::BufferPool* pool_ = nullptr;  // Non-owning; set by EnablePaging.
   /// Per-partition, per-column serialized-byte estimates (scan charges).
   std::vector<std::vector<uint64_t>> column_bytes_;
   std::map<rdf::TermId, size_t> column_of_predicate_;

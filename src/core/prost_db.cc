@@ -49,6 +49,22 @@ Result<std::unique_ptr<ProstDb>> ProstDb::LoadFromGraph(
       std::make_shared<const rdf::EncodedGraph>(std::move(graph)), options);
 }
 
+void ProstDb::EnablePagingIfConfigured() {
+  if (options_.storage.buffer_pool_bytes == 0) return;
+  buffer_pool_ = std::make_unique<columnar::BufferPool>(
+      options_.storage.buffer_pool_bytes, &metrics_);
+  // Last load step by contract (see header): the PagedTables built here
+  // key the pool's pages by address, so storage must not move again.
+  vp_.EnablePaging(buffer_pool_.get(), options_.storage.row_group_rows);
+  if (options_.use_property_table) {
+    pt_.EnablePaging(buffer_pool_.get(), options_.storage.row_group_rows);
+  }
+  if (options_.use_reverse_property_table) {
+    reverse_pt_.EnablePaging(buffer_pool_.get(),
+                             options_.storage.row_group_rows);
+  }
+}
+
 void ProstDb::InitThreadPool() {
   uint32_t threads = options_.exec.num_threads == 0
                          ? options_.cluster.cores_per_worker
@@ -138,6 +154,7 @@ Result<std::unique_ptr<ProstDb>> ProstDb::LoadFromSharedGraph(
       (options.use_reverse_property_table
            ? db->reverse_pt_.TotalBytesEstimate()
            : 0);
+  db->EnablePagingIfConfigured();
   db->load_report_.real_load_millis = timer.ElapsedMillis();
   return db;
 }
@@ -465,6 +482,7 @@ Result<std::unique_ptr<ProstDb>> ProstDb::OpenFrom(const std::string& dir,
       (options.use_reverse_property_table
            ? db->reverse_pt_.TotalBytesEstimate()
            : 0);
+  db->EnablePagingIfConfigured();
   db->load_report_.real_load_millis = timer.ElapsedMillis();
   return db;
 }

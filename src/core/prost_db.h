@@ -69,6 +69,20 @@ class ProstDb {
     /// cluster.cores_per_worker. Results are bit-identical across thread
     /// counts and simulated times are unchanged.
     engine::ExecOptions exec;
+    /// Beyond-RAM execution (DESIGN.md §15). With a non-zero
+    /// buffer_pool_bytes, storage switches after load to paged row
+    /// groups behind a shared BufferPool of that byte budget: scans pin
+    /// and decode chunks on demand (LRU-evicted), skip row groups via
+    /// zone maps and partitions via key bloom filters. Query results
+    /// stay bit-identical to the default in-memory path.
+    struct StorageOptions {
+      /// 0 keeps the classic fully-decoded in-memory storage.
+      uint64_t buffer_pool_bytes = 0;
+      /// Rows per row group when paging (0 = columnar::kRowGroupSize).
+      /// Smaller groups mean finer skipping and a finer-grained pool.
+      uint32_t row_group_rows = 0;
+    };
+    StorageOptions storage;
   };
 
   /// Loads from an already-encoded graph. The graph is deduplicated, the
@@ -158,14 +172,25 @@ class ProstDb {
     return options_.use_property_table ? &pt_ : nullptr;
   }
   /// Lifetime query metrics (query.executed / query.rows / query.failed
-  /// counters, query.simulated_ms histogram). Thread-safe.
+  /// counters, query.simulated_ms histogram), plus the storage.* family
+  /// when paging is on. Thread-safe.
   const obs::MetricsRegistry& metrics() const { return metrics_; }
+  /// The shared page pool, or nullptr when storage.buffer_pool_bytes
+  /// is 0 (classic in-memory storage).
+  const columnar::BufferPool* buffer_pool() const {
+    return buffer_pool_.get();
+  }
 
  private:
   ProstDb() = default;
 
   /// Creates pool_ when the resolved thread count asks for parallelism.
   void InitThreadPool();
+
+  /// With storage.buffer_pool_bytes set, creates the pool and repages
+  /// every storage structure. Must be the last load step: the paged
+  /// tables' addresses key pool pages, so storage must not move after.
+  void EnablePagingIfConfigured();
 
   /// Shared planning pipeline behind Execute and PlanPhysical: Join Tree
   /// translation (Plan), physical-plan building, then the configured
@@ -198,6 +223,10 @@ class ProstDb {
   /// Internally synchronized (own leaf mutex + atomic handles), so
   /// concurrent Executes count safely with no outer lock.
   mutable obs::MetricsRegistry metrics_;
+  /// Declared after metrics_ (the pool borrows its counters) and after
+  /// the storage members (it holds pages keyed by their paged tables):
+  /// destroyed first, constructed last.
+  std::unique_ptr<columnar::BufferPool> buffer_pool_;
 };
 
 /// Estimated N-Triples text size of a graph (sum of lexical lengths plus

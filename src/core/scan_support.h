@@ -1,0 +1,46 @@
+#ifndef PROST_CORE_SCAN_SUPPORT_H_
+#define PROST_CORE_SCAN_SUPPORT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "rdf/triple.h"
+
+namespace prost::core {
+
+/// One pushed-filter fact a paged scan may prune with: rows where
+/// `variable` binds to anything but `id` will be removed by the scan
+/// node's own pushed filters, so row groups whose zone maps exclude `id`
+/// (and partitions whose bloom filters exclude it, for key columns) can
+/// be skipped without changing the query result. `id == kNullTermId`
+/// means the filter constant is not in the dictionary — no stored row
+/// can survive, so everything is skippable.
+///
+/// Only derived from equality filters against non-numeric constants:
+/// numeric SPARQL equality is value-based ("1"^^xsd:integer equals
+/// "01"^^xsd:integer under a different id), so those never become hints.
+struct ScanEqualityHint {
+  std::string variable;
+  rdf::TermId id = rdf::kNullTermId;
+};
+
+struct ScanHints {
+  std::vector<ScanEqualityHint> equals;
+};
+
+/// What a paged scan did, for EXPLAIN ANALYZE and the smoke guards.
+/// Stays zero on the in-memory path (telemetry doubles as the "was this
+/// scan paged" signal).
+struct ScanTelemetry {
+  uint64_t row_groups_total = 0;
+  uint64_t row_groups_skipped = 0;
+  uint64_t partitions_skipped = 0;
+  /// Scan bytes actually charged (lexical cost domain — comparable to
+  /// the planner's estimate and to cluster::ExecutionCounters).
+  uint64_t bytes_scanned = 0;
+};
+
+}  // namespace prost::core
+
+#endif  // PROST_CORE_SCAN_SUPPORT_H_

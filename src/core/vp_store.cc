@@ -19,6 +19,18 @@ using columnar::StoredTable;
 using engine::Relation;
 using engine::RelationChunk;
 
+namespace {
+
+/// Zone-map test: can any row of a chunk with these stats bind this id?
+/// An all-NULL chunk (value_count == 0) cannot produce the id, and NULLs
+/// never participate in min/max, so the interval test is exact on ids.
+bool ZoneMayContain(const columnar::ColumnStats& stats, rdf::TermId id) {
+  if (stats.value_count == 0) return false;
+  return id >= stats.min_id && id <= stats.max_id;
+}
+
+}  // namespace
+
 VpStore VpStore::Build(const rdf::EncodedGraph& graph, uint32_t num_workers) {
   VpStore store;
   store.num_workers_ = num_workers;
@@ -89,9 +101,11 @@ Result<Relation> VpStore::Scan(rdf::TermId predicate,
                                const PatternTerm& subject,
                                const PatternTerm& object,
                                cluster::CostModel& cost,
-                               const engine::ExecContext* exec) const {
+                               const engine::ExecContext* exec,
+                               const ScanHints* hints,
+                               ScanTelemetry* telemetry) const {
   return ScanTable(Find(predicate), subject, object, num_workers_, cost,
-                   exec);
+                   exec, pool_, hints, telemetry);
 }
 
 Result<Relation> VpStore::ScanTable(const PredicateTable* table,
@@ -99,7 +113,10 @@ Result<Relation> VpStore::ScanTable(const PredicateTable* table,
                                     const PatternTerm& object,
                                     uint32_t num_workers,
                                     cluster::CostModel& cost,
-                                    const engine::ExecContext* exec) {
+                                    const engine::ExecContext* exec,
+                                    columnar::BufferPool* pool,
+                                    const ScanHints* hints,
+                                    ScanTelemetry* telemetry) {
   // Output columns: subject variable first, then object variable (when
   // distinct). `?x p ?x` yields a single column with s==o enforced.
   std::vector<std::string> names;
@@ -123,6 +140,193 @@ Result<Relation> VpStore::ScanTable(const PredicateTable* table,
   uint64_t planner_bytes = 0;
   for (uint64_t bytes : table->partition_bytes) planner_bytes += bytes;
   output.set_planner_bytes(planner_bytes);
+
+  if (table->paged_mode()) {
+    if (pool == nullptr) {
+      return Status::Internal("paged VP table scanned without a buffer pool");
+    }
+    const bool open_scan =
+        subject.is_variable && object.is_variable && !same_var;
+    // Every id each storage column is constrained to equal: pattern
+    // constants, plus pushed-filter equality hints on the column's
+    // variable (a hint of kNullTermId matches ZoneMayContain nowhere,
+    // which is exactly right — the filter constant is outside the
+    // dictionary, so no stored row survives it).
+    std::vector<rdf::TermId> s_eq, o_eq;
+    if (!subject.is_variable) s_eq.push_back(subject.id);
+    if (!object.is_variable) o_eq.push_back(object.id);
+    if (hints != nullptr) {
+      for (const ScanEqualityHint& hint : hints->equals) {
+        if (subject.is_variable && subject.name == hint.variable) {
+          s_eq.push_back(hint.id);
+        }
+        if (object.is_variable && object.name == hint.variable) {
+          o_eq.push_back(hint.id);
+        }
+      }
+    }
+
+    // Pruning pass, all from metadata (no decode): bloom on the
+    // subject-key column kills whole partitions, zone maps kill row
+    // groups. Surviving groups become scan tasks in (worker, group)
+    // order — ascending row order within each partition.
+    struct GroupTask {
+      uint32_t worker;
+      uint32_t group;
+    };
+    std::vector<GroupTask> tasks;
+    std::vector<uint64_t> scanned_rows(num_workers, 0);
+    std::vector<uint64_t> charged_bytes(num_workers, 0);
+    ScanTelemetry local;
+    for (uint32_t w = 0; w < num_workers; ++w) {
+      const columnar::PagedTable& paged = table->paged[w];
+      local.row_groups_total += paged.num_groups();
+      bool bloom_rejected = false;
+      for (rdf::TermId id : s_eq) {
+        if (!paged.key_bloom().MayContain(id)) {
+          bloom_rejected = true;
+          break;
+        }
+      }
+      if (bloom_rejected) {
+        ++local.partitions_skipped;
+        continue;
+      }
+      // Scan charges stay in the lexical byte domain: apportion the
+      // partition's lexical size over groups in proportion to encoded
+      // payload, flooring cumulatively so per-group charges telescope
+      // to exactly partition_bytes[w] when nothing is skipped.
+      const uint64_t payload_total = paged.payload_bytes();
+      const uint64_t lex_total = table->partition_bytes[w];
+      uint64_t payload_cum = 0;
+      uint64_t lex_cum = 0;
+      for (size_t g = 0; g < paged.num_groups(); ++g) {
+        for (const columnar::ChunkMeta& chunk : paged.group(g).chunks) {
+          payload_cum += chunk.bytes;
+        }
+        uint64_t lex_next = payload_total == 0
+                                ? lex_total
+                                : lex_total * payload_cum / payload_total;
+        uint64_t group_lex = lex_next - lex_cum;
+        lex_cum = lex_next;
+        bool keep = true;
+        for (rdf::TermId id : s_eq) {
+          if (!ZoneMayContain(paged.stats(g, 0), id)) {
+            keep = false;
+            break;
+          }
+        }
+        if (keep) {
+          for (rdf::TermId id : o_eq) {
+            if (!ZoneMayContain(paged.stats(g, 1), id)) {
+              keep = false;
+              break;
+            }
+          }
+        }
+        if (!keep) {
+          ++local.row_groups_skipped;
+          continue;
+        }
+        tasks.push_back({w, static_cast<uint32_t>(g)});
+        scanned_rows[w] += paged.group(g).num_rows;
+        charged_bytes[w] += group_lex;
+      }
+    }
+
+    // The same scan kernel as the in-memory path, over one pinned row
+    // group (chunk-local row indices). Pins hold the decoded columns
+    // resident for exactly the duration of the group's scan.
+    auto scan_group = [&](uint32_t w, uint32_t g, RelationChunk& out,
+                          std::vector<uint32_t>& sel) -> Result<uint64_t> {
+      const columnar::PagedTable& paged = table->paged[w];
+      PROST_ASSIGN_OR_RETURN(columnar::PinnedPage s_page,
+                             pool->Pin(paged, g, 0));
+      PROST_ASSIGN_OR_RETURN(columnar::PinnedPage o_page,
+                             pool->Pin(paged, g, 1));
+      const IdVector& subjects = s_page.column().ids();
+      const IdVector& objects = o_page.column().ids();
+      const size_t rows = subjects.size();
+      if (open_scan) {
+        out.columns[0].insert(out.columns[0].end(), subjects.begin(),
+                              subjects.end());
+        out.columns[1].insert(out.columns[1].end(), objects.begin(),
+                              objects.end());
+        return uint64_t{rows};
+      }
+      sel.clear();
+      if (!subject.is_variable) {
+        engine::kernels::Filter(subjects, subject.id, 0, rows, sel);
+        if (!object.is_variable) {
+          engine::kernels::Refine(objects, object.id, sel);
+        }
+      } else if (!object.is_variable) {
+        engine::kernels::Filter(objects, object.id, 0, rows, sel);
+      } else {  // same_var: ?x p ?x
+        engine::kernels::FilterRowsEqual(subjects, objects, 0, rows, sel);
+      }
+      size_t c = 0;
+      if (subject.is_variable) {
+        engine::kernels::Gather(subjects, sel, out.columns[c++]);
+      }
+      if (object.is_variable && !same_var) {
+        engine::kernels::Gather(objects, sel, out.columns[c]);
+      }
+      return uint64_t{sel.size()};
+    };
+
+    std::vector<uint64_t> emitted(num_workers, 0);
+    if (engine::IsParallel(exec) && tasks.size() > 1) {
+      // Row groups are the paged morsels: one task per surviving group,
+      // merged back per partition in task order (= row order).
+      std::vector<RelationChunk> outs(tasks.size());
+      std::vector<uint64_t> task_emitted(tasks.size(), 0);
+      std::vector<Status> task_status(tasks.size(), Status::OK());
+      exec->pool()->ParallelFor(tasks.size(), [&](size_t t) {
+        outs[t].columns.resize(names.size());
+        std::vector<uint32_t> sel;
+        Result<uint64_t> rows =
+            scan_group(tasks[t].worker, tasks[t].group, outs[t], sel);
+        if (rows.ok()) {
+          task_emitted[t] = *rows;
+        } else {
+          task_status[t] = rows.status();
+        }
+      });
+      for (const Status& status : task_status) {
+        PROST_RETURN_IF_ERROR(status);
+      }
+      for (size_t t = 0; t < tasks.size(); ++t) {
+        emitted[tasks[t].worker] += task_emitted[t];
+        RelationChunk& out = output.mutable_chunks()[tasks[t].worker];
+        for (size_t c = 0; c < out.columns.size(); ++c) {
+          out.columns[c].insert(out.columns[c].end(),
+                                outs[t].columns[c].begin(),
+                                outs[t].columns[c].end());
+        }
+      }
+    } else {
+      std::vector<uint32_t> sel;
+      for (const GroupTask& task : tasks) {
+        PROST_ASSIGN_OR_RETURN(
+            uint64_t rows,
+            scan_group(task.worker, task.group,
+                       output.mutable_chunks()[task.worker], sel));
+        emitted[task.worker] += rows;
+      }
+    }
+    for (uint32_t w = 0; w < num_workers; ++w) {
+      cost.ChargeScan(w, charged_bytes[w]);
+      cost.ChargeCpuRows(w, scanned_rows[w] + emitted[w]);
+      local.bytes_scanned += charged_bytes[w];
+    }
+    pool->NoteRowGroupsSkipped(local.row_groups_skipped);
+    pool->NotePartitionsSkipped(local.partitions_skipped);
+    pool->NoteBytesScanned(local.bytes_scanned);
+    if (telemetry != nullptr) *telemetry = local;
+    if (subject.is_variable) output.set_hash_partitioned_by(0);
+    return output;
+  }
 
   // Emits matching rows from partition `w`'s rows [begin, end) into
   // `out` — the one scan kernel both the serial and the morsel-parallel
@@ -248,6 +452,24 @@ VpStore::PredicateTable VpStore::BuildTable(
   return table;
 }
 
+void VpStore::EnablePaging(columnar::BufferPool* pool,
+                           uint32_t row_group_rows) {
+  pool_ = pool;
+  for (auto& [predicate, table] : tables_) {
+    table.paged.clear();
+    table.paged.reserve(table.partitions.size());
+    for (StoredTable& part : table.partitions) {
+      table.paged.push_back(
+          columnar::PagedTable::FromStored(part, row_group_rows));
+      // Release the decoded columns; keep a schema-shaped empty so code
+      // that inspects partition shape (e.g. the plan checker) still sees
+      // one entry per worker.
+      Schema schema = part.schema();
+      part = StoredTable(std::move(schema));
+    }
+  }
+}
+
 uint64_t VpStore::TotalBytesEstimate() const {
   uint64_t total = 0;
   for (const auto& [predicate, table] : tables_) {
@@ -273,8 +495,17 @@ Status VpStore::WriteTo(const std::string& dir,
       std::string path = StrFormat(
           "%s/vp_%llu_p%u.tbl", dir.c_str(),
           static_cast<unsigned long long>(index), w);
-      PROST_RETURN_IF_ERROR(columnar::WriteLexicalTableFile(
-          table.partitions[w], dictionary, path));
+      if (table.paged_mode()) {
+        // Paged stores persist from the encoded form — decode once here
+        // rather than keeping both representations resident.
+        PROST_ASSIGN_OR_RETURN(StoredTable decoded,
+                               table.paged[w].ToStored());
+        PROST_RETURN_IF_ERROR(
+            columnar::WriteLexicalTableFile(decoded, dictionary, path));
+      } else {
+        PROST_RETURN_IF_ERROR(columnar::WriteLexicalTableFile(
+            table.partitions[w], dictionary, path));
+      }
     }
     ++index;
   }

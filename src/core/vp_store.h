@@ -6,9 +6,12 @@
 #include <vector>
 
 #include "cluster/cost_model.h"
+#include "columnar/buffer_pool.h"
+#include "columnar/paged_table.h"
 #include "columnar/table.h"
 #include "common/status.h"
 #include "core/pattern_term.h"
+#include "core/scan_support.h"
 #include "engine/exec_context.h"
 #include "engine/relation.h"
 #include "rdf/graph.h"
@@ -27,6 +30,12 @@ class VpStore {
     /// Serialized-size estimate per partition (cost-model scan charge).
     std::vector<uint64_t> partition_bytes;
     uint64_t total_rows = 0;
+    /// Paged (encoded row-group) form; non-empty once EnablePaging ran,
+    /// at which point `partitions` keeps only schema-shaped empties and
+    /// scans go through the buffer pool.
+    std::vector<columnar::PagedTable> paged;
+
+    bool paged_mode() const { return !paged.empty(); }
   };
 
   VpStore() = default;
@@ -61,21 +70,32 @@ class VpStore {
   /// relation with the right columns. A parallel `exec` scans partition
   /// morsels concurrently, merged in morsel order (output bit-identical
   /// to serial); all cost charges stay on the calling thread.
+  ///
+  /// When the store is paged (EnablePaging), row groups whose zone maps
+  /// exclude a constant term or an equality `hint`, and partitions whose
+  /// key bloom filter excludes a constant subject, are skipped before
+  /// decode — the query result is bit-identical because skipped rows
+  /// could only have been removed by the pattern constants / pushed
+  /// filters anyway. Skips reduce the scan's cost charge and are
+  /// reported through `telemetry` when given.
   Result<engine::Relation> Scan(rdf::TermId predicate,
                                 const PatternTerm& subject,
                                 const PatternTerm& object,
                                 cluster::CostModel& cost,
-                                const engine::ExecContext* exec = nullptr)
-      const;
+                                const engine::ExecContext* exec = nullptr,
+                                const ScanHints* hints = nullptr,
+                                ScanTelemetry* telemetry = nullptr) const;
 
   /// Same evaluation over an arbitrary (s, o) PredicateTable — also used
   /// for S2RDF's ExtVP reductions, which share the VP layout. A null
   /// `table` stands for an absent predicate (empty answer, no scan).
+  /// `pool` is required when `table` is paged.
   static Result<engine::Relation> ScanTable(
       const PredicateTable* table, const PatternTerm& subject,
       const PatternTerm& object, uint32_t num_workers,
-      cluster::CostModel& cost,
-      const engine::ExecContext* exec = nullptr);
+      cluster::CostModel& cost, const engine::ExecContext* exec = nullptr,
+      columnar::BufferPool* pool = nullptr, const ScanHints* hints = nullptr,
+      ScanTelemetry* telemetry = nullptr);
 
   /// Builds a PredicateTable directly from (subject, object) pairs,
   /// subject-hash partitioned (S2RDF ExtVP construction). `term_lengths`
@@ -90,6 +110,17 @@ class VpStore {
     return tables_;
   }
 
+  /// Switches every predicate table to paged row-group execution:
+  /// partitions are repacked into PagedTables (row groups of
+  /// `row_group_rows` rows with zone maps + key bloom filters), decoded
+  /// columns are released, and subsequent scans decode chunks through
+  /// `pool` pins. `pool` must outlive the store. Idempotent-ish: calling
+  /// again repages from the current paged form is not supported — call
+  /// exactly once after the store is built.
+  void EnablePaging(columnar::BufferPool* pool, uint32_t row_group_rows = 0);
+
+  columnar::BufferPool* buffer_pool() const { return pool_; }
+
   /// Sum of serialized-size estimates over all tables.
   uint64_t TotalBytesEstimate() const;
 
@@ -101,6 +132,7 @@ class VpStore {
  private:
   uint32_t num_workers_ = 0;
   std::map<rdf::TermId, PredicateTable> tables_;
+  columnar::BufferPool* pool_ = nullptr;  // Non-owning; set by EnablePaging.
 };
 
 }  // namespace prost::core

@@ -74,6 +74,9 @@ class Relation {
     planner_bytes_set_ = true;
   }
   bool planner_bytes_set() const { return planner_bytes_set_; }
+  /// The raw stamped value (0 when never set) — config-free, for
+  /// observability rather than broadcast decisions.
+  uint64_t planner_bytes_raw() const { return planner_bytes_; }
 
   /// Checks chunk/column shape consistency.
   Status Validate() const;

@@ -26,7 +26,20 @@ std::string SpanLine(const Span& span, const ReportOptions& options) {
   if (!span.children.empty()) {
     line += StrFormat(" (total=%.3fms)", span.total_charge_millis);
   }
-  if (span.bytes_scanned > 0) {
+  if (span.storage_paged) {
+    // Paged scan: planner estimate vs. bytes actually charged after
+    // zone-map / bloom pruning, plus what the pruning skipped.
+    line += "  bytes=" + HumanBytes(span.storage_bytes_estimated) + "/" +
+            HumanBytes(span.bytes_scanned);
+    line += StrFormat(
+        ", skipped=%llu",
+        static_cast<unsigned long long>(span.row_groups_skipped));
+    if (span.partitions_skipped > 0) {
+      line += StrFormat(
+          " (+%llu bloom partitions)",
+          static_cast<unsigned long long>(span.partitions_skipped));
+    }
+  } else if (span.bytes_scanned > 0) {
     line += "  scanned=" + HumanBytes(span.bytes_scanned);
   }
   if (span.bytes_shuffled > 0) {
@@ -87,6 +100,18 @@ void RenderJson(const QueryProfile& profile, int32_t id, int indent,
   out += pad +
          StrFormat("  \"bytes_broadcast\": %llu,\n",
                    static_cast<unsigned long long>(span.bytes_broadcast));
+  if (span.storage_paged) {
+    out += pad + StrFormat(
+                     "  \"storage_bytes_estimated\": %llu,\n",
+                     static_cast<unsigned long long>(
+                         span.storage_bytes_estimated));
+    out += pad + StrFormat("  \"row_groups_skipped\": %llu,\n",
+                           static_cast<unsigned long long>(
+                               span.row_groups_skipped));
+    out += pad + StrFormat("  \"partitions_skipped\": %llu,\n",
+                           static_cast<unsigned long long>(
+                               span.partitions_skipped));
+  }
   out += pad + "  \"children\": [";
   for (size_t i = 0; i < span.children.size(); ++i) {
     out += i == 0 ? "\n" : ",\n";

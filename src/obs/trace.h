@@ -50,6 +50,15 @@ struct Span {
   double total_charge_millis = 0;  // inclusive (self + descendants)
   double wall_millis = 0;          // real time; varies with threads
   double estimated_rows = -1;      // planner estimate; < 0 = none
+
+  // Paged-storage telemetry (scan spans only, and only when the scan ran
+  // through the buffer pool). `bytes_scanned` above is then the *actual*
+  // charge after zone-map / bloom skipping; `storage_bytes_estimated` is
+  // what the planner assumed (the unpruned scan size).
+  bool storage_paged = false;
+  uint64_t storage_bytes_estimated = 0;
+  uint64_t row_groups_skipped = 0;
+  uint64_t partitions_skipped = 0;
 };
 
 /// A per-query span tree, built on the coordinating thread.
@@ -134,6 +143,18 @@ class OperatorSpan {
   void SetRowsOut(uint64_t rows) { if (active()) Mutable().rows_out = rows; }
   void SetEstimatedRows(double rows) {
     if (active()) Mutable().estimated_rows = rows;
+  }
+
+  /// Marks the span as a paged-storage scan and records what the pruning
+  /// pass did (see Span's paged-storage fields).
+  void SetStorage(uint64_t estimated_bytes, uint64_t row_groups_skipped,
+                  uint64_t partitions_skipped) {
+    if (!active()) return;
+    Span& span = Mutable();
+    span.storage_paged = true;
+    span.storage_bytes_estimated = estimated_bytes;
+    span.row_groups_skipped = row_groups_skipped;
+    span.partitions_skipped = partitions_skipped;
   }
 
   /// Closes the span early (e.g. to exclude result post-processing).

@@ -3,8 +3,11 @@
 
 #include <gtest/gtest.h>
 
+#include "columnar/bloom.h"
+#include "columnar/buffer_pool.h"
 #include "columnar/encoding.h"
 #include "columnar/lexical_format.h"
+#include "columnar/paged_table.h"
 #include "columnar/partition.h"
 #include "columnar/table.h"
 #include "columnar/types.h"
@@ -537,6 +540,218 @@ TEST(PartitionTest, SplitRejectsBadInput) {
   EXPECT_FALSE(SplitByAssignment(table, {0, 5}, 2).ok());  // Out of range.
   EXPECT_FALSE(SplitByAssignment(table, {0, 1}, 0).ok());  // Zero parts.
   EXPECT_FALSE(HashPartitionTable(table, 3, 2).ok());      // Bad column.
+}
+
+
+// ---------------------------------------------------------------- Bloom
+
+TEST(BloomTest, NoFalseNegatives) {
+  Rng rng(7);
+  IdVector keys(5000);
+  for (auto& id : keys) id = rng.Next();
+  BloomFilter bloom = BloomFilter::Build(keys);
+  for (TermId id : keys) EXPECT_TRUE(bloom.MayContain(id));
+}
+
+TEST(BloomTest, FalsePositiveRateWithinBound) {
+  Rng rng(11);
+  IdVector keys(10000);
+  for (auto& id : keys) id = rng.NextInRange(1, 1u << 30);
+  BloomFilter bloom = BloomFilter::Build(keys);
+  // At 10 bits/key with k = 7 the theoretical FPR is ~0.8%; allow 2%.
+  size_t false_positives = 0;
+  const size_t probes = 20000;
+  for (size_t i = 0; i < probes; ++i) {
+    TermId absent = (uint64_t{1} << 40) + i;  // Disjoint from the keys.
+    if (bloom.MayContain(absent)) ++false_positives;
+  }
+  EXPECT_LT(static_cast<double>(false_positives) / probes, 0.02);
+}
+
+TEST(BloomTest, EmptyAndDefaultSemantics) {
+  // Built over nothing: rejects everything (a provably empty partition).
+  BloomFilter empty_built = BloomFilter::Build({});
+  EXPECT_FALSE(empty_built.MayContain(42));
+  // Default-constructed (no filter): must claim everything may match.
+  BloomFilter none;
+  EXPECT_TRUE(none.empty());
+  EXPECT_TRUE(none.MayContain(42));
+}
+
+TEST(BloomTest, SkipsNullKeysAndRoundTrips) {
+  BloomFilter bloom = BloomFilter::Build({5, rdf::kNullTermId, 9});
+  EXPECT_TRUE(bloom.MayContain(5));
+  EXPECT_TRUE(bloom.MayContain(9));
+  ByteWriter writer;
+  bloom.Serialize(writer);
+  EXPECT_EQ(writer.size(), bloom.SerializedBytes());
+  std::string buffer = std::move(writer).TakeBuffer();
+  ByteReader reader{std::string_view(buffer)};
+  Result<BloomFilter> reopened = BloomFilter::Deserialize(reader);
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_TRUE(*reopened == bloom);
+}
+
+// ----------------------------------------------------------- PagedTable
+
+bool SameTable(const StoredTable& a, const StoredTable& b) {
+  if (!(a.schema() == b.schema()) || a.num_columns() != b.num_columns()) {
+    return false;
+  }
+  for (size_t c = 0; c < a.num_columns(); ++c) {
+    if (!(a.column(c) == b.column(c))) return false;
+  }
+  return true;
+}
+
+Schema TwoColumnSchema() {
+  Schema schema;
+  (void)schema.AddField({"s", ColumnKind::kId});
+  (void)schema.AddField({"o", ColumnKind::kIdList});
+  return schema;
+}
+
+StoredTable MakeMixedTable(size_t rows, uint64_t seed) {
+  Rng rng(seed);
+  IdVector subjects(rows);
+  IdListColumn lists;
+  for (size_t r = 0; r < rows; ++r) {
+    subjects[r] = 10 + r;  // Sorted, like a real VP subject column.
+    IdVector cell;
+    size_t n = rng.NextBounded(4);  // Empty cells included.
+    for (size_t i = 0; i < n; ++i) cell.push_back(rng.NextInRange(1, 1000));
+    lists.AppendRow(cell);
+  }
+  std::vector<Column> columns;
+  columns.emplace_back(std::move(subjects));
+  columns.emplace_back(std::move(lists));
+  return StoredTable(TwoColumnSchema(), std::move(columns));
+}
+
+TEST(PagedTableTest, RoundTripsThroughStored) {
+  StoredTable table = MakeMixedTable(1000, 3);
+  PagedTable paged = PagedTable::FromStored(table, 64);
+  EXPECT_EQ(paged.num_rows(), table.num_rows());
+  EXPECT_EQ(paged.num_groups(), (1000 + 63) / 64);
+  Result<StoredTable> back = paged.ToStored();
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(SameTable(*back, table));
+}
+
+TEST(PagedTableTest, ZoneMapsMatchPerGroupStats) {
+  StoredTable table = MakeMixedTable(300, 5);
+  const uint32_t group_rows = 50;
+  PagedTable paged = PagedTable::FromStored(table, group_rows);
+  for (size_t g = 0; g < paged.num_groups(); ++g) {
+    size_t begin = g * group_rows;
+    size_t end = std::min<size_t>(begin + group_rows, table.num_rows());
+    // Recompute the subject zone directly from the rows.
+    const IdVector& subjects = table.column(0).ids();
+    TermId lo = ~TermId{0}, hi = 0;
+    for (size_t r = begin; r < end; ++r) {
+      lo = std::min(lo, subjects[r]);
+      hi = std::max(hi, subjects[r]);
+    }
+    EXPECT_EQ(paged.stats(g, 0).min_id, lo);
+    EXPECT_EQ(paged.stats(g, 0).max_id, hi);
+    // List column: stats flatten the cells (values between offsets).
+    const IdListColumn& lists = table.column(1).lists();
+    uint64_t values = lists.offsets[end] - lists.offsets[begin];
+    EXPECT_EQ(paged.stats(g, 1).value_count, values);
+  }
+}
+
+TEST(PagedTableTest, SerializationPreservesStatsAndBloom) {
+  StoredTable table = MakeMixedTable(500, 9);
+  PagedTable paged = PagedTable::FromStored(table, 100);
+  std::string buffer;
+  paged.Serialize(&buffer);
+  Result<PagedTable> reopened = PagedTable::Deserialize(buffer);
+  ASSERT_TRUE(reopened.ok());
+  ASSERT_EQ(reopened->num_groups(), paged.num_groups());
+  for (size_t g = 0; g < paged.num_groups(); ++g) {
+    for (size_t c = 0; c < 2; ++c) {
+      // ColumnStats round-trip, per row group per column.
+      EXPECT_EQ(reopened->stats(g, c).min_id, paged.stats(g, c).min_id);
+      EXPECT_EQ(reopened->stats(g, c).max_id, paged.stats(g, c).max_id);
+      EXPECT_EQ(reopened->stats(g, c).null_count,
+                paged.stats(g, c).null_count);
+      EXPECT_EQ(reopened->stats(g, c).value_count,
+                paged.stats(g, c).value_count);
+    }
+  }
+  EXPECT_TRUE(reopened->key_bloom() == paged.key_bloom());
+  Result<StoredTable> back = reopened->ToStored();
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(SameTable(*back, table));
+}
+
+TEST(PagedTableTest, DeserializeRejectsCorruption) {
+  StoredTable table = MakeMixedTable(200, 13);
+  PagedTable paged = PagedTable::FromStored(table, 64);
+  std::string buffer;
+  paged.Serialize(&buffer);
+  std::string flipped = buffer;
+  flipped[flipped.size() / 2] ^= 0x40;
+  EXPECT_FALSE(PagedTable::Deserialize(flipped).ok());
+  EXPECT_FALSE(PagedTable::Deserialize(std::string_view(buffer)
+                                           .substr(0, buffer.size() - 3))
+                   .ok());
+}
+
+// ----------------------------------------------------------- BufferPool
+
+TEST(BufferPoolTest, PinDecodesAndCachesChunks) {
+  StoredTable table = MakeMixedTable(256, 17);
+  PagedTable paged = PagedTable::FromStored(table, 64);
+  BufferPool pool(1 << 20);
+  {
+    Result<PinnedPage> page = pool.Pin(paged, 0, 0);
+    ASSERT_TRUE(page.ok());
+    EXPECT_EQ(page->column().ids().size(), 64u);
+    EXPECT_EQ(page->column().ids()[0], table.column(0).ids()[0]);
+  }
+  // Second pin of the same chunk hits the cache (no new miss).
+  BufferPool::Stats before = pool.GetStats();
+  EXPECT_EQ(before.resident_pages, 1u);
+  EXPECT_EQ(before.pinned_pages, 0u);
+  Result<PinnedPage> again = pool.Pin(paged, 0, 0);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(pool.GetStats().pinned_pages, 1u);
+  EXPECT_EQ(pool.GetStats().resident_pages, 1u);
+}
+
+TEST(BufferPoolTest, EvictsLruUnderBudget) {
+  StoredTable table = MakeMixedTable(512, 19);
+  PagedTable paged = PagedTable::FromStored(table, 64);
+  // Budget of ~one decoded id chunk: every new pin evicts the previous.
+  BufferPool pool(64 * sizeof(TermId) + 8);
+  for (uint32_t g = 0; g < paged.num_groups(); ++g) {
+    Result<PinnedPage> page = pool.Pin(paged, g, 0);
+    ASSERT_TRUE(page.ok());
+  }
+  BufferPool::Stats stats = pool.GetStats();
+  EXPECT_LE(stats.resident_bytes, pool.budget_bytes());
+  EXPECT_LE(stats.resident_pages, 1u);
+}
+
+TEST(BufferPoolTest, BudgetIsSoftWhilePinned) {
+  StoredTable table = MakeMixedTable(256, 23);
+  PagedTable paged = PagedTable::FromStored(table, 64);
+  BufferPool pool(1);  // Below any single chunk.
+  std::vector<PinnedPage> held;
+  for (uint32_t g = 0; g < paged.num_groups(); ++g) {
+    Result<PinnedPage> page = pool.Pin(paged, g, 0);
+    ASSERT_TRUE(page.ok());
+    held.push_back(std::move(*page));
+    EXPECT_EQ(held.back().column().ids().size(),
+              paged.group(g).num_rows);
+  }
+  // All pinned: nothing evictable, resident beyond budget by design.
+  EXPECT_GT(pool.GetStats().resident_bytes, pool.budget_bytes());
+  held.clear();
+  // Last unpin shrinks back under budget.
+  EXPECT_LE(pool.GetStats().resident_bytes, pool.budget_bytes());
 }
 
 }  // namespace

@@ -53,6 +53,15 @@ Checks, each with a short rule id used in diagnostics:
                        operator consulting statistics directly would
                        bypass the plan as the single source of planning
                        truth.
+  buffer-pool-internals
+                       buffer-pool page internals (PageFrame / PageKey /
+                       PageKeyHash, or the pool's frame-map and LRU
+                       members) referenced outside src/columnar/. The
+                       pool's pin protocol (state machine, pin counts,
+                       eviction ticks) is invariant-heavy; everything
+                       outside the columnar layer holds pages only
+                       through the PinnedPage RAII handle and the
+                       BufferPool public API.
   mutable-unguarded    in a header whose class owns a prost::Mutex, a
                        `mutable` field with no PROST_GUARDED_BY
                        annotation. `mutable` is exactly the marker that
@@ -146,6 +155,10 @@ RAW_SOCKET = re.compile(
     r"#\s*include\s*<(sys/socket\.h|netinet/[^>]+|arpa/inet\.h|netdb\.h)>"
     r"|(?<![\w:.])(?:::)?\s*\bsocket\s*\(\s*AF_"
 )
+BUFFER_POOL_INTERNALS = re.compile(
+    r"\b(?:columnar\s*::\s*)?(?:PageFrame|PageKey|PageKeyHash)\b"
+    r"|\blru_tick_?\b|\bframes_\b"
+)
 MUTEX_MEMBER = re.compile(r"\bMutex\s*<\s*(?:\w+::)*LockRank::")
 MUTABLE_FIELD = re.compile(r"^\s*mutable\s")
 MUTABLE_SYNC_PRIMITIVE = re.compile(r"^\s*mutable\s[\w:<,\s>]*"
@@ -206,7 +219,7 @@ def lint_lexical(path, lines, failures, check_value_rule, check_plan_rule):
 
 
 def lint_concurrency(path, lines, raw_lines, failures, in_mutex_layer,
-                     in_net_layer):
+                     in_net_layer, in_columnar_layer):
     """Concurrency and I/O-layer rules. `lines` are comment/string-blanked,
     `raw_lines` the original text (the mutable-unguarded suppression marker
     lives in doc comments)."""
@@ -227,6 +240,12 @@ def lint_concurrency(path, lines, raw_lines, failures, in_mutex_layer,
             failures.append(
                 f"{path}:{number}: [thread-detach] detached threads escape "
                 "every shutdown contract; join them instead"
+            )
+        if not in_columnar_layer and BUFFER_POOL_INTERNALS.search(line):
+            failures.append(
+                f"{path}:{number}: [buffer-pool-internals] page frames and "
+                "pool internals live inside src/columnar/; hold pages via "
+                "columnar::PinnedPage and the BufferPool public API"
             )
     # mutable-unguarded: headers only — a class that owns an annotated
     # Mutex must say what guards each of its mutable fields. A field is
@@ -337,11 +356,12 @@ def main():
                 "src/common/mutex.cc",
             )
             in_net_layer = relative.parts[:2] == ("src", "net")
+            in_columnar_layer = relative.parts[:2] == ("src", "columnar")
             lint_lexical(relative, lines, failures,
                          check_value_rule=directory == "src",
                          check_plan_rule=not in_plan)
             lint_concurrency(relative, lines, text.splitlines(), failures,
-                             in_mutex_layer, in_net_layer)
+                             in_mutex_layer, in_net_layer, in_columnar_layer)
             if relative.parts[:2] == ("src", "engine"):
                 lint_stats_in_engine(relative, lines, text.splitlines(),
                                      failures)
